@@ -1,0 +1,47 @@
+// Ablation: full separation of constant contributions (extended 6-param
+// LMO with L_ij) vs the original 5-parameter model whose processor
+// constants absorb the network latency. The extended model predicts
+// point-to-point and scatter times more accurately — the paper's core
+// claim about separating contributions.
+#include <iostream>
+
+#include "coll/collectives.hpp"
+#include "common.hpp"
+#include "core/predictions.hpp"
+
+using namespace lmo;
+
+int main(int argc, char** argv) {
+  const Cli cli = bench::parse_bench_cli(argc, argv);
+  bench::BenchEnv env(std::uint64_t(cli.get_int("seed", 1)));
+  const int reps = int(cli.get_int("reps", 8));
+  const int root = 0;
+
+  std::cout << "estimating extended LMO, then folding latencies...\n";
+  const auto lmo = estimate::estimate_lmo(env.ex);
+  const auto folded = core::fold_latencies(lmo.params);
+
+  const auto sizes = bench::geometric_sizes(1024, 128 * 1024,
+                                            int(cli.get_int("points", 10)));
+  Table t({"M", "observed scatter [ms]", "extended LMO [ms]",
+           "folded (orig-5) [ms]"});
+  std::vector<double> obs, ext, orig;
+  for (const Bytes m : sizes) {
+    const double o = bench::observe_mean(
+        env.ex,
+        [m](vmpi::Comm& c) { return coll::linear_scatter(c, 0, m); }, reps);
+    obs.push_back(o);
+    ext.push_back(core::linear_scatter_time(lmo.params, root, m));
+    orig.push_back(core::linear_scatter_time(folded, root, m));
+    t.add_row({format_bytes(m), bench::ms(o), bench::ms(ext.back()),
+               bench::ms(orig.back())});
+  }
+  bench::emit(t, cli, "Ablation — separated vs folded constant contributions");
+
+  const double err_ext = bench::mean_relative_error(obs, ext);
+  const double err_orig = bench::mean_relative_error(obs, orig);
+  std::cout << "\nmean relative error: extended " << format_percent(err_ext)
+            << ", folded " << format_percent(err_orig) << " — separation "
+            << (err_ext <= err_orig ? "helps" : "DOES NOT HELP") << "\n";
+  return 0;
+}

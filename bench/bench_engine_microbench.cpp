@@ -1,0 +1,92 @@
+// Engine microbenchmarks (google-benchmark): raw event throughput of the
+// discrete-event core, point-to-point round throughput of the vmpi layer,
+// collective simulation rates, and end-to-end estimation costs.
+#include <benchmark/benchmark.h>
+
+#include "coll/collectives.hpp"
+#include "estimate/experimenter.hpp"
+#include "estimate/hockney_estimator.hpp"
+#include "simnet/cluster.hpp"
+#include "simnet/engine.hpp"
+#include "vmpi/world.hpp"
+
+namespace {
+
+using namespace lmo;
+
+void BM_EngineEvents(benchmark::State& state) {
+  const int batch = int(state.range(0));
+  sim::Engine engine;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    engine.reset();
+    for (int e = 0; e < batch; ++e)
+      engine.schedule_at(SimTime(e), [] {});
+    engine.run();
+    events += batch;
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_EngineEvents)->Arg(1024)->Arg(16384);
+
+void BM_PingPongRound(benchmark::State& state) {
+  auto cfg = sim::make_paper_cluster();
+  vmpi::World world(cfg);
+  std::int64_t rounds = 0;
+  for (auto _ : state) {
+    auto programs = vmpi::idle_programs(world.size());
+    programs[0] = [](vmpi::Comm& c) -> vmpi::Task {
+      co_await c.send(1, 1024);
+      co_await c.recv(1);
+    };
+    programs[1] = [](vmpi::Comm& c) -> vmpi::Task {
+      co_await c.recv(0);
+      co_await c.send(0, 1024);
+    };
+    benchmark::DoNotOptimize(world.run(programs));
+    ++rounds;
+  }
+  state.SetItemsProcessed(rounds);
+}
+BENCHMARK(BM_PingPongRound);
+
+void BM_LinearScatterSim(benchmark::State& state) {
+  auto cfg = sim::make_paper_cluster();
+  vmpi::World world(cfg);
+  const Bytes m = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.run(coll::spmd(
+        world.size(),
+        [m](vmpi::Comm& c) { return coll::linear_scatter(c, 0, m); })));
+  }
+  state.SetItemsProcessed(state.iterations() * (world.size() - 1));
+}
+BENCHMARK(BM_LinearScatterSim)->Arg(1024)->Arg(131072);
+
+void BM_BinomialScatterSim(benchmark::State& state) {
+  auto cfg = sim::make_paper_cluster();
+  vmpi::World world(cfg);
+  const Bytes m = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.run(coll::spmd(
+        world.size(),
+        [m](vmpi::Comm& c) { return coll::binomial_scatter(c, 0, m); })));
+  }
+  state.SetItemsProcessed(state.iterations() * (world.size() - 1));
+}
+BENCHMARK(BM_BinomialScatterSim)->Arg(1024)->Arg(131072);
+
+void BM_HockneyEstimation(benchmark::State& state) {
+  auto cfg = sim::make_random_cluster(int(state.range(0)), 7);
+  for (auto _ : state) {
+    vmpi::World world(cfg);
+    estimate::SimExperimenter ex(world);
+    benchmark::DoNotOptimize(estimate::estimate_hockney(ex));
+  }
+}
+BENCHMARK(BM_HockneyEstimation)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

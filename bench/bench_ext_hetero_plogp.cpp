@@ -1,0 +1,54 @@
+// Extension: the heterogeneous PLogP model the paper leaves as "a subject
+// of separate research" (Section II) — per-processor averaged overheads,
+// per-link (directed) latency and gap. Scored against the homogeneous
+// PLogP and LMO on the linear-scatter sweep of Fig. 4.
+#include <iostream>
+
+#include "coll/collectives.hpp"
+#include "common.hpp"
+#include "core/predictions.hpp"
+
+using namespace lmo;
+
+int main(int argc, char** argv) {
+  const Cli cli = bench::parse_bench_cli(argc, argv);
+  bench::BenchEnv env(std::uint64_t(cli.get_int("seed", 1)));
+  const int reps = int(cli.get_int("reps", 6));
+  const int root = 0;
+  const int n = env.cfg.size();
+
+  std::cout << "estimating PLogP (directed, all links) and LMO...\n";
+  estimate::PLogPOptions popts;
+  popts.max_size = 128 * 1024;
+  const auto plogp = estimate::estimate_plogp(env.ex, popts);
+  const auto hetero = estimate::hetero_plogp(plogp, n);
+  const auto lmo = estimate::estimate_lmo(env.ex);
+
+  const auto sizes = bench::geometric_sizes(1024, 128 * 1024,
+                                            int(cli.get_int("points", 10)));
+  Table t({"M", "observed [ms]", "hetero PLogP [ms]", "homo PLogP [ms]",
+           "LMO [ms]"});
+  std::vector<double> obs, v_het, v_hom, v_lmo;
+  for (const Bytes m : sizes) {
+    const double o = bench::observe_mean(
+        env.ex,
+        [m](vmpi::Comm& c) { return coll::linear_scatter(c, 0, m); }, reps);
+    obs.push_back(o);
+    v_het.push_back(hetero.flat_collective(root, m));
+    v_hom.push_back(plogp.averaged.flat_collective(n, m));
+    v_lmo.push_back(core::linear_scatter_time(lmo.params, root, m));
+    t.add_row({format_bytes(m), bench::ms(o), bench::ms(v_het.back()),
+               bench::ms(v_hom.back()), bench::ms(v_lmo.back())});
+  }
+  bench::emit(t, cli, "Extension — heterogeneous PLogP on linear scatter");
+
+  Table err({"model", "mean relative error"});
+  err.add_row({"heterogeneous PLogP",
+               format_percent(bench::mean_relative_error(obs, v_het))});
+  err.add_row({"homogeneous PLogP",
+               format_percent(bench::mean_relative_error(obs, v_hom))});
+  err.add_row({"LMO (eq. 4)",
+               format_percent(bench::mean_relative_error(obs, v_lmo))});
+  bench::emit(err, cli, "Extension — hetero vs homo PLogP errors");
+  return 0;
+}

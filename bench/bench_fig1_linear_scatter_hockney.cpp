@@ -1,0 +1,69 @@
+// Fig. 1: linear scatter on the 16-node heterogeneous cluster — the
+// observation against the four Hockney readings (homogeneous/heterogeneous
+// x sequential/parallel). The sequential predictions are pessimistic, the
+// parallel ones optimistic; neither tracks the observation, because Hockney
+// cannot separate the serialized root processing from the parallel
+// network/receiver part.
+#include <iostream>
+
+#include "coll/collectives.hpp"
+#include "common.hpp"
+
+using namespace lmo;
+using models::FlatAssumption;
+
+int main(int argc, char** argv) {
+  const Cli cli = bench::parse_bench_cli(argc, argv);
+  bench::BenchEnv env(std::uint64_t(cli.get_int("seed", 1)));
+  const int reps = int(cli.get_int("reps", 8));
+  const int root = 0;
+
+  const auto hockney = estimate::estimate_hockney(env.ex);
+  const auto sizes = bench::geometric_sizes(1024, 128 * 1024,
+                                            int(cli.get_int("points", 12)));
+
+  Table t({"M", "observed [ms]", "het seq [ms]", "het par [ms]",
+           "hom seq [ms]", "hom par [ms]"});
+  std::vector<double> obs, het_seq, het_par, hom_seq, hom_par;
+  for (const Bytes m : sizes) {
+    const double o = bench::observe_mean(
+        env.ex,
+        [m](vmpi::Comm& c) { return coll::linear_scatter(c, 0, m); }, reps);
+    obs.push_back(o);
+    het_seq.push_back(
+        hockney.hetero.flat_collective(root, m, FlatAssumption::kSequential));
+    het_par.push_back(
+        hockney.hetero.flat_collective(root, m, FlatAssumption::kParallel));
+    hom_seq.push_back(hockney.homogeneous.flat_collective(
+        env.cfg.size(), m, FlatAssumption::kSequential));
+    hom_par.push_back(hockney.homogeneous.flat_collective(
+        env.cfg.size(), m, FlatAssumption::kParallel));
+    t.add_row({format_bytes(m), bench::ms(o), bench::ms(het_seq.back()),
+               bench::ms(het_par.back()), bench::ms(hom_seq.back()),
+               bench::ms(hom_par.back())});
+  }
+  bench::emit(t, cli, "Fig. 1 — linear scatter vs Hockney predictions");
+
+  Table err({"prediction", "mean relative error"});
+  err.add_row({"heterogeneous sequential",
+               format_percent(bench::mean_relative_error(obs, het_seq))});
+  err.add_row({"heterogeneous parallel",
+               format_percent(bench::mean_relative_error(obs, het_par))});
+  err.add_row({"homogeneous sequential",
+               format_percent(bench::mean_relative_error(obs, hom_seq))});
+  err.add_row({"homogeneous parallel",
+               format_percent(bench::mean_relative_error(obs, hom_par))});
+  bench::emit(err, cli, "Fig. 1 — prediction errors");
+
+  // The figure's qualitative claim, checked mechanically.
+  bool seq_pessimistic = true, par_optimistic = true;
+  for (std::size_t s = 0; s < obs.size(); ++s) {
+    seq_pessimistic = seq_pessimistic && het_seq[s] > obs[s];
+    par_optimistic = par_optimistic && het_par[s] < obs[s];
+  }
+  std::cout << "\nsequential predictions pessimistic: "
+            << (seq_pessimistic ? "yes" : "NO") << "\n"
+            << "parallel predictions optimistic:    "
+            << (par_optimistic ? "yes" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 2: the binomial communication tree for scatter/gather over 16
+// processors — arcs with per-arc block counts, in send order.
+#include <iostream>
+
+#include "common.hpp"
+#include "trees/binomial.hpp"
+
+using namespace lmo;
+
+int main(int argc, char** argv) {
+  const Cli cli = bench::parse_bench_cli(argc, argv);
+  const int n = int(cli.get_int("points", 16));
+
+  Table t({"send order", "parent", "child", "blocks", "subtree order"});
+  const auto arcs = trees::binomial_arcs(n);
+  int order = 1;
+  for (const auto& a : arcs)
+    t.add_row({std::to_string(order++), std::to_string(a.parent),
+               std::to_string(a.child), std::to_string(a.blocks),
+               std::to_string(a.order)});
+  bench::emit(t, cli,
+              "Fig. 2 — binomial tree, " + std::to_string(n) +
+                  " processors (arc labels = blocks over the link)");
+  std::cout << "rounds: " << trees::binomial_rounds(n) << "\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table II: the linear scatter/gather prediction formulas of every model,
+// evaluated side by side at representative message sizes, against the
+// simulated observation. Only LMO distinguishes scatter from gather and
+// carries the empirical two-regime gather.
+#include <iostream>
+
+#include "coll/collectives.hpp"
+#include "common.hpp"
+#include "core/predictions.hpp"
+
+using namespace lmo;
+
+int main(int argc, char** argv) {
+  const Cli cli = bench::parse_bench_cli(argc, argv);
+  bench::BenchEnv env(std::uint64_t(cli.get_int("seed", 1)));
+  const int reps = int(cli.get_int("reps", 8));
+  const int root = 0;
+  const int n = env.cfg.size();
+
+  std::cout << "estimating models from communication experiments...\n";
+  const auto hockney = estimate::estimate_hockney(env.ex);
+  const auto loggp = estimate::estimate_loggp(env.ex);
+  const auto plogp = estimate::estimate_plogp(env.ex);
+  const auto lmo = estimate::estimate_lmo(env.ex);
+  const auto emp = estimate::estimate_gather_empirical(env.ex, lmo.params);
+
+  Table formulas({"model", "linear scatter formula", "linear gather formula"});
+  formulas.add_row({"Hetero-Hockney", "sum_i (a_ri + b_ri M)",
+                    "same as scatter"});
+  formulas.add_row({"LogGP", "L + 2o + (n-1)(M-1)G + (n-2)g",
+                    "same as scatter"});
+  formulas.add_row({"PLogP", "L + (n-1) g(M)", "same as scatter"});
+  formulas.add_row({"LMO",
+                    "(n-1)(C_r + M t_r) + max_i(L_ri + C_i + M(1/b_ri + t_i))",
+                    "max branch for M < M1, sum branch for M > M2"});
+  bench::emit(formulas, cli, "Table II — prediction formulas");
+
+  for (const Bytes m : {Bytes(8) * 1024, Bytes(32) * 1024, Bytes(128) * 1024}) {
+    const double obs_scatter = bench::observe_mean(
+        env.ex,
+        [m](vmpi::Comm& c) { return coll::linear_scatter(c, 0, m); }, reps);
+    const double obs_gather = bench::observe_mean(
+        env.ex,
+        [m](vmpi::Comm& c) { return coll::linear_gather(c, 0, m); }, reps);
+    Table t({"model", "scatter [ms]", "gather [ms]"});
+    t.add_row({"observed", bench::ms(obs_scatter), bench::ms(obs_gather)});
+    const double hock = hockney.hetero.flat_collective(
+        root, m, models::FlatAssumption::kSequential);
+    t.add_row({"Hetero-Hockney", bench::ms(hock), bench::ms(hock)});
+    const double lg = loggp.averaged.flat_collective(n, m);
+    t.add_row({"LogGP", bench::ms(lg), bench::ms(lg)});
+    const double pl = plogp.averaged.flat_collective(n, m);
+    t.add_row({"PLogP", bench::ms(pl), bench::ms(pl)});
+    t.add_row({"LMO",
+               bench::ms(core::linear_scatter_time(lmo.params, root, m)),
+               bench::ms(core::linear_gather_time(lmo.params, emp.empirical,
+                                                  root, m)
+                             .expected())});
+    bench::emit(t, cli, "Table II evaluated at M = " + format_bytes(m));
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "common.hpp"
+
+#include <cmath>
+#include <iostream>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace lmo::bench {
+
+double observe_mean(estimate::SimExperimenter& ex,
+                    const std::function<vmpi::Task(vmpi::Comm&)>& body,
+                    int reps) {
+  stats::RunningStats s;
+  for (int r = 0; r < reps; ++r) s.add(ex.observe_global(body));
+  return s.mean();
+}
+
+std::vector<double> observe_samples(
+    estimate::SimExperimenter& ex,
+    const std::function<vmpi::Task(vmpi::Comm&)>& body, int reps) {
+  std::vector<double> out;
+  out.reserve(std::size_t(reps));
+  for (int r = 0; r < reps; ++r) out.push_back(ex.observe_global(body));
+  return out;
+}
+
+std::string ms(double seconds) { return format_fixed(seconds * 1e3, 3); }
+
+void emit(const Table& table, const Cli& cli, const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  if (cli.get_flag("csv")) {
+    std::cout << "\n-- csv --\n";
+    table.print_csv(std::cout);
+  }
+}
+
+Cli parse_bench_cli(int argc, const char* const* argv) {
+  return Cli(argc, argv, {"seed", "reps", "csv", "points"});
+}
+
+}  // namespace lmo::bench

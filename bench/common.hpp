@@ -1,0 +1,61 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Every bench binary builds the Table-I cluster, estimates the models it
+// needs through timed experiments only (never from ground truth), sweeps
+// message sizes, and prints the series the corresponding figure plots,
+// plus mean relative errors against the simulated observation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "estimate/empirical_estimator.hpp"
+#include "estimate/experimenter.hpp"
+#include "estimate/hockney_estimator.hpp"
+#include "estimate/lmo_estimator.hpp"
+#include "estimate/loggp_estimator.hpp"
+#include "estimate/plogp_estimator.hpp"
+#include "simnet/cluster.hpp"
+#include "util/cli.hpp"
+#include "util/sweep.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::bench {
+
+/// Message-size sweeps: re-exported from util/sweep.hpp.
+using lmo::geometric_sizes;
+using lmo::linear_sizes;
+using lmo::mean_relative_error;
+
+/// Mean of `reps` global observations of an SPMD collective.
+[[nodiscard]] double observe_mean(
+    estimate::SimExperimenter& ex,
+    const std::function<vmpi::Task(vmpi::Comm&)>& body, int reps = 8);
+
+/// All samples (for escalation scatter plots).
+[[nodiscard]] std::vector<double> observe_samples(
+    estimate::SimExperimenter& ex,
+    const std::function<vmpi::Task(vmpi::Comm&)>& body, int reps);
+
+/// ms with 3 decimals — the unit the paper's figures use.
+[[nodiscard]] std::string ms(double seconds);
+
+struct BenchEnv {
+  sim::ClusterConfig cfg;
+  vmpi::World world;
+  estimate::SimExperimenter ex;
+
+  explicit BenchEnv(std::uint64_t seed = 1)
+      : cfg(sim::make_paper_cluster(seed)), world(cfg), ex(world) {}
+};
+
+/// Print a table and, when --csv was passed, its CSV form.
+void emit(const Table& table, const Cli& cli, const std::string& title);
+
+/// Standard bench CLI: --seed N --reps N --csv.
+[[nodiscard]] Cli parse_bench_cli(int argc, const char* const* argv);
+
+}  // namespace lmo::bench

@@ -1,0 +1,82 @@
+// Surveying an unknown cluster: estimate all four model families on a
+// randomly generated heterogeneous cluster and compare their
+// point-to-point views — the workflow of the paper's software tool [13].
+//
+// Usage: cluster_survey [--nodes N] [--seed S]
+#include <iostream>
+
+#include "estimate/experimenter.hpp"
+#include "estimate/hockney_estimator.hpp"
+#include "estimate/lmo_estimator.hpp"
+#include "estimate/loggp_estimator.hpp"
+#include "estimate/plogp_estimator.hpp"
+#include "simnet/cluster.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "vmpi/world.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmo;
+  const Cli cli(argc, argv, {"nodes", "seed"});
+  const int n = int(cli.get_int("nodes", 8));
+  const auto seed = std::uint64_t(cli.get_int("seed", 2026));
+
+  const sim::ClusterConfig cluster = sim::make_random_cluster(n, seed);
+  vmpi::World world(cluster);
+  estimate::SimExperimenter ex(world);
+
+  std::cout << "surveying a " << n << "-node cluster (seed " << seed
+            << ")...\n";
+  const auto hockney = estimate::estimate_hockney(ex);
+  const auto loggp = estimate::estimate_loggp(ex);
+  estimate::PLogPOptions plogp_opts;
+  plogp_opts.max_size = 64 * 1024;
+  const auto plogp = estimate::estimate_plogp(ex, plogp_opts);
+  const auto lmo = estimate::estimate_lmo(ex);
+
+  Table models({"model", "parameters", "predicted pt2pt 0->1, 32 KB"});
+  const Bytes m = 32 * 1024;
+  models.add_row(
+      {"Hockney (homogeneous)",
+       "a = " + format_seconds(hockney.homogeneous.alpha) +
+           ", b = " + format_seconds(hockney.homogeneous.beta) + "/B",
+       format_seconds(hockney.homogeneous.pt2pt(m))});
+  models.add_row({"Hockney (heterogeneous)",
+                  "a_01 = " + format_seconds(hockney.hetero.alpha(0, 1)) +
+                      ", b_01 = " + format_seconds(hockney.hetero.beta(0, 1)) +
+                      "/B",
+                  format_seconds(hockney.hetero.pt2pt(0, 1, m))});
+  models.add_row(
+      {"LogGP",
+       "L = " + format_seconds(loggp.averaged.L) +
+           ", o = " + format_seconds(loggp.averaged.o) +
+           ", g = " + format_seconds(loggp.averaged.g) +
+           ", G = " + format_seconds(loggp.averaged.G) + "/B",
+       format_seconds(loggp.averaged.pt2pt(m))});
+  models.add_row({"PLogP",
+                  "L = " + format_seconds(plogp.averaged.L) + ", g(32 KB) = " +
+                      format_seconds(plogp.averaged.g(double(m))),
+                  format_seconds(plogp.averaged.pt2pt(m))});
+  models.add_row(
+      {"LMO (extended)",
+       "C_0 = " + format_seconds(lmo.params.C[0]) +
+           ", t_0 = " + format_seconds(lmo.params.t[0]) + "/B, L_01 = " +
+           format_seconds(lmo.params.L(0, 1)) + ", 1/b_01 = " +
+           format_seconds(lmo.params.inv_beta(0, 1)) + "/B",
+       format_seconds(lmo.params.pt2pt(0, 1, m))});
+  models.print(std::cout);
+
+  // Reference: the measured round-trip halves.
+  const double rtt = ex.roundtrip(0, 1, m, m);
+  std::cout << "\nmeasured one-way time 0->1 at " << format_bytes(m) << ": "
+            << format_seconds(rtt / 2) << "\n";
+  std::cout << "\nper-node LMO processing parameters:\n";
+  Table nodes({"node", "C_i", "t_i"});
+  for (int i = 0; i < n; ++i)
+    nodes.add_row({std::to_string(i),
+                   format_seconds(lmo.params.C[std::size_t(i)]),
+                   format_seconds(lmo.params.t[std::size_t(i)]) + "/B"});
+  nodes.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// lmo_tool — the command-line workflow of the paper's software tool [13]:
+//
+//   lmo_tool make-cluster --out cluster.cfg [--nodes N] [--seed S]
+//       write a cluster description (default: the Table-I cluster);
+//   lmo_tool estimate --cluster cluster.cfg --out model.cfg
+//       run the LMO estimation experiments on the (simulated) cluster and
+//       persist the point-to-point + empirical parameters;
+//   lmo_tool predict --model model.cfg --op scatter|gather|bcast|reduce
+//            [--size BYTES] [--root R]
+//       predict the collective's execution time from the saved model;
+//   lmo_tool tune --model model.cfg --op ... --size BYTES
+//       print the tuned algorithm decision for one invocation.
+#include <iostream>
+#include <string>
+
+#include "core/params_io.hpp"
+#include "core/tuner.hpp"
+#include "estimate/empirical_estimator.hpp"
+#include "estimate/experimenter.hpp"
+#include "estimate/lmo_estimator.hpp"
+#include "simnet/config_io.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "vmpi/world.hpp"
+
+namespace {
+
+using namespace lmo;
+
+int usage() {
+  std::cerr << "usage: lmo_tool <make-cluster|estimate|predict|tune> "
+               "[options]\n  see the header comment of examples/lmo_tool.cpp\n";
+  return 2;
+}
+
+core::CollectiveKind parse_op(const std::string& op) {
+  if (op == "scatter") return core::CollectiveKind::kScatter;
+  if (op == "gather") return core::CollectiveKind::kGather;
+  if (op == "bcast") return core::CollectiveKind::kBcast;
+  if (op == "reduce") return core::CollectiveKind::kReduce;
+  throw Error("unknown --op '" + op + "'");
+}
+
+int cmd_make_cluster(const Cli& cli) {
+  const std::string out = cli.get("out", "cluster.cfg");
+  const auto seed = std::uint64_t(cli.get_int("seed", 1));
+  const int nodes = int(cli.get_int("nodes", 0));
+  const auto cfg = nodes > 0 ? sim::make_random_cluster(nodes, seed)
+                             : sim::make_paper_cluster(seed);
+  sim::save_cluster(cfg, out);
+  std::cout << "wrote " << cfg.size() << "-node cluster to " << out << "\n";
+  return 0;
+}
+
+int cmd_estimate(const Cli& cli) {
+  const auto cfg = sim::load_cluster(cli.get("cluster", "cluster.cfg"));
+  const std::string out = cli.get("out", "model.cfg");
+  vmpi::World world(cfg);
+  estimate::SimExperimenter ex(world);
+  std::cout << "running estimation experiments on " << cfg.size()
+            << " nodes...\n";
+  const auto lmo = estimate::estimate_lmo(ex);
+  const auto emp = estimate::estimate_gather_empirical(ex, lmo.params);
+  core::save_params(lmo.params, emp.empirical, out);
+  std::cout << "estimated from " << lmo.roundtrip_experiments
+            << " round-trips + " << lmo.one_to_two_experiments
+            << " one-to-two experiments (" << format_time(lmo.estimation_cost)
+            << " simulated); wrote model to " << out << "\n"
+            << "gather band: M1 = " << format_bytes(emp.empirical.m1)
+            << ", M2 = " << format_bytes(emp.empirical.m2) << "\n";
+  return 0;
+}
+
+int cmd_predict(const Cli& cli) {
+  const auto loaded = core::load_params(cli.get("model", "model.cfg"));
+  const auto kind = parse_op(cli.get("op", "scatter"));
+  const Bytes m = cli.get_int("size", 65536);
+  const int root = int(cli.get_int("root", 0));
+  double prediction = 0.0;
+  switch (kind) {
+    case core::CollectiveKind::kScatter:
+      prediction = core::linear_scatter_time(loaded.params, root, m);
+      break;
+    case core::CollectiveKind::kGather:
+      prediction = core::linear_gather_time(loaded.params, loaded.empirical,
+                                            root, m)
+                       .expected();
+      break;
+    case core::CollectiveKind::kBcast:
+      prediction = core::linear_bcast_time(loaded.params, root, m);
+      break;
+    case core::CollectiveKind::kReduce:
+      prediction = core::linear_reduce_time(loaded.params, root, m);
+      break;
+  }
+  std::cout << cli.get("op", "scatter") << " of " << format_bytes(m)
+            << " from root " << root << ": predicted "
+            << format_seconds(prediction) << " (linear algorithm)\n";
+  return 0;
+}
+
+int cmd_tune(const Cli& cli) {
+  const auto loaded = core::load_params(cli.get("model", "model.cfg"));
+  const auto kind = parse_op(cli.get("op", "scatter"));
+  const Bytes m = cli.get_int("size", 65536);
+  const int root = int(cli.get_int("root", 0));
+  const core::Tuner tuner(loaded.params, loaded.empirical);
+  const auto d = tuner.decide(kind, root, m);
+  std::cout << cli.get("op", "scatter") << " of " << format_bytes(m) << ": "
+            << d.describe() << ", predicted "
+            << format_seconds(d.predicted_seconds) << "\n";
+  if (!d.mapping.empty()) {
+    std::cout << "mapping (virtual -> physical):";
+    for (const int p : d.mapping) std::cout << " " << p;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const lmo::Cli cli(argc - 1, argv + 1,
+                       {"out", "cluster", "model", "op", "size", "root",
+                        "nodes", "seed"});
+    if (command == "make-cluster") return cmd_make_cluster(cli);
+    if (command == "estimate") return cmd_estimate(cli);
+    if (command == "predict") return cmd_predict(cli);
+    if (command == "tune") return cmd_tune(cli);
+    return usage();
+  } catch (const lmo::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

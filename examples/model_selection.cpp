@@ -1,0 +1,71 @@
+// Model-based collective algorithm selection (the paper's Fig. 6 use case).
+//
+// An MPI library must pick between the linear and binomial scatter
+// algorithms per message size. This example estimates both a heterogeneous
+// Hockney model and the LMO model on the same cluster, lets each choose,
+// and scores the choices against the simulated ground truth — showing why
+// a model that separates processor and network contributions picks
+// correctly where Hockney does not.
+#include <iostream>
+
+#include "coll/collectives.hpp"
+#include "core/optimize.hpp"
+#include "core/predictions.hpp"
+#include "estimate/experimenter.hpp"
+#include "estimate/hockney_estimator.hpp"
+#include "estimate/lmo_estimator.hpp"
+#include "simnet/cluster.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "vmpi/world.hpp"
+
+int main() {
+  using namespace lmo;
+  const sim::ClusterConfig cluster = sim::make_paper_cluster();
+  vmpi::World world(cluster);
+  estimate::SimExperimenter ex(world);
+
+  std::cout << "estimating Hockney and LMO models...\n";
+  const auto hockney = estimate::estimate_hockney(ex);
+  const auto lmo = estimate::estimate_lmo(ex);
+
+  auto observe = [&](bool binomial, Bytes m) {
+    double total = 0;
+    const int reps = 4;
+    for (int r = 0; r < reps; ++r)
+      total += world
+                   .run(coll::spmd(world.size(),
+                                   [binomial, m](vmpi::Comm& c) {
+                                     return binomial
+                                                ? coll::binomial_scatter(c, 0, m)
+                                                : coll::linear_scatter(c, 0, m);
+                                   }))
+                   .seconds();
+    return total / reps;
+  };
+  auto name = [](core::ScatterAlgorithm a) {
+    return a == core::ScatterAlgorithm::kLinear ? "linear" : "binomial";
+  };
+
+  Table t({"M", "Hockney picks", "LMO picks", "true winner", "cost of a wrong pick"});
+  int hockney_score = 0, lmo_score = 0, total = 0;
+  for (const Bytes m : {Bytes(16), Bytes(1024), Bytes(16) * 1024,
+                        Bytes(64) * 1024, Bytes(150) * 1024}) {
+    const double lin = observe(false, m);
+    const double bin = observe(true, m);
+    const auto truth = lin <= bin ? core::ScatterAlgorithm::kLinear
+                                  : core::ScatterAlgorithm::kBinomial;
+    const auto h = core::choose_scatter_algorithm_hockney(hockney.hetero, 0, m);
+    const auto l = core::choose_scatter_algorithm(lmo.params, 0, m);
+    hockney_score += h == truth;
+    lmo_score += l == truth;
+    ++total;
+    const double penalty = std::max(lin, bin) / std::min(lin, bin);
+    t.add_row({format_bytes(m), name(h), name(l), name(truth),
+               format_fixed(penalty, 2) + "x slower"});
+  }
+  t.print(std::cout);
+  std::cout << "\nscore: Hockney " << hockney_score << "/" << total
+            << ", LMO " << lmo_score << "/" << total << "\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Building an optimized gather from the LMO empirical parameters
+// (the paper's Fig. 7 and HeteroMPI optimization [10]).
+//
+// Linear gather on TCP clusters suffers non-deterministic escalations for
+// medium message sizes. This example:
+//  1. estimates the LMO model and its empirical gather parameters
+//     (M1, M2, escalation modes) from observations,
+//  2. asks the planner whether a given gather should be split,
+//  3. runs native and optimized gathers side by side.
+#include <iostream>
+
+#include "coll/collectives.hpp"
+#include "core/optimize.hpp"
+#include "estimate/empirical_estimator.hpp"
+#include "estimate/experimenter.hpp"
+#include "estimate/lmo_estimator.hpp"
+#include "simnet/cluster.hpp"
+#include "stats/summary.hpp"
+#include "util/format.hpp"
+#include "vmpi/world.hpp"
+
+int main() {
+  using namespace lmo;
+  const sim::ClusterConfig cluster = sim::make_paper_cluster();
+  vmpi::World world(cluster);
+  estimate::SimExperimenter ex(world);
+
+  std::cout << "estimating the LMO model and gather empirical parameters...\n";
+  const auto lmo = estimate::estimate_lmo(ex);
+  const auto emp_report = estimate::estimate_gather_empirical(ex, lmo.params);
+  const core::GatherEmpirical& emp = emp_report.empirical;
+
+  std::cout << "detected M1 = " << format_bytes(emp.m1)
+            << ", M2 = " << format_bytes(emp.m2) << "\n";
+  for (const auto& mode : emp.escalation_modes)
+    std::cout << "  escalation mode " << format_seconds(mode.value)
+              << " with frequency " << format_percent(mode.frequency) << "\n";
+
+  const Bytes block = 16 * 1024;  // squarely inside the escalation band
+  const auto plan = core::plan_optimized_gather(lmo.params, emp, 0, block);
+  std::cout << "\ngather of " << format_bytes(block) << " blocks: ";
+  if (plan.split)
+    std::cout << "split into " << plan.series << " gathers of "
+              << format_bytes(plan.chunk) << " (predicted "
+              << format_seconds(plan.predicted_split) << " vs native "
+              << format_seconds(plan.predicted_native) << ")\n";
+  else
+    std::cout << "run natively\n";
+
+  stats::RunningStats native, optimized;
+  const int reps = 20;
+  for (int r = 0; r < reps; ++r) {
+    native.add(world
+                   .run(coll::spmd(world.size(),
+                                   [block](vmpi::Comm& c) {
+                                     return coll::linear_gather(c, 0, block);
+                                   }))
+                   .seconds());
+    optimized.add(
+        world
+            .run(coll::spmd(world.size(),
+                            [block, &plan](vmpi::Comm& c) {
+                              return plan.split
+                                         ? coll::split_gather(c, 0, block,
+                                                              plan.chunk)
+                                         : coll::linear_gather(c, 0, block);
+                            }))
+            .seconds());
+  }
+  std::cout << "\nover " << reps << " runs:\n"
+            << "  native    mean " << format_seconds(native.mean()) << ", max "
+            << format_seconds(native.max()) << "\n"
+            << "  optimized mean " << format_seconds(optimized.mean())
+            << ", max " << format_seconds(optimized.max()) << "\n"
+            << "  speedup   " << format_fixed(native.mean() / optimized.mean(), 2)
+            << "x mean, " << format_fixed(native.max() / optimized.max(), 2)
+            << "x worst-case\n";
+  return 0;
+}

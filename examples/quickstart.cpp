@@ -1,0 +1,58 @@
+// Quickstart: the complete estimate -> predict -> validate loop in ~60
+// lines of user code.
+//
+//  1. Build (or describe) a switched cluster. Here we use the paper's
+//     16-node heterogeneous cluster, simulated.
+//  2. Estimate the extended LMO model from timing experiments only:
+//     C(n,2) round-trips plus 3*C(n,3) one-to-two experiments (eqs. 6-12).
+//  3. Predict the execution time of a linear scatter with eq. (4).
+//  4. Run the actual collective and compare.
+#include <iostream>
+
+#include "coll/collectives.hpp"
+#include "core/predictions.hpp"
+#include "estimate/experimenter.hpp"
+#include "estimate/lmo_estimator.hpp"
+#include "simnet/cluster.hpp"
+#include "util/format.hpp"
+#include "vmpi/world.hpp"
+
+int main() {
+  using namespace lmo;
+
+  // 1. The target platform: a heterogeneous cluster behind one switch.
+  const sim::ClusterConfig cluster = sim::make_paper_cluster();
+  vmpi::World world(cluster);
+  std::cout << "cluster: " << cluster.size() << " nodes, first node is \""
+            << cluster.nodes[0].label << "\"\n";
+
+  // 2. Estimate the LMO point-to-point parameters from experiments.
+  estimate::SimExperimenter experiments(world);
+  const estimate::LmoReport lmo = estimate::estimate_lmo(experiments);
+  std::cout << "estimated from " << lmo.roundtrip_experiments
+            << " round-trips and " << lmo.one_to_two_experiments
+            << " one-to-two experiments ("
+            << format_time(lmo.estimation_cost) << " of cluster time)\n";
+  std::cout << "node 0: C = " << format_seconds(lmo.params.C[0])
+            << ", t = " << format_seconds(lmo.params.t[0]) << "/B, L(0,1) = "
+            << format_seconds(lmo.params.L(0, 1)) << "\n";
+
+  // 3. Predict a 64 KB linear scatter from rank 0 (eq. 4).
+  const Bytes block = 64 * 1024;
+  const double predicted = core::linear_scatter_time(lmo.params, 0, block);
+
+  // 4. Observe the real (simulated) collective and compare.
+  const SimTime observed =
+      world.run(coll::spmd(world.size(), [block](vmpi::Comm& c) {
+        return coll::linear_scatter(c, 0, block);
+      }));
+
+  std::cout << "\nlinear scatter of " << format_bytes(block) << " blocks:\n"
+            << "  predicted " << format_seconds(predicted) << "\n"
+            << "  observed  " << format_time(observed) << "\n"
+            << "  error     "
+            << format_percent(std::abs(predicted - observed.seconds()) /
+                              observed.seconds())
+            << "\n";
+  return 0;
+}

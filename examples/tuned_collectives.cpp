@@ -1,0 +1,117 @@
+// The full model-driven tuning workflow (the paper's software tool [13]):
+// estimate the LMO model and the empirical gather band once, build a
+// Tuner, and let it pick an algorithm, mapping, and split plan for every
+// collective invocation. Each decision is executed and scored against the
+// naive default (linear algorithm, default mapping, no splitting).
+#include <iostream>
+
+#include "coll/collectives.hpp"
+#include "core/tuner.hpp"
+#include "estimate/empirical_estimator.hpp"
+#include "estimate/experimenter.hpp"
+#include "estimate/lmo_estimator.hpp"
+#include "simnet/cluster.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "vmpi/world.hpp"
+
+int main() {
+  using namespace lmo;
+  const sim::ClusterConfig cluster = sim::make_paper_cluster();
+  vmpi::World world(cluster);
+  estimate::SimExperimenter ex(world);
+
+  std::cout << "estimating the LMO model and gather empirical band...\n";
+  const auto lmo = estimate::estimate_lmo(ex);
+  const auto emp = estimate::estimate_gather_empirical(ex, lmo.params);
+  const core::Tuner tuner(lmo.params, emp.empirical);
+
+  auto observe = [&](const std::function<vmpi::Task(vmpi::Comm&)>& body) {
+    double total = 0;
+    const int reps = 6;
+    for (int r = 0; r < reps; ++r)
+      total += world.run(coll::spmd(world.size(), body)).seconds();
+    return total / reps;
+  };
+
+  struct Case {
+    core::CollectiveKind kind;
+    const char* name;
+    Bytes m;
+  };
+  const Case cases[] = {
+      {core::CollectiveKind::kScatter, "scatter", 512},
+      {core::CollectiveKind::kScatter, "scatter", 150 * 1024},
+      {core::CollectiveKind::kGather, "gather", 24 * 1024},
+      {core::CollectiveKind::kBcast, "bcast", 16 * 1024},
+      {core::CollectiveKind::kReduce, "reduce", 2 * 1024},
+  };
+
+  Table t({"collective", "M", "tuner plan", "default [ms]", "tuned [ms]",
+           "gain"});
+  for (const Case& cs : cases) {
+    const auto d = tuner.decide(cs.kind, 0, cs.m);
+    const auto mapping = d.mapping;
+    auto tuned_body = [cs, d, mapping](vmpi::Comm& c) -> vmpi::Task {
+      switch (cs.kind) {
+        case core::CollectiveKind::kScatter:
+          // NB: `co_await (cond ? taskA : taskB)` is avoided throughout —
+          // GCC 12 destroys the materialized Task temporary too early.
+          if (d.algorithm == core::ScatterAlgorithm::kLinear)
+            co_await coll::linear_scatter(c, 0, cs.m);
+          else
+            co_await coll::binomial_scatter(c, 0, cs.m, mapping);
+          break;
+        case core::CollectiveKind::kGather:
+          if (d.split_chunk > 0)
+            co_await coll::split_gather(c, 0, cs.m, d.split_chunk);
+          else if (d.algorithm == core::ScatterAlgorithm::kLinear)
+            co_await coll::linear_gather(c, 0, cs.m);
+          else
+            co_await coll::binomial_gather(c, 0, cs.m, mapping);
+          break;
+        case core::CollectiveKind::kBcast:
+          if (d.algorithm == core::ScatterAlgorithm::kLinear)
+            co_await coll::linear_bcast(c, 0, cs.m);
+          else
+            co_await coll::binomial_bcast(c, 0, cs.m);
+          break;
+        case core::CollectiveKind::kReduce:
+          if (d.algorithm == core::ScatterAlgorithm::kLinear)
+            co_await coll::linear_reduce(c, 0, cs.m);
+          else
+            co_await coll::binomial_reduce(c, 0, cs.m);
+          break;
+      }
+    };
+    auto default_body = [cs](vmpi::Comm& c) -> vmpi::Task {
+      switch (cs.kind) {
+        case core::CollectiveKind::kScatter:
+          co_await coll::linear_scatter(c, 0, cs.m);
+          break;
+        case core::CollectiveKind::kGather:
+          co_await coll::linear_gather(c, 0, cs.m);
+          break;
+        case core::CollectiveKind::kBcast:
+          co_await coll::linear_bcast(c, 0, cs.m);
+          break;
+        case core::CollectiveKind::kReduce:
+          co_await coll::linear_reduce(c, 0, cs.m);
+          break;
+      }
+    };
+    const double base = observe(default_body);
+    const double tuned = observe(tuned_body);
+    t.add_row({cs.name, format_bytes(cs.m), d.describe(),
+               format_fixed(base * 1e3, 3), format_fixed(tuned * 1e3, 3),
+               format_fixed(base / tuned, 2) + "x"});
+  }
+  t.print(std::cout);
+
+  const Bytes cross =
+      tuner.crossover(core::CollectiveKind::kScatter, 0, 8, 256 * 1024);
+  std::cout << "\nscatter linear/binomial crossover: "
+            << (cross > 0 ? format_bytes(cross) : std::string("none"))
+            << "\n";
+  return 0;
+}

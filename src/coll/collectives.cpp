@@ -1,0 +1,232 @@
+#include "coll/collectives.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lmo::coll {
+
+using vmpi::Comm;
+using vmpi::Task;
+
+namespace {
+/// Virtual rank of `rank` in a tree rooted at `root`, under `mapping`
+/// (empty = MPI convention).
+int virtual_rank(const std::vector<int>& mapping, int rank, int root, int n) {
+  if (mapping.empty()) return (rank - root + n) % n;
+  LMO_CHECK(int(mapping.size()) == n);
+  const auto it = std::find(mapping.begin(), mapping.end(), rank);
+  LMO_CHECK_MSG(it != mapping.end(), "rank missing from mapping");
+  return int(it - mapping.begin());
+}
+}  // namespace
+
+Task linear_scatter(Comm& c, int root, Bytes block) {
+  LMO_CHECK(root >= 0 && root < c.size());
+  LMO_CHECK(block >= 0);
+  if (c.rank() == root) {
+    for (int dst = 0; dst < c.size(); ++dst)
+      if (dst != root) co_await c.send(dst, block);
+  } else {
+    co_await c.recv(root);
+  }
+}
+
+Task linear_gather(Comm& c, int root, Bytes block) {
+  LMO_CHECK(root >= 0 && root < c.size());
+  LMO_CHECK(block >= 0);
+  if (c.rank() == root) {
+    for (int src = 0; src < c.size(); ++src)
+      if (src != root) co_await c.recv(src);
+  } else {
+    co_await c.send(root, block);
+  }
+}
+
+Task binomial_scatter(Comm& c, int root, Bytes block,
+                      std::vector<int> mapping) {
+  const int n = c.size();
+  LMO_CHECK(root >= 0 && root < n);
+  LMO_CHECK(block >= 0);
+  const int v = virtual_rank(mapping, c.rank(), root, n);
+  if (v != 0) {
+    const int parent = trees::map_rank(mapping, trees::binomial_parent(v),
+                                       root, n);
+    co_await c.recv(parent);
+  }
+  for (int child_v : trees::binomial_children(v, n)) {
+    const Bytes bytes =
+        Bytes(trees::binomial_subtree_blocks(child_v, n)) * block;
+    co_await c.send(trees::map_rank(mapping, child_v, root, n), bytes);
+  }
+}
+
+Task binomial_gather(Comm& c, int root, Bytes block,
+                     std::vector<int> mapping) {
+  const int n = c.size();
+  LMO_CHECK(root >= 0 && root < n);
+  LMO_CHECK(block >= 0);
+  const int v = virtual_rank(mapping, c.rank(), root, n);
+  // Receive subtrees smallest-first: the exact reverse of scatter's order,
+  // so the largest (slowest) subtree has the most time to accumulate.
+  auto children = trees::binomial_children(v, n);
+  std::reverse(children.begin(), children.end());
+  for (int child_v : children)
+    co_await c.recv(trees::map_rank(mapping, child_v, root, n));
+  if (v != 0) {
+    const Bytes bytes = Bytes(trees::binomial_subtree_blocks(v, n)) * block;
+    co_await c.send(trees::map_rank(mapping, trees::binomial_parent(v), root, n),
+                    bytes);
+  }
+}
+
+Task split_gather(Comm& c, int root, Bytes block, Bytes chunk) {
+  LMO_CHECK(chunk > 0);
+  LMO_CHECK(block >= 0);
+  Bytes remaining = block;
+  while (remaining > 0) {
+    const Bytes piece = std::min(remaining, chunk);
+    co_await linear_gather(c, root, piece);
+    remaining -= piece;
+  }
+}
+
+Task waitall_gather(Comm& c, int root, Bytes block) {
+  LMO_CHECK(root >= 0 && root < c.size());
+  LMO_CHECK(block >= 0);
+  if (c.rank() == root) {
+    std::vector<vmpi::Request> requests;
+    requests.reserve(std::size_t(c.size()));
+    for (int src = 0; src < c.size(); ++src)
+      if (src != root) requests.push_back(c.irecv(src));
+    for (auto& r : requests) co_await c.wait(r);
+  } else {
+    co_await c.send(root, block);
+  }
+}
+
+Task linear_scatterv(Comm& c, int root, std::vector<Bytes> sizes) {
+  LMO_CHECK(root >= 0 && root < c.size());
+  LMO_CHECK(int(sizes.size()) == c.size());
+  if (c.rank() == root) {
+    for (int dst = 0; dst < c.size(); ++dst)
+      if (dst != root) co_await c.send(dst, sizes[std::size_t(dst)]);
+  } else {
+    co_await c.recv(root);
+  }
+}
+
+Task linear_gatherv(Comm& c, int root, std::vector<Bytes> sizes) {
+  LMO_CHECK(root >= 0 && root < c.size());
+  LMO_CHECK(int(sizes.size()) == c.size());
+  if (c.rank() == root) {
+    for (int src = 0; src < c.size(); ++src)
+      if (src != root) co_await c.recv(src);
+  } else {
+    co_await c.send(root, sizes[std::size_t(c.rank())]);
+  }
+}
+
+Task linear_bcast(Comm& c, int root, Bytes bytes) {
+  LMO_CHECK(root >= 0 && root < c.size());
+  if (c.rank() == root) {
+    for (int dst = 0; dst < c.size(); ++dst)
+      if (dst != root) co_await c.send(dst, bytes);
+  } else {
+    co_await c.recv(root);
+  }
+}
+
+Task binomial_bcast(Comm& c, int root, Bytes bytes) {
+  const int n = c.size();
+  LMO_CHECK(root >= 0 && root < n);
+  const int v = (c.rank() - root + n) % n;
+  if (v != 0)
+    co_await c.recv((trees::binomial_parent(v) + root) % n);
+  for (int child_v : trees::binomial_children(v, n))
+    co_await c.send((child_v + root) % n, bytes);
+}
+
+Task linear_reduce(Comm& c, int root, Bytes bytes) {
+  LMO_CHECK(root >= 0 && root < c.size());
+  LMO_CHECK(bytes >= 0);
+  if (c.rank() == root) {
+    for (int src = 0; src < c.size(); ++src) {
+      if (src == root) continue;
+      co_await c.recv(src);
+      co_await c.compute(bytes);  // combine into the accumulator
+    }
+  } else {
+    co_await c.send(root, bytes);
+  }
+}
+
+Task binomial_reduce(Comm& c, int root, Bytes bytes) {
+  const int n = c.size();
+  LMO_CHECK(root >= 0 && root < n);
+  LMO_CHECK(bytes >= 0);
+  const int v = (c.rank() - root + n) % n;
+  auto children = trees::binomial_children(v, n);
+  std::reverse(children.begin(), children.end());
+  for (int child_v : children) {
+    co_await c.recv((child_v + root) % n);
+    co_await c.compute(bytes);
+  }
+  if (v != 0)
+    co_await c.send((trees::binomial_parent(v) + root) % n, bytes);
+}
+
+Task ring_allgather(Comm& c, Bytes block) {
+  const int n = c.size();
+  LMO_CHECK(block >= 0);
+  if (n == 1) co_return;
+  const int right = (c.rank() + 1) % n;
+  const int left = (c.rank() - 1 + n) % n;
+  // Step s forwards the block originating at rank - s; sizes are uniform so
+  // only the count matters. isend first to avoid cyclic blocking.
+  for (int step = 0; step < n - 1; ++step) {
+    vmpi::Request out = c.isend(right, block);
+    co_await c.recv(left);
+    co_await c.wait(out);
+  }
+}
+
+Task pairwise_alltoall(Comm& c, Bytes block) {
+  const int n = c.size();
+  LMO_CHECK(block >= 0);
+  for (int step = 1; step < n; ++step) {
+    const int to = (c.rank() + step) % n;
+    const int from = (c.rank() - step + n) % n;
+    vmpi::Request out = c.isend(to, block);
+    co_await c.recv(from);
+    co_await c.wait(out);
+  }
+}
+
+std::vector<vmpi::RankProgram> spmd(int n,
+                                    std::function<Task(Comm&)> body) {
+  LMO_CHECK(n >= 1);
+  std::vector<vmpi::RankProgram> programs;
+  programs.reserve(std::size_t(n));
+  for (int r = 0; r < n; ++r)
+    programs.emplace_back([body](Comm& c) -> Task { co_await body(c); });
+  return programs;
+}
+
+SimTime run_timed(vmpi::World& world, int timed_rank,
+                  std::function<Task(Comm&)> body) {
+  LMO_CHECK(timed_rank >= 0 && timed_rank < world.size());
+  SimTime elapsed;
+  auto programs = spmd(world.size(), std::move(body));
+  auto timed_body = programs[std::size_t(timed_rank)];
+  programs[std::size_t(timed_rank)] = [&elapsed,
+                                       timed_body](Comm& c) -> Task {
+    const SimTime t0 = c.now();
+    co_await timed_body(c);
+    elapsed = c.now() - t0;
+  };
+  world.run(programs);
+  return elapsed;
+}
+
+}  // namespace lmo::coll

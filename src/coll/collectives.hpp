@@ -1,0 +1,92 @@
+// Collective communication algorithms over the vmpi layer.
+//
+// Every algorithm is a coroutine executed SPMD-style: each participating
+// rank co_awaits the same function with the same arguments (like an MPI
+// collective call). Message *sizes* follow the paper:
+//  * scatter/gather move one `block` per non-root processor; a binomial
+//    arc carries subtree_blocks * block bytes,
+//  * the "native" linear algorithms mirror what LAM/MPICH run for these
+//    operations (rank-ordered flat tree), which is where the paper's
+//    irregularities live,
+//  * split_gather is the paper's Fig. 7 optimization: a series of gathers
+//    with chunks small enough to stay out of the escalation band.
+#pragma once
+
+#include "trees/binomial.hpp"
+#include "util/bytes.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/task.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::coll {
+
+/// Flat-tree scatter: the root sends one block to every other rank in rank
+/// order (the paper's "linear scatter").
+vmpi::Task linear_scatter(vmpi::Comm& c, int root, Bytes block);
+
+/// Flat-tree gather: the root receives one block from every other rank in
+/// rank order (the paper's "linear gather"). With rendezvous-size blocks
+/// the whole chain serializes — eq. (5)'s M > M2 branch.
+vmpi::Task linear_gather(vmpi::Comm& c, int root, Bytes block);
+
+/// Binomial-tree scatter (paper Fig. 2), largest subtree first. `mapping`
+/// assigns physical ranks to virtual tree nodes; empty = MPI default
+/// (v + root) mod n.
+vmpi::Task binomial_scatter(vmpi::Comm& c, int root, Bytes block,
+                            std::vector<int> mapping = {});
+
+/// Binomial-tree gather (reverse of binomial_scatter).
+vmpi::Task binomial_gather(vmpi::Comm& c, int root, Bytes block,
+                           std::vector<int> mapping = {});
+
+/// Fig. 7 optimized gather: split `block` into chunks of at most
+/// `chunk` bytes and run a series of linear gathers, dodging the
+/// escalation band.
+vmpi::Task split_gather(vmpi::Comm& c, int root, Bytes block, Bytes chunk);
+
+/// Flat-tree gather where the root posts all receives up front (irecv +
+/// waitall) instead of receiving in rank order. Message processing then
+/// happens on the progress engine in arrival order — the other common
+/// implementation of MPI_Gather, useful for contrasting serialization
+/// behaviour with `linear_gather`.
+vmpi::Task waitall_gather(vmpi::Comm& c, int root, Bytes block);
+
+/// Flat-tree scatter with per-destination block sizes (MPI_Scatterv);
+/// sizes[root] is ignored.
+vmpi::Task linear_scatterv(vmpi::Comm& c, int root, std::vector<Bytes> sizes);
+
+/// Flat-tree gather with per-source block sizes (MPI_Gatherv).
+vmpi::Task linear_gatherv(vmpi::Comm& c, int root, std::vector<Bytes> sizes);
+
+/// Flat-tree broadcast (same message to everyone) — extension beyond the
+/// paper's scatter/gather focus.
+vmpi::Task linear_bcast(vmpi::Comm& c, int root, Bytes bytes);
+
+/// Binomial-tree broadcast.
+vmpi::Task binomial_bcast(vmpi::Comm& c, int root, Bytes bytes);
+
+/// Flat-tree reduce: the root receives one block per rank and combines it
+/// (a compute() of the block size per message).
+vmpi::Task linear_reduce(vmpi::Comm& c, int root, Bytes bytes);
+
+/// Binomial-tree reduce (reverse broadcast with a combine at each parent).
+vmpi::Task binomial_reduce(vmpi::Comm& c, int root, Bytes bytes);
+
+/// Ring allgather: n-1 steps, each rank forwards the next block around the
+/// ring (isend to the right, recv from the left).
+vmpi::Task ring_allgather(vmpi::Comm& c, Bytes block);
+
+/// Pairwise-exchange alltoall: n-1 steps of simultaneous send/recv with
+/// partner (rank + step) mod n.
+vmpi::Task pairwise_alltoall(vmpi::Comm& c, Bytes block);
+
+/// Wrap one SPMD body into a full program vector (all ranks participate).
+[[nodiscard]] std::vector<vmpi::RankProgram> spmd(
+    int n, std::function<vmpi::Task(vmpi::Comm&)> body);
+
+/// Run `body` on all ranks and return the completion time of `timed_rank`
+/// (sender-side timing when timed_rank == root, per MPIBlib).
+[[nodiscard]] SimTime run_timed(vmpi::World& world, int timed_rank,
+                                std::function<vmpi::Task(vmpi::Comm&)> body);
+
+}  // namespace lmo::coll

@@ -1,0 +1,60 @@
+#include "core/lmo_model.hpp"
+
+#include "util/error.hpp"
+
+namespace lmo::core {
+
+double LmoParams::pt2pt(int i, int j, Bytes m) const {
+  LMO_CHECK(i != j);
+  LMO_CHECK(i >= 0 && i < size() && j >= 0 && j < size());
+  const auto si = std::size_t(i), sj = std::size_t(j);
+  return C[si] + L(i, j) + C[sj] +
+         double(m) * (t[si] + inv_beta(i, j) + t[sj]);
+}
+
+models::HeteroHockney LmoParams::as_hockney() const {
+  const int n = size();
+  models::HeteroHockney h;
+  h.alpha = models::PairTable(n);
+  h.beta = models::PairTable(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      h.alpha(i, j) = C[std::size_t(i)] + L(i, j) + C[std::size_t(j)];
+      h.beta(i, j) =
+          t[std::size_t(i)] + inv_beta(i, j) + t[std::size_t(j)];
+    }
+  return h;
+}
+
+void LmoParams::validate() const {
+  LMO_CHECK_MSG(size() >= 2, "LMO model needs >= 2 processors");
+  LMO_CHECK(t.size() == C.size());
+  LMO_CHECK(L.size() == size());
+  LMO_CHECK(inv_beta.size() == size());
+}
+
+double LmoOriginalParams::pt2pt(int i, int j, Bytes m) const {
+  LMO_CHECK(i != j);
+  LMO_CHECK(i >= 0 && i < size() && j >= 0 && j < size());
+  const auto si = std::size_t(i), sj = std::size_t(j);
+  return C[si] + C[sj] + double(m) * (t[si] + inv_beta(i, j) + t[sj]);
+}
+
+LmoOriginalParams fold_latencies(const LmoParams& p) {
+  p.validate();
+  const int n = p.size();
+  LmoOriginalParams o;
+  o.C = p.C;
+  o.t = p.t;
+  o.inv_beta = p.inv_beta;
+  for (int i = 0; i < n; ++i) {
+    double mean_half_latency = 0.0;
+    for (int j = 0; j < n; ++j)
+      if (j != i) mean_half_latency += p.L(i, j) / 2.0;
+    o.C[std::size_t(i)] += mean_half_latency / double(n - 1);
+  }
+  return o;
+}
+
+}  // namespace lmo::core

@@ -1,0 +1,62 @@
+// The LMO heterogeneous communication performance model (paper Section III).
+//
+// Extended (6-parameter) point-to-point model — this paper's contribution:
+//
+//   T_ij(M) = C_i + L_ij + C_j + M (t_i + 1/beta_ij + t_j)
+//
+//   C_i      fixed processing delay of processor i        [s]
+//   t_i      per-byte processing delay of processor i     [s/B]
+//   L_ij     fixed network latency of link (i,j)          [s]
+//   beta_ij  transmission rate of link (i,j)              [B/s]
+//
+// The four contributions — constant/variable x processor/network — are
+// fully separated, which is what lets collective formulas combine sums
+// (serialized resources) and maxima (parallel resources) correctly.
+//
+// The original (5-parameter) LMO model [ICPADS'06, IPDPS'07] lacks L_ij;
+// its fixed "processing delays" silently absorb the network latency. It is
+// kept for the separation ablation.
+#pragma once
+
+#include <vector>
+
+#include "models/hockney.hpp"
+#include "models/pair_table.hpp"
+#include "util/bytes.hpp"
+
+namespace lmo::core {
+
+struct LmoParams {
+  std::vector<double> C;        ///< fixed processing delays [s]
+  std::vector<double> t;        ///< per-byte processing delays [s/B]
+  models::PairTable L;          ///< link latencies [s]
+  models::PairTable inv_beta;   ///< inverse transmission rates [s/B]
+
+  [[nodiscard]] int size() const { return int(C.size()); }
+
+  /// T_ij(M) = C_i + L_ij + C_j + M (t_i + 1/beta_ij + t_j).
+  [[nodiscard]] double pt2pt(int i, int j, Bytes m) const;
+
+  /// The heterogeneous Hockney view of these parameters:
+  /// alpha_ij = C_i + L_ij + C_j, beta^H_ij = t_i + 1/beta_ij + t_j.
+  [[nodiscard]] models::HeteroHockney as_hockney() const;
+
+  void validate() const;
+};
+
+/// Original 5-parameter model: T_ij(M) = C_i + C_j + M (t_i + 1/b + t_j).
+struct LmoOriginalParams {
+  std::vector<double> C;
+  std::vector<double> t;
+  models::PairTable inv_beta;
+
+  [[nodiscard]] int size() const { return int(C.size()); }
+  [[nodiscard]] double pt2pt(int i, int j, Bytes m) const;
+};
+
+/// Fold the extended model's latencies into the processor constants — what
+/// the original model would have estimated on the same cluster (each node
+/// absorbs its average half-latency). Used by the separation ablation.
+[[nodiscard]] LmoOriginalParams fold_latencies(const LmoParams& p);
+
+}  // namespace lmo::core

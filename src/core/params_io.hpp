@@ -1,0 +1,28 @@
+// Text serialization of estimated LMO parameters — lets a tool estimate a
+// cluster once and reuse the model across sessions (the paper's software
+// tool workflow [13]).
+#pragma once
+
+#include <string>
+
+#include "core/empirical.hpp"
+#include "core/lmo_model.hpp"
+
+namespace lmo::core {
+
+[[nodiscard]] std::string to_text(const LmoParams& params);
+[[nodiscard]] LmoParams lmo_params_from_text(const std::string& text);
+
+[[nodiscard]] std::string to_text(const GatherEmpirical& emp);
+[[nodiscard]] GatherEmpirical gather_empirical_from_text(
+    const std::string& text);
+
+void save_params(const LmoParams& params, const GatherEmpirical& emp,
+                 const std::string& path);
+struct LoadedParams {
+  LmoParams params;
+  GatherEmpirical empirical;
+};
+[[nodiscard]] LoadedParams load_params(const std::string& path);
+
+}  // namespace lmo::core

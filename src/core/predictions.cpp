@@ -1,0 +1,238 @@
+#include "core/predictions.hpp"
+
+#include <algorithm>
+
+#include "trees/binomial.hpp"
+#include "trees/mapping.hpp"
+#include "util/error.hpp"
+
+namespace lmo::core {
+
+namespace {
+/// (n-1)(C_r + M t_r): the root's serialized message processing.
+double root_serial(const LmoParams& p, int root, Bytes m) {
+  return double(p.size() - 1) *
+         (p.C[std::size_t(root)] + double(m) * p.t[std::size_t(root)]);
+}
+
+/// max_i / sum_i of (L_ri + M/beta_ri + C_i + M t_i).
+struct Tail {
+  double max = 0.0;
+  double sum = 0.0;
+};
+Tail remote_tail(const LmoParams& p, int root, Bytes m) {
+  Tail tail;
+  for (int i = 0; i < p.size(); ++i) {
+    if (i == root) continue;
+    const double term =
+        p.L(root, i) + double(m) * p.inv_beta(root, i) +
+        p.C[std::size_t(i)] + double(m) * p.t[std::size_t(i)];
+    tail.max = std::max(tail.max, term);
+    tail.sum += term;
+  }
+  return tail;
+}
+}  // namespace
+
+double linear_scatter_time(const LmoParams& p, int root, Bytes m) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  return root_serial(p, root, m) + remote_tail(p, root, m).max;
+}
+
+double linear_scatter_time(const LmoOriginalParams& p, int root, Bytes m) {
+  LMO_CHECK(p.size() >= 2);
+  LMO_CHECK(root >= 0 && root < p.size());
+  const double serial =
+      double(p.size() - 1) *
+      (p.C[std::size_t(root)] + double(m) * p.t[std::size_t(root)]);
+  double mx = 0.0;
+  for (int i = 0; i < p.size(); ++i) {
+    if (i == root) continue;
+    mx = std::max(mx, double(m) * p.inv_beta(root, i) +
+                          p.C[std::size_t(i)] +
+                          double(m) * p.t[std::size_t(i)]);
+  }
+  return serial + mx;
+}
+
+GatherPrediction linear_gather_time(const LmoParams& p,
+                                    const GatherEmpirical& emp, int root,
+                                    Bytes m) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  const double serial = root_serial(p, root, m);
+  const Tail tail = remote_tail(p, root, m);
+
+  GatherPrediction out;
+  if (emp.m2 > 0 && m >= emp.m2) {
+    out.regime = GatherRegime::kLarge;
+    out.base = serial + tail.sum;
+    out.linear_probability = 0.0;
+    return out;
+  }
+  out.base = serial + tail.max;
+  if (emp.in_band(m)) {
+    out.regime = GatherRegime::kMedium;
+    out.expected_escalation = emp.expected_escalation(m);
+    out.max_escalation = emp.max_escalation();
+    out.linear_probability = emp.linear_probability(m);
+  }
+  return out;
+}
+
+namespace {
+/// Bytes crossing the arc into virtual rank `child`.
+using ArcBytes = double (*)(int child, int n, Bytes m);
+
+double scatter_arc_bytes(int child, int n, Bytes m) {
+  return double(trees::binomial_subtree_blocks(child, n)) * double(m);
+}
+double bcast_arc_bytes(int /*child*/, int /*n*/, Bytes m) {
+  return double(m);
+}
+
+/// Completion time of the subtree rooted at virtual rank v, measured from
+/// the instant v's processor holds its data. The parent's per-child CPU
+/// terms accumulate (serialized); wire and child processing overlap.
+double lmo_subtree(const LmoParams& p, const std::vector<int>& mapping,
+                   int root, int n, Bytes m, int v, ArcBytes arc_bytes) {
+  const int pv = trees::map_rank(mapping, v, root, n);
+  double cpu_done = 0.0;
+  double total = 0.0;
+  for (const int child : trees::binomial_children(v, n)) {
+    const int pc = trees::map_rank(mapping, child, root, n);
+    const double bytes = arc_bytes(child, n, m);
+    cpu_done += p.C[std::size_t(pv)] + bytes * p.t[std::size_t(pv)];
+    const double arrival = cpu_done + p.L(pv, pc) +
+                           bytes * p.inv_beta(pv, pc) +
+                           p.C[std::size_t(pc)] + bytes * p.t[std::size_t(pc)];
+    total = std::max(
+        total, arrival + lmo_subtree(p, mapping, root, n, m, child, arc_bytes));
+  }
+  return std::max(total, cpu_done);
+}
+
+/// Gather mirror: children's subtrees complete, then their messages travel
+/// up; the parent's receive processing is serialized, transmissions are
+/// parallel. Children finish in reverse send order (smallest subtree
+/// first), matching the algorithm in coll::binomial_gather. `combine` adds
+/// one extra serialized processing per received block (reduce).
+double lmo_subtree_gather(const LmoParams& p, const std::vector<int>& mapping,
+                          int root, int n, Bytes m, int v, ArcBytes arc_bytes,
+                          bool combine) {
+  const int pv = trees::map_rank(mapping, v, root, n);
+  auto children = trees::binomial_children(v, n);
+  std::reverse(children.begin(), children.end());
+  double done = 0.0;
+  for (const int child : children) {
+    const int pc = trees::map_rank(mapping, child, root, n);
+    const double bytes = arc_bytes(child, n, m);
+    // The child's message is ready after its own subtree completes plus its
+    // send processing; it then needs the wire plus the parent's receive
+    // processing, which queues behind the previous child's.
+    const double ready =
+        lmo_subtree_gather(p, mapping, root, n, m, child, arc_bytes, combine) +
+        p.C[std::size_t(pc)] + bytes * p.t[std::size_t(pc)] + p.L(pv, pc) +
+        bytes * p.inv_beta(pv, pc);
+    const double processing =
+        (combine ? 2.0 : 1.0) *
+        (p.C[std::size_t(pv)] + bytes * p.t[std::size_t(pv)]);
+    done = std::max(done, ready) + processing;
+  }
+  return done;
+}
+}  // namespace
+
+double binomial_scatter_time(const LmoParams& p, int root, Bytes m,
+                             const std::vector<int>& mapping) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  return lmo_subtree(p, mapping, root, p.size(), m, 0, scatter_arc_bytes);
+}
+
+double binomial_gather_time(const LmoParams& p, int root, Bytes m,
+                            const std::vector<int>& mapping) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  return lmo_subtree_gather(p, mapping, root, p.size(), m, 0,
+                            scatter_arc_bytes, /*combine=*/false);
+}
+
+double linear_bcast_time(const LmoParams& p, int root, Bytes m) {
+  // Same structure as eq. (4): all messages carry m bytes.
+  return linear_scatter_time(p, root, m);
+}
+
+double binomial_bcast_time(const LmoParams& p, int root, Bytes m,
+                           const std::vector<int>& mapping) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  return lmo_subtree(p, mapping, root, p.size(), m, 0, bcast_arc_bytes);
+}
+
+double linear_reduce_time(const LmoParams& p, int root, Bytes m) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  // One receive processing plus one combine per block, both at the root.
+  return 2.0 * root_serial(p, root, m) + remote_tail(p, root, m).max;
+}
+
+double binomial_reduce_time(const LmoParams& p, int root, Bytes m,
+                            const std::vector<int>& mapping) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  return lmo_subtree_gather(p, mapping, root, p.size(), m, 0,
+                            bcast_arc_bytes, /*combine=*/true);
+}
+
+double ring_allgather_time(const LmoParams& p, Bytes m) {
+  p.validate();
+  const int n = p.size();
+  // Each of the n-1 steps completes when the slowest neighbour exchange
+  // does: send processing + wire + receive processing over link (i, i+1).
+  double step = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int j = (i + 1) % n;
+    step = std::max(step, p.pt2pt(i, j, m));
+  }
+  return double(n - 1) * step;
+}
+
+double pairwise_alltoall_time(const LmoParams& p, Bytes m) {
+  p.validate();
+  const int n = p.size();
+  // Step s pairs (i, i+s): the step ends when its slowest exchange does.
+  double total = 0.0;
+  for (int step = 1; step < n; ++step) {
+    double slowest = 0.0;
+    for (int i = 0; i < n; ++i)
+      slowest = std::max(slowest, p.pt2pt(i, (i + step) % n, m));
+    total += slowest;
+  }
+  return total;
+}
+
+double linear_scatter_time_with_leaps(const LmoParams& p,
+                                      const ScatterEmpirical& emp, int root,
+                                      Bytes m) {
+  // The root's n-2 pipelined sends each pay the per-message leap; the
+  // detected empirical magnitude is already the collective's total.
+  return linear_scatter_time(p, root, m) + emp.extra(m);
+}
+
+MappingPlan optimize_binomial_scatter_mapping(const LmoParams& p, int root,
+                                              Bytes m) {
+  p.validate();
+  MappingPlan plan;
+  plan.predicted_default = binomial_scatter_time(p, root, m);
+  const auto result = trees::optimize_mapping(
+      p.size(), root, [&](const std::vector<int>& mapping) {
+        return binomial_scatter_time(p, root, m, mapping);
+      });
+  plan.mapping = result.mapping;
+  plan.predicted_optimized = result.cost;
+  return plan;
+}
+
+}  // namespace lmo::core

@@ -1,0 +1,114 @@
+// LMO predictions of collective execution times (paper Sections III, V).
+//
+// These are the "intuitive" formulas: serialized root processing appears as
+// a sum of processor terms, parallel transmission and remote processing as
+// a maximum over destinations, and the empirical parameters capture the
+// regime switches of linear gather.
+#pragma once
+
+#include <vector>
+
+#include "core/empirical.hpp"
+#include "core/lmo_model.hpp"
+#include "util/bytes.hpp"
+
+namespace lmo::core {
+
+/// Linear (flat-tree) scatter, eq. (4):
+/// (n-1)(C_r + M t_r) + max_i (L_ri + M/beta_ri + C_i + M t_i).
+[[nodiscard]] double linear_scatter_time(const LmoParams& p, int root,
+                                         Bytes m);
+
+/// Same under the original 5-parameter model (no separate latency):
+/// (n-1)(C_r + M t_r) + max_i (M/beta_ri + C_i + M t_i).
+[[nodiscard]] double linear_scatter_time(const LmoOriginalParams& p, int root,
+                                         Bytes m);
+
+enum class GatherRegime { kSmall, kMedium, kLarge };
+
+struct GatherPrediction {
+  GatherRegime regime = GatherRegime::kSmall;
+  /// The analytical branch of eq. (5): max branch for small/medium,
+  /// sum branch for large.
+  double base = 0.0;
+  /// Probability-weighted mean escalation (medium regime only).
+  double expected_escalation = 0.0;
+  /// Worst-case escalation magnitude (medium regime only).
+  double max_escalation = 0.0;
+  /// P(the observation fits the linear small-message model).
+  double linear_probability = 1.0;
+
+  [[nodiscard]] double expected() const { return base + expected_escalation; }
+  [[nodiscard]] double worst_case() const { return base + max_escalation; }
+};
+
+/// Linear (flat-tree) gather, eq. (5) with the empirical medium band.
+[[nodiscard]] GatherPrediction linear_gather_time(const LmoParams& p,
+                                                  const GatherEmpirical& emp,
+                                                  int root, Bytes m);
+
+/// Binomial scatter under LMO: per subtree root, CPU processing of the
+/// child messages is serialized while transmissions and remote processing
+/// run in parallel — the recursion eqs. (1)-(2) with separated terms.
+/// `mapping` assigns physical ranks to virtual nodes (empty = MPI default).
+[[nodiscard]] double binomial_scatter_time(
+    const LmoParams& p, int root, Bytes m,
+    const std::vector<int>& mapping = {});
+
+/// Binomial gather under LMO (mirror of binomial_scatter_time: children
+/// arrive in parallel, the parent's receive processing serializes).
+[[nodiscard]] double binomial_gather_time(
+    const LmoParams& p, int root, Bytes m,
+    const std::vector<int>& mapping = {});
+
+// --- Extension: the same sums-and-maxima style for other collectives. ---
+
+/// Flat-tree broadcast: structurally identical to eq. (4) — the root's
+/// (n-1) serialized message preparations plus the slowest parallel
+/// delivery (all messages are m bytes).
+[[nodiscard]] double linear_bcast_time(const LmoParams& p, int root, Bytes m);
+
+/// Binomial broadcast: the scatter recursion with every arc carrying m
+/// bytes.
+[[nodiscard]] double binomial_bcast_time(
+    const LmoParams& p, int root, Bytes m,
+    const std::vector<int>& mapping = {});
+
+/// Flat-tree reduce: linear gather's small branch plus one serialized
+/// combine (C_r + m t_r) per received block.
+[[nodiscard]] double linear_reduce_time(const LmoParams& p, int root,
+                                        Bytes m);
+
+/// Binomial reduce: the gather recursion with a combine per child.
+[[nodiscard]] double binomial_reduce_time(
+    const LmoParams& p, int root, Bytes m,
+    const std::vector<int>& mapping = {});
+
+/// Ring allgather: n-1 synchronized steps, each bounded by the slowest
+/// neighbour link (approximation: steps do not pipeline).
+[[nodiscard]] double ring_allgather_time(const LmoParams& p, Bytes m);
+
+/// Pairwise alltoall: n-1 exchange steps; each step is bounded by the
+/// slowest (send-processing + wire + receive-processing) pair active in it.
+[[nodiscard]] double pairwise_alltoall_time(const LmoParams& p, Bytes m);
+
+/// Linear scatter with the piecewise leap model — the multi-parameter
+/// variant the paper mentions ("we could have included multiple empirical
+/// parameters ... a piecewise linear function") but omits for simplicity:
+/// eq. (4) plus one detected leap per (n-1) pipelined sends per threshold
+/// crossing.
+[[nodiscard]] double linear_scatter_time_with_leaps(
+    const LmoParams& p, const ScatterEmpirical& emp, int root, Bytes m);
+
+/// LMO-guided processor-to-tree-node mapping for binomial scatter
+/// (Hatta-style optimization from the paper's introduction): hill-climbs
+/// the mapping under the binomial_scatter_time cost.
+struct MappingPlan {
+  std::vector<int> mapping;
+  double predicted_default = 0.0;
+  double predicted_optimized = 0.0;
+};
+[[nodiscard]] MappingPlan optimize_binomial_scatter_mapping(
+    const LmoParams& p, int root, Bytes m);
+
+}  // namespace lmo::core

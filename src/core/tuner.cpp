@@ -1,0 +1,118 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+
+#include "trees/mapping.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace lmo::core {
+
+std::string TunedDecision::describe() const {
+  std::string out =
+      algorithm == ScatterAlgorithm::kLinear ? "linear" : "binomial";
+  if (!mapping.empty()) out += "+mapping";
+  if (split_chunk > 0)
+    out += " split@" + format_bytes(split_chunk);
+  return out;
+}
+
+Tuner::Tuner(LmoParams params, GatherEmpirical gather_empirical,
+             TunerOptions options)
+    : params_(std::move(params)),
+      gather_empirical_(gather_empirical),
+      options_(options) {
+  params_.validate();
+}
+
+double Tuner::predict_linear(CollectiveKind kind, int root, Bytes m) const {
+  switch (kind) {
+    case CollectiveKind::kScatter:
+      return linear_scatter_time(params_, root, m);
+    case CollectiveKind::kGather:
+      return linear_gather_time(params_, gather_empirical_, root, m)
+          .expected();
+    case CollectiveKind::kBcast:
+      return linear_bcast_time(params_, root, m);
+    case CollectiveKind::kReduce:
+      return linear_reduce_time(params_, root, m);
+  }
+  LMO_CHECK_MSG(false, "unknown collective kind");
+  return 0.0;
+}
+
+double Tuner::predict_binomial(CollectiveKind kind, int root, Bytes m,
+                               const std::vector<int>& mapping) const {
+  switch (kind) {
+    case CollectiveKind::kScatter:
+      return binomial_scatter_time(params_, root, m, mapping);
+    case CollectiveKind::kGather:
+      return binomial_gather_time(params_, root, m, mapping);
+    case CollectiveKind::kBcast:
+      return binomial_bcast_time(params_, root, m, mapping);
+    case CollectiveKind::kReduce:
+      return binomial_reduce_time(params_, root, m, mapping);
+  }
+  LMO_CHECK_MSG(false, "unknown collective kind");
+  return 0.0;
+}
+
+TunedDecision Tuner::decide(CollectiveKind kind, int root, Bytes m) const {
+  LMO_CHECK(root >= 0 && root < params_.size());
+  LMO_CHECK(m >= 0);
+  TunedDecision best;
+  best.kind = kind;
+  best.algorithm = ScatterAlgorithm::kLinear;
+  best.predicted_seconds = predict_linear(kind, root, m);
+
+  // Split-gather candidate (Fig. 7).
+  if (kind == CollectiveKind::kGather && options_.split_gathers) {
+    const auto plan =
+        plan_optimized_gather(params_, gather_empirical_, root, m);
+    if (plan.split && plan.predicted_split < best.predicted_seconds) {
+      best.split_chunk = plan.chunk;
+      best.predicted_seconds = plan.predicted_split;
+    }
+  }
+
+  // Binomial candidate, default mapping.
+  const double binom = predict_binomial(kind, root, m, {});
+  if (binom < best.predicted_seconds) {
+    best.algorithm = ScatterAlgorithm::kBinomial;
+    best.mapping.clear();
+    best.split_chunk = 0;
+    best.predicted_seconds = binom;
+  }
+
+  // Binomial candidate with an optimized mapping.
+  if (options_.optimize_mappings) {
+    const auto result = trees::optimize_mapping(
+        params_.size(), root, [&](const std::vector<int>& mapping) {
+          return predict_binomial(kind, root, m, mapping);
+        });
+    if (result.cost < best.predicted_seconds) {
+      best.algorithm = ScatterAlgorithm::kBinomial;
+      best.mapping = result.mapping;
+      best.split_chunk = 0;
+      best.predicted_seconds = result.cost;
+    }
+  }
+  return best;
+}
+
+Bytes Tuner::crossover(CollectiveKind kind, int root, Bytes lo,
+                       Bytes hi) const {
+  LMO_CHECK(lo >= 0 && hi > lo);
+  // Only the algorithm choice matters for the crossover.
+  auto algo_at = [&](Bytes m) { return decide(kind, root, m).algorithm; };
+  const auto at_lo = algo_at(lo);
+  if (algo_at(hi) == at_lo) return 0;
+  Bytes a = lo, b = hi;
+  while (b - a > 1) {
+    const Bytes mid = a + (b - a) / 2;
+    (algo_at(mid) == at_lo ? a : b) = mid;
+  }
+  return b;
+}
+
+}  // namespace lmo::core

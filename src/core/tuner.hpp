@@ -1,0 +1,70 @@
+// Model-driven collective tuning — the end-to-end application of the LMO
+// model (the paper's software tool [13] and the HeteroMPI optimization
+// [10]): given the estimated point-to-point parameters and the empirical
+// gather band, decide per operation and message size which algorithm to
+// run, with which processor-to-tree mapping, and whether to split.
+//
+// decide() is pure (model-only); the caller executes the decision through
+// coll:: on a vmpi::World — see examples/tuned_collectives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/empirical.hpp"
+#include "core/lmo_model.hpp"
+#include "core/optimize.hpp"
+#include "core/predictions.hpp"
+#include "util/bytes.hpp"
+
+namespace lmo::core {
+
+enum class CollectiveKind { kScatter, kGather, kBcast, kReduce };
+
+struct TunedDecision {
+  CollectiveKind kind = CollectiveKind::kScatter;
+  ScatterAlgorithm algorithm = ScatterAlgorithm::kLinear;
+  /// Non-empty: use this processor-to-virtual-rank mapping (binomial only).
+  std::vector<int> mapping;
+  /// > 0: split into a series of this chunk size (gather only).
+  Bytes split_chunk = 0;
+  double predicted_seconds = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct TunerOptions {
+  /// Try the mapping hill-climb for binomial algorithms (slower to plan).
+  bool optimize_mappings = true;
+  /// Consider splitting medium gathers (needs empirical parameters).
+  bool split_gathers = true;
+};
+
+class Tuner {
+ public:
+  Tuner(LmoParams params, GatherEmpirical gather_empirical,
+        TunerOptions options = {});
+
+  [[nodiscard]] const LmoParams& params() const { return params_; }
+
+  /// Choose the best plan for one collective invocation.
+  [[nodiscard]] TunedDecision decide(CollectiveKind kind, int root,
+                                     Bytes m) const;
+
+  /// The message size (within [lo, hi]) where the decision for `kind`
+  /// flips between algorithms, found by bisection; 0 if it never flips.
+  [[nodiscard]] Bytes crossover(CollectiveKind kind, int root, Bytes lo,
+                                Bytes hi) const;
+
+ private:
+  [[nodiscard]] double predict_linear(CollectiveKind kind, int root,
+                                      Bytes m) const;
+  [[nodiscard]] double predict_binomial(CollectiveKind kind, int root, Bytes m,
+                                        const std::vector<int>& mapping) const;
+
+  LmoParams params_;
+  GatherEmpirical gather_empirical_;
+  TunerOptions options_;
+};
+
+}  // namespace lmo::core

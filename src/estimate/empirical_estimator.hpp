@@ -1,0 +1,66 @@
+// Extraction of the LMO empirical parameters from observations
+// (paper Sections III and V).
+//
+// A preliminary sweep of the native linear gather classifies each
+// observation against the two analytical branches of eq. (5):
+//  * "small-clean"  — within tolerance of the max branch,
+//  * "large-clean"  — within tolerance of the sum branch,
+//  * "escalated"    — far above the max branch.
+// M1 is the largest size whose observations are all small-clean before the
+// first escalation; M2 is the smallest size from which everything is
+// large-clean. Escalation magnitudes inside (M1, M2) are clustered into
+// modes; the per-size fraction of clean samples gives the linear-fit
+// probability. A scatter sweep against eq. (4) detects the leap.
+#pragma once
+
+#include <vector>
+
+#include "core/empirical.hpp"
+#include "core/lmo_model.hpp"
+#include "estimate/experimenter.hpp"
+
+namespace lmo::estimate {
+
+struct EmpiricalOptions {
+  int root = 0;
+  /// Sweep sizes; defaults (empty) to 1KB..256KB doubling plus quarter
+  /// points.
+  std::vector<Bytes> sizes;
+  int observations_per_size = 12;
+  /// Residual above the max branch counting as an escalation [s].
+  double escalation_threshold = 0.01;
+  /// Relative tolerance for "fits a branch".
+  double branch_tolerance = 0.15;
+  /// Mode clustering tolerance [s].
+  double mode_tolerance = 0.02;
+};
+
+struct GatherSweepPoint {
+  Bytes size = 0;
+  std::vector<double> samples;
+  double predicted_small = 0.0;  ///< max branch of eq. (5)
+  double predicted_large = 0.0;  ///< sum branch of eq. (5)
+  int escalated = 0;             ///< samples above the escalation threshold
+};
+
+struct GatherEmpiricalReport {
+  core::GatherEmpirical empirical;
+  std::vector<GatherSweepPoint> sweep;
+};
+
+[[nodiscard]] GatherEmpiricalReport estimate_gather_empirical(
+    Experimenter& ex, const core::LmoParams& params,
+    const EmpiricalOptions& opts = {});
+
+struct ScatterEmpiricalReport {
+  core::ScatterEmpirical empirical;
+  std::vector<Bytes> sizes;
+  std::vector<double> observed;   ///< median per size
+  std::vector<double> predicted;  ///< eq. (4) per size
+};
+
+[[nodiscard]] ScatterEmpiricalReport estimate_scatter_empirical(
+    Experimenter& ex, const core::LmoParams& params,
+    const EmpiricalOptions& opts = {});
+
+}  // namespace lmo::estimate

@@ -1,0 +1,186 @@
+#include "estimate/experimenter.hpp"
+
+#include <algorithm>
+
+#include "coll/collectives.hpp"
+#include "stats/students_t.hpp"
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace lmo::estimate {
+
+using vmpi::Comm;
+using vmpi::RankProgram;
+using vmpi::Task;
+
+SimExperimenter::SimExperimenter(vmpi::World& world,
+                                 mpib::MeasureOptions measure)
+    : world_(&world), measure_(measure) {}
+
+std::vector<double> SimExperimenter::measure_round(
+    const std::function<std::vector<RankProgram>(std::vector<double>&)>&
+        build,
+    std::size_t n_experiments) {
+  LMO_CHECK(n_experiments >= 1);
+  std::vector<stats::RunningStats> acc(n_experiments);
+  std::vector<double> slots(n_experiments, 0.0);
+  for (int rep = 0; rep < measure_.max_reps; ++rep) {
+    auto programs = build(slots);
+    world_->run(programs);
+    for (std::size_t e = 0; e < n_experiments; ++e) acc[e].add(slots[e]);
+    if (rep + 1 < measure_.min_reps) continue;
+    bool all_ok = true;
+    for (const auto& s : acc) {
+      const auto ci = stats::confidence_interval(s, measure_.confidence);
+      if (ci.relative_error() > measure_.rel_err) {
+        all_ok = false;
+        break;
+      }
+    }
+    if (all_ok) break;
+  }
+  std::vector<double> means(n_experiments);
+  for (std::size_t e = 0; e < n_experiments; ++e) means[e] = acc[e].mean();
+  return means;
+}
+
+std::vector<double> SimExperimenter::roundtrip_round(
+    const std::vector<Pair>& pairs, Bytes m_fwd, Bytes m_back) {
+  LMO_CHECK(!pairs.empty());
+  auto build = [this, &pairs, m_fwd, m_back](std::vector<double>& slots) {
+    auto programs = vmpi::idle_programs(size());
+    for (std::size_t e = 0; e < pairs.size(); ++e) {
+      const auto [i, j] = pairs[e];
+      double* slot = &slots[e];
+      programs[std::size_t(i)] = [j, m_fwd, slot](Comm& c) -> Task {
+        const SimTime t0 = c.now();
+        co_await c.send(j, m_fwd);
+        co_await c.recv(j);
+        *slot = (c.now() - t0).seconds();
+      };
+      programs[std::size_t(j)] = [i, m_back](Comm& c) -> Task {
+        co_await c.recv(i);
+        co_await c.send(i, m_back);
+      };
+    }
+    return programs;
+  };
+  return measure_round(build, pairs.size());
+}
+
+std::vector<double> SimExperimenter::one_to_two_round(
+    const std::vector<Triplet>& triplets, Bytes m, Bytes reply) {
+  LMO_CHECK(!triplets.empty());
+  auto build = [this, &triplets, m, reply](std::vector<double>& slots) {
+    auto programs = vmpi::idle_programs(size());
+    for (std::size_t e = 0; e < triplets.size(); ++e) {
+      const auto [root, a, b] = triplets[e];
+      double* slot = &slots[e];
+      // Send order a then b, receive order b then a: with b the "far"
+      // child (larger roundtrip), the root's processing fully serializes
+      // on the critical path and eqs. (8)/(11) hold exactly.
+      programs[std::size_t(root)] = [a, b, m, slot](Comm& c) -> Task {
+        const SimTime t0 = c.now();
+        co_await c.send(a, m);
+        co_await c.send(b, m);
+        co_await c.recv(b);
+        co_await c.recv(a);
+        *slot = (c.now() - t0).seconds();
+      };
+      const auto leaf = [root, reply](Comm& c) -> Task {
+        co_await c.recv(root);
+        co_await c.send(root, reply);
+      };
+      programs[std::size_t(a)] = leaf;
+      programs[std::size_t(b)] = leaf;
+    }
+    return programs;
+  };
+  return measure_round(build, triplets.size());
+}
+
+double SimExperimenter::send_overhead(int i, int j, Bytes m) {
+  auto build = [this, i, j, m](std::vector<double>& slots) {
+    auto programs = vmpi::idle_programs(size());
+    double* slot = &slots[0];
+    programs[std::size_t(i)] = [j, m, slot](Comm& c) -> Task {
+      const SimTime t0 = c.now();
+      co_await c.send(j, m);
+      *slot = (c.now() - t0).seconds();
+      co_await c.recv(j);
+    };
+    programs[std::size_t(j)] = [i](Comm& c) -> Task {
+      co_await c.recv(i);
+      co_await c.send(i, 0);
+    };
+    return programs;
+  };
+  return measure_round(build, 1)[0];
+}
+
+double SimExperimenter::recv_overhead(int i, int j, Bytes m) {
+  // Wait long enough that the m-byte reply has certainly arrived before the
+  // receive is posted; the receive's duration then approximates o_r(m).
+  const SimTime wait =
+      SimTime::from_seconds(0.1 + double(m) * 1e-6);  // >= 1 us/B cushion
+  auto build = [this, i, j, m, wait](std::vector<double>& slots) {
+    auto programs = vmpi::idle_programs(size());
+    double* slot = &slots[0];
+    programs[std::size_t(i)] = [j, m, wait, slot](Comm& c) -> Task {
+      co_await c.send(j, 0);
+      co_await c.sleep(wait);
+      const SimTime t0 = c.now();
+      co_await c.recv(j);
+      *slot = (c.now() - t0).seconds();
+      (void)m;
+    };
+    programs[std::size_t(j)] = [i, m](Comm& c) -> Task {
+      co_await c.recv(i);
+      co_await c.send(i, m);
+    };
+    return programs;
+  };
+  return measure_round(build, 1)[0];
+}
+
+double SimExperimenter::saturation_gap(int i, int j, Bytes m, int count) {
+  LMO_CHECK(count >= 1);
+  auto build = [this, i, j, m, count](std::vector<double>& slots) {
+    auto programs = vmpi::idle_programs(size());
+    double* slot = &slots[0];
+    programs[std::size_t(i)] = [j, m, count, slot](Comm& c) -> Task {
+      const SimTime t0 = c.now();
+      for (int s = 0; s < count; ++s) co_await c.send(j, m);
+      *slot = (c.now() - t0).seconds();
+    };
+    programs[std::size_t(j)] = [i, count](Comm& c) -> Task {
+      for (int s = 0; s < count; ++s) co_await c.recv(i);
+    };
+    return programs;
+  };
+  return measure_round(build, 1)[0] / double(count);
+}
+
+double SimExperimenter::observe_scatter(int root, Bytes m) {
+  return observe_global([root, m](Comm& c) {
+    return coll::linear_scatter(c, root, m);
+  });
+}
+
+double SimExperimenter::observe_gather(int root, Bytes m) {
+  return observe_global([root, m](Comm& c) {
+    return coll::linear_gather(c, root, m);
+  });
+}
+
+double SimExperimenter::observe_once(
+    const std::function<Task(Comm&)>& body, int timed_rank) {
+  return coll::run_timed(*world_, timed_rank, body).seconds();
+}
+
+double SimExperimenter::observe_global(
+    const std::function<Task(Comm&)>& body) {
+  return world_->run(coll::spmd(size(), body)).seconds();
+}
+
+}  // namespace lmo::estimate

@@ -1,0 +1,134 @@
+// SimExperimenter: the communication experiments the estimators consume.
+//
+// This is the only place where estimation touches the simulated cluster —
+// every primitive builds rank programs, runs them on the World, and
+// returns *measured* times (sender-side, per MPIBlib). Estimators therefore
+// see the virtual cluster exactly the way the paper's software tool [13]
+// sees a physical one. Batched variants run several experiments on
+// disjoint processor sets concurrently (single-switch property) and repeat
+// the whole round until every experiment meets the confidence-interval
+// criterion.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "estimate/schedule.hpp"
+#include "mpib/benchmark.hpp"
+#include "util/bytes.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::estimate {
+
+/// The experiment primitives the estimators consume — the boundary between
+/// the analytical machinery and the platform. Implement this over real MPI
+/// to estimate physical clusters; SimExperimenter implements it over the
+/// simulated one.
+class Experimenter {
+ public:
+  virtual ~Experimenter() = default;
+
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// Batched round-trips over disjoint pairs, run concurrently and
+  /// repeated to the CI criterion; means in input order [s]. T_ij: i sends
+  /// m_fwd to j, j replies with m_back; measured at i.
+  [[nodiscard]] virtual std::vector<double> roundtrip_round(
+      const std::vector<Pair>& pairs, Bytes m_fwd, Bytes m_back) = 0;
+
+  /// Batched one-to-two experiments over disjoint triplets {root, a, b}:
+  /// the root sends m to a then b, receives `reply` bytes from b then a
+  /// (far child last-sent/first-received); measured at the root.
+  [[nodiscard]] virtual std::vector<double> one_to_two_round(
+      const std::vector<Triplet>& triplets, Bytes m, Bytes reply) = 0;
+
+  /// LogP/PLogP send overhead o_s(m): duration of the blocking send inside
+  /// a roundtrip with an empty reply.
+  [[nodiscard]] virtual double send_overhead(int i, int j, Bytes m) = 0;
+
+  /// LogP/PLogP receive overhead o_r(m): duration of the receive posted
+  /// after a delay long enough for the reply to have fully arrived.
+  [[nodiscard]] virtual double recv_overhead(int i, int j, Bytes m) = 0;
+
+  /// Saturation: `count` back-to-back sends of m bytes; returns T/count —
+  /// the gap g(m).
+  [[nodiscard]] virtual double saturation_gap(int i, int j, Bytes m,
+                                              int count = 48) = 0;
+
+  /// One observation (no repetition) of the native linear scatter/gather
+  /// — the preliminary irregularity sweeps of Section IV need raw
+  /// samples, not means.
+  [[nodiscard]] virtual double observe_scatter(int root, Bytes m) = 0;
+  [[nodiscard]] virtual double observe_gather(int root, Bytes m) = 0;
+
+  /// Total experiment invocations and platform time consumed so far (the
+  /// estimation cost of Section IV).
+  [[nodiscard]] virtual std::uint64_t runs() const = 0;
+  [[nodiscard]] virtual SimTime cost() const = 0;
+
+  // Single-experiment conveniences.
+  [[nodiscard]] double roundtrip(int i, int j, Bytes m_fwd, Bytes m_back) {
+    return roundtrip_round({{i, j}}, m_fwd, m_back)[0];
+  }
+  [[nodiscard]] double one_to_two(int i, int j, int k, Bytes m, Bytes reply) {
+    return one_to_two_round({{i, j, k}}, m, reply)[0];
+  }
+};
+
+class SimExperimenter final : public Experimenter {
+ public:
+  explicit SimExperimenter(vmpi::World& world,
+                           mpib::MeasureOptions measure = {});
+
+  [[nodiscard]] int size() const override { return world_->size(); }
+  [[nodiscard]] vmpi::World& world() { return *world_; }
+  [[nodiscard]] const mpib::MeasureOptions& measure_options() const {
+    return measure_;
+  }
+
+  [[nodiscard]] std::vector<double> roundtrip_round(
+      const std::vector<Pair>& pairs, Bytes m_fwd, Bytes m_back) override;
+
+  [[nodiscard]] std::vector<double> one_to_two_round(
+      const std::vector<Triplet>& triplets, Bytes m, Bytes reply) override;
+
+  [[nodiscard]] double send_overhead(int i, int j, Bytes m) override;
+  [[nodiscard]] double recv_overhead(int i, int j, Bytes m) override;
+  [[nodiscard]] double saturation_gap(int i, int j, Bytes m,
+                                      int count = 48) override;
+
+  [[nodiscard]] double observe_scatter(int root, Bytes m) override;
+  [[nodiscard]] double observe_gather(int root, Bytes m) override;
+
+  /// One observation (no repetition) of an arbitrary SPMD collective,
+  /// timed at `timed_rank` [s] — simulator-only (used by the benches).
+  [[nodiscard]] double observe_once(
+      const std::function<vmpi::Task(vmpi::Comm&)>& body, int timed_rank);
+
+  /// One observation of an SPMD collective's completion time across all
+  /// ranks [s] — the "execution time of the collective" the figures plot.
+  [[nodiscard]] double observe_global(
+      const std::function<vmpi::Task(vmpi::Comm&)>& body);
+
+  /// Total number of world runs issued through this experimenter.
+  [[nodiscard]] std::uint64_t runs() const override {
+    return world_->total_runs();
+  }
+  /// Total simulated time consumed — the estimation cost of Section IV.
+  [[nodiscard]] SimTime cost() const override {
+    return world_->accumulated_time();
+  }
+
+ private:
+  /// Run one round of concurrent experiments (writing elapsed seconds into
+  /// slots) repeatedly until all slots' CI criteria hold.
+  [[nodiscard]] std::vector<double> measure_round(
+      const std::function<std::vector<vmpi::RankProgram>(
+          std::vector<double>& slots)>& build,
+      std::size_t n_experiments);
+
+  vmpi::World* world_;
+  mpib::MeasureOptions measure_;
+};
+
+}  // namespace lmo::estimate

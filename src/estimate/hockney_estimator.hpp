@@ -1,0 +1,38 @@
+// Hockney parameter estimation (paper Section II).
+//
+// Per pair: alpha_ij from empty round-trips (T_ij(0)/2), beta_ij from
+// round-trips with a probe message ((T_ij(M)/2 - alpha_ij) / M). The
+// homogeneous model is the off-diagonal average. With `parallel` set the
+// C(n,2) experiments run in 1-factorization rounds of disjoint pairs —
+// the Section-IV optimization (5 s vs. 16 s on the paper's cluster).
+#pragma once
+
+#include "estimate/experimenter.hpp"
+#include "models/hockney.hpp"
+
+namespace lmo::estimate {
+
+/// The paper lists two point-to-point estimation methods for Hockney:
+/// two round-trip series (empty + one probe size), or a regression over a
+/// series of message sizes.
+enum class HockneyMethod { kTwoPoint, kRegression };
+
+struct HockneyOptions {
+  Bytes probe_size = 32 * 1024;
+  bool parallel = true;
+  HockneyMethod method = HockneyMethod::kTwoPoint;
+  /// Sizes for the regression method (empty: 0, probe/4, probe/2, probe).
+  std::vector<Bytes> regression_sizes;
+};
+
+struct HockneyReport {
+  models::HeteroHockney hetero;
+  models::Hockney homogeneous;
+  std::uint64_t world_runs = 0;
+  SimTime estimation_cost;  ///< simulated wall time spent estimating
+};
+
+[[nodiscard]] HockneyReport estimate_hockney(Experimenter& ex,
+                                             const HockneyOptions& opts = {});
+
+}  // namespace lmo::estimate

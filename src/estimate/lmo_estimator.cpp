@@ -1,0 +1,199 @@
+#include "estimate/lmo_estimator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace lmo::estimate {
+
+namespace {
+/// Accumulates redundant estimates of one parameter (eq. 12).
+class Averager {
+ public:
+  explicit Averager(bool average) : average_(average) {}
+  void add(double v) {
+    if (!average_ && s_.count() > 0) return;  // first-triplet-wins ablation
+    s_.add(v);
+  }
+  [[nodiscard]] double value() const { return s_.mean(); }
+  [[nodiscard]] bool empty() const { return s_.count() == 0; }
+
+ private:
+  bool average_;
+  stats::RunningStats s_;
+};
+}  // namespace
+
+LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
+  const int n = ex.size();
+  LMO_CHECK_MSG(n >= 3, "LMO estimation needs at least three processors");
+  LMO_CHECK(opts.probe_size > 0);
+  const Bytes m = opts.probe_size;
+  const std::uint64_t runs0 = ex.runs();
+  const SimTime cost0 = ex.cost();
+
+  LmoReport report;
+
+  // ---- Phase 1: round-trips T_ij(0), T_ij(M) for all pairs. ----
+  models::PairTable t_pair_0(n), t_pair_m(n);
+  auto record_pairs = [&](const std::vector<Pair>& pairs,
+                          const std::vector<double>& v0,
+                          const std::vector<double>& vm) {
+    for (std::size_t e = 0; e < pairs.size(); ++e) {
+      const auto [i, j] = pairs[e];
+      t_pair_0(i, j) = t_pair_0(j, i) = v0[e];
+      t_pair_m(i, j) = t_pair_m(j, i) = vm[e];
+      ++report.roundtrip_experiments;
+    }
+  };
+  if (opts.parallel) {
+    for (const auto& round : pair_rounds(n))
+      record_pairs(round, ex.roundtrip_round(round, 0, 0),
+                   ex.roundtrip_round(round, m, m));
+  } else {
+    for (const auto& pair : all_pairs(n))
+      record_pairs({pair}, ex.roundtrip_round({pair}, 0, 0),
+                   ex.roundtrip_round({pair}, m, m));
+  }
+
+  // ---- Phase 2: one-to-two T_i(jk)(0), T_i(jk)(M), empty replies. ----
+  // Orientation: the "far" child is sent last and received first, which
+  // puts the root's serialized processing on the critical path exactly as
+  // eqs. (8)/(11) assume. "Far" must agree with the max in the equation
+  // being solved: argmax T_ix(0) for the empty experiment (eq. 8) and
+  // argmax (T_ix(0) + T_ix(M)) for the probe experiment (eq. 11) — the two
+  // can disagree when a processor pairs a slow CPU with a fast link.
+  auto orient_0 = [&](int root, int x, int y) -> Triplet {
+    if (x > y) std::swap(x, y);  // canonical: ties resolve identically
+    return t_pair_0(root, x) >= t_pair_0(root, y) ? Triplet{root, y, x}
+                                                  : Triplet{root, x, y};
+  };
+  auto orient_m = [&](int root, int x, int y) -> Triplet {
+    if (x > y) std::swap(x, y);
+    const double sx = t_pair_0(root, x) + t_pair_m(root, x);
+    const double sy = t_pair_0(root, y) + t_pair_m(root, y);
+    return sx >= sy ? Triplet{root, y, x} : Triplet{root, x, y};
+  };
+  std::map<Triplet, double> t_o2_0, t_o2_m;
+  std::vector<Triplet> oriented_0, oriented_m;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      for (int k = j + 1; k < n; ++k) {
+        oriented_0.push_back(orient_0(i, j, k));
+        oriented_0.push_back(orient_0(j, i, k));
+        oriented_0.push_back(orient_0(k, i, j));
+        oriented_m.push_back(orient_m(i, j, k));
+        oriented_m.push_back(orient_m(j, i, k));
+        oriented_m.push_back(orient_m(k, i, j));
+      }
+  auto run_batch = [&](const std::vector<Triplet>& trs, Bytes size,
+                       std::map<Triplet, double>& out) {
+    if (opts.parallel) {
+      for (const auto& round : triplet_rounds(trs)) {
+        const auto v = ex.one_to_two_round(round, size, 0);
+        for (std::size_t e = 0; e < round.size(); ++e) out[round[e]] = v[e];
+      }
+    } else {
+      for (const auto& tr : trs)
+        out[tr] = ex.one_to_two_round({tr}, size, 0)[0];
+    }
+  };
+  run_batch(oriented_0, 0, t_o2_0);
+  run_batch(oriented_m, m, t_o2_m);
+  report.one_to_two_experiments = int(oriented_0.size());  // 3 C(n,3)
+
+  // ---- Phase 3: per-triplet systems (8) and (11), averaged per (12). ----
+  std::vector<Averager> c_acc(std::size_t(n),
+                              Averager(opts.redundancy_averaging));
+  std::vector<Averager> t_acc(std::size_t(n),
+                              Averager(opts.redundancy_averaging));
+  std::vector<std::vector<Averager>> l_acc(
+      std::size_t(n), std::vector<Averager>(
+                          std::size_t(n), Averager(opts.redundancy_averaging)));
+  auto ib_acc = l_acc;  // same shape for 1/beta
+
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      for (int k = j + 1; k < n; ++k) {
+        const std::array<int, 3> nodes{i, j, k};
+        // Per-triplet constants (eq. 8), one per orientation.
+        double c_of[3];
+        for (int a = 0; a < 3; ++a) {
+          const int root = nodes[std::size_t(a)];
+          const int x1 = nodes[std::size_t((a + 1) % 3)];
+          const int x2 = nodes[std::size_t((a + 2) % 3)];
+          const double o2 = t_o2_0.at(orient_0(root, x1, x2));
+          const double mx = std::max(t_pair_0(root, x1), t_pair_0(root, x2));
+          c_of[a] = (o2 - mx) / 2.0;
+          c_acc[std::size_t(root)].add(c_of[a]);
+        }
+        // Latencies from the round-trips and this triplet's constants.
+        auto c_in_triplet = [&](int node) {
+          for (int a = 0; a < 3; ++a)
+            if (nodes[std::size_t(a)] == node) return c_of[a];
+          LMO_CHECK_MSG(false, "node not in triplet");
+          return 0.0;
+        };
+        double l_of[3][3] = {};
+        for (int a = 0; a < 3; ++a)
+          for (int b = a + 1; b < 3; ++b) {
+            const int u = nodes[std::size_t(a)], v = nodes[std::size_t(b)];
+            const double l =
+                t_pair_0(u, v) / 2.0 - c_in_triplet(u) - c_in_triplet(v);
+            l_of[a][b] = l;
+            l_acc[std::size_t(u)][std::size_t(v)].add(l);
+            l_acc[std::size_t(v)][std::size_t(u)].add(l);
+          }
+        // Per-byte delays (eq. 11).
+        double t_of[3];
+        for (int a = 0; a < 3; ++a) {
+          const int root = nodes[std::size_t(a)];
+          const int x1 = nodes[std::size_t((a + 1) % 3)];
+          const int x2 = nodes[std::size_t((a + 2) % 3)];
+          const double o2m = t_o2_m.at(orient_m(root, x1, x2));
+          const double mx =
+              std::max(t_pair_0(root, x1) + t_pair_m(root, x1),
+                       t_pair_0(root, x2) + t_pair_m(root, x2)) /
+              2.0;
+          t_of[a] = (o2m - mx - 2.0 * c_of[a]) / double(m);
+          t_acc[std::size_t(root)].add(t_of[a]);
+        }
+        // Transmission rates (eq. 11).
+        for (int a = 0; a < 3; ++a)
+          for (int b = a + 1; b < 3; ++b) {
+            const int u = nodes[std::size_t(a)], v = nodes[std::size_t(b)];
+            const double inv_beta =
+                (t_pair_m(u, v) / 2.0 - c_of[a] - l_of[a][b] - c_of[b]) /
+                    double(m) -
+                t_of[a] - t_of[b];
+            ib_acc[std::size_t(u)][std::size_t(v)].add(inv_beta);
+            ib_acc[std::size_t(v)][std::size_t(u)].add(inv_beta);
+          }
+      }
+
+  // ---- Assemble. Negative estimates (noise artifacts) clamp to zero. ----
+  core::LmoParams& p = report.params;
+  p.C.resize(std::size_t(n));
+  p.t.resize(std::size_t(n));
+  p.L = models::PairTable(n);
+  p.inv_beta = models::PairTable(n);
+  for (int i = 0; i < n; ++i) {
+    p.C[std::size_t(i)] = std::max(0.0, c_acc[std::size_t(i)].value());
+    p.t[std::size_t(i)] = std::max(0.0, t_acc[std::size_t(i)].value());
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      p.L(i, j) = std::max(0.0, l_acc[std::size_t(i)][std::size_t(j)].value());
+      p.inv_beta(i, j) =
+          std::max(0.0, ib_acc[std::size_t(i)][std::size_t(j)].value());
+    }
+
+  report.world_runs = ex.runs() - runs0;
+  report.estimation_cost = ex.cost() - cost0;
+  return report;
+}
+
+}  // namespace lmo::estimate

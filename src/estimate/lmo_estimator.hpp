@@ -1,0 +1,43 @@
+// LMO parameter estimation (paper Section IV, eqs. 6-12).
+//
+// Point-to-point experiments alone cannot identify the six parameters of
+// the extended model, so the procedure combines:
+//  * C(n,2) round-trips per probe size (empty and medium M), and
+//  * 3*C(n,3) one-to-two experiments (i -> j,k with empty replies),
+// solving a small linear system per triplet:
+//
+//   C_i  = (T_i(jk)(0) - max_x T_ix(0)) / 2                       (8)
+//   L_ij = T_ij(0)/2 - C_i - C_j                                  (8)
+//   t_i  = (T_i(jk)(M) - max_x (T_ix(0)+T_ix(M))/2 - 2 C_i) / M   (11)
+//   1/b  = (T_ij(M)/2 - C_i - L_ij - C_j)/M - t_i - t_j           (11)
+//
+// and averaging each parameter over all triplets it appears in (eq. 12).
+// Probe sizes are chosen medium and replies empty to dodge the scatter
+// leap and the gather escalations. With `parallel` set, disjoint pairs and
+// triplets run concurrently (single-switch property).
+#pragma once
+
+#include "core/lmo_model.hpp"
+#include "estimate/experimenter.hpp"
+#include "models/pair_table.hpp"
+
+namespace lmo::estimate {
+
+struct LmoOptions {
+  Bytes probe_size = 32 * 1024;  ///< medium: below leap/rendezvous regions
+  bool parallel = true;
+  bool redundancy_averaging = true;  ///< eq. (12); false: first triplet wins
+};
+
+struct LmoReport {
+  core::LmoParams params;
+  int roundtrip_experiments = 0;
+  int one_to_two_experiments = 0;
+  std::uint64_t world_runs = 0;
+  SimTime estimation_cost;
+};
+
+[[nodiscard]] LmoReport estimate_lmo(Experimenter& ex,
+                                     const LmoOptions& opts = {});
+
+}  // namespace lmo::estimate

@@ -1,0 +1,49 @@
+#include "estimate/loggp_estimator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lmo::estimate {
+
+LogGPReport estimate_loggp(Experimenter& ex, const LogGPOptions& opts) {
+  const int n = ex.size();
+  LMO_CHECK(opts.small_size >= 0);
+  LMO_CHECK(opts.large_size > opts.small_size);
+  const std::uint64_t runs0 = ex.runs();
+  const SimTime cost0 = ex.cost();
+
+  LogGPReport report;
+  report.hetero.L = models::PairTable(n);
+  report.hetero.o = models::PairTable(n);
+  report.hetero.g = models::PairTable(n);
+  report.hetero.G = models::PairTable(n);
+
+  for (const auto& [i, j] : all_pairs(n)) {
+    const double os = ex.send_overhead(i, j, opts.small_size);
+    const double orr = ex.recv_overhead(i, j, opts.small_size);
+    const double rtt =
+        ex.roundtrip(i, j, opts.small_size, opts.small_size);
+    const double latency = std::max(0.0, rtt / 2.0 - os - orr);
+    const double g = ex.saturation_gap(i, j, opts.small_size,
+                                       opts.saturation_count);
+    const double g_large = ex.saturation_gap(i, j, opts.large_size,
+                                             opts.saturation_count);
+    const double big_g = g_large / double(opts.large_size);
+
+    const double o = 0.5 * (os + orr);
+    report.hetero.L(i, j) = report.hetero.L(j, i) = latency;
+    report.hetero.o(i, j) = report.hetero.o(j, i) = o;
+    report.hetero.g(i, j) = report.hetero.g(j, i) = g;
+    report.hetero.G(i, j) = report.hetero.G(j, i) = big_g;
+  }
+
+  report.averaged = report.hetero.averaged();
+  report.logp = models::LogP{report.averaged.L, report.averaged.o,
+                             report.averaged.g};
+  report.world_runs = ex.runs() - runs0;
+  report.estimation_cost = ex.cost() - cost0;
+  return report;
+}
+
+}  // namespace lmo::estimate

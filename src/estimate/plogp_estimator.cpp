@@ -1,0 +1,147 @@
+#include "estimate/plogp_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace lmo::estimate {
+
+namespace {
+
+/// The doubling ladder 0, 1KB, 2KB, ..., max_size.
+std::vector<Bytes> base_ladder(Bytes max_size) {
+  std::vector<Bytes> sizes{0};
+  for (Bytes m = 1024; m < max_size; m *= 2) sizes.push_back(m);
+  sizes.push_back(max_size);
+  return sizes;
+}
+
+}  // namespace
+
+models::PLogP estimate_plogp_pair(Experimenter& ex, int i, int j,
+                                  const PLogPOptions& opts) {
+  LMO_CHECK(opts.max_size >= 2048);
+  models::PLogP p;
+
+  auto measure_point = [&](Bytes m) {
+    const double g = ex.saturation_gap(i, j, m, opts.saturation_count);
+    p.g.add_point(double(m), g);
+    p.os.add_point(double(m), ex.send_overhead(i, j, m));
+    p.orr.add_point(double(m), ex.recv_overhead(i, j, m));
+    return g;
+  };
+
+  // Base ladder first, tracking adaptive bisection: if g(M_k) is not
+  // consistent with the linear extrapolation based on the previous two
+  // breakpoints, measure the midpoint (M_{k-1} + M_k)/2 as well.
+  const auto ladder = base_ladder(opts.max_size);
+  std::vector<Bytes> measured;
+  for (const Bytes m : ladder) {
+    if (int(p.g.size()) >= opts.max_points) break;
+    double predicted = 0.0;
+    const bool can_extrapolate = p.g.size() >= 2;
+    if (can_extrapolate) predicted = p.g.extrapolate_from_last_two(double(m));
+    const double g = measure_point(m);
+    measured.push_back(m);
+    if (can_extrapolate && g > 0.0) {
+      const double err = std::fabs(predicted - g) / g;
+      if (err > opts.tolerance && measured.size() >= 2 &&
+          int(p.g.size()) < opts.max_points) {
+        const Bytes prev = measured[measured.size() - 2];
+        const Bytes mid = (prev + m) / 2;
+        if (mid != prev && mid != m) (void)measure_point(mid);
+      }
+    }
+  }
+
+  const double rtt0 = ex.roundtrip(i, j, 0, 0);
+  p.L = std::max(0.0, rtt0 / 2.0 - p.g(0.0));
+  return p;
+}
+
+PLogPReport estimate_plogp(Experimenter& ex, const PLogPOptions& opts) {
+  const std::uint64_t runs0 = ex.runs();
+  const SimTime cost0 = ex.cost();
+
+  PLogPReport report;
+  for (int i = 0; i < ex.size(); ++i)
+    for (int j = 0; j < ex.size(); ++j)
+      if (i != j) report.pairs.emplace_back(i, j);
+  report.per_pair.reserve(report.pairs.size());
+  for (const auto& [i, j] : report.pairs)
+    report.per_pair.push_back(estimate_plogp_pair(ex, i, j, opts));
+
+  // Average on the union of all breakpoints.
+  std::set<double> xs;
+  double latency_sum = 0.0;
+  for (const auto& p : report.per_pair) {
+    latency_sum += p.L;
+    for (double x : p.g.xs()) xs.insert(x);
+  }
+  report.averaged.L = latency_sum / double(report.per_pair.size());
+  for (const double x : xs) {
+    double g = 0, os = 0, orr = 0;
+    for (const auto& p : report.per_pair) {
+      g += p.g(x);
+      os += p.os(x);
+      orr += p.orr(x);
+    }
+    const double k = double(report.per_pair.size());
+    report.averaged.g.add_point(x, g / k);
+    report.averaged.os.add_point(x, os / k);
+    report.averaged.orr.add_point(x, orr / k);
+  }
+
+  report.world_runs = ex.runs() - runs0;
+  report.estimation_cost = ex.cost() - cost0;
+  return report;
+}
+
+models::HeteroPLogP hetero_plogp(const PLogPReport& report, int n) {
+  LMO_CHECK(n >= 2);
+  LMO_CHECK(report.pairs.size() == report.per_pair.size());
+  models::HeteroPLogP h;
+  h.L = models::PairTable(n);
+  h.g.assign(std::size_t(n),
+             std::vector<stats::PiecewiseLinear>(std::size_t(n)));
+  h.os.resize(std::size_t(n));
+  h.orr.resize(std::size_t(n));
+
+  // Per-link parameters straight from the directed pair estimates:
+  // g[i][j] is the sender-i gap toward j.
+  for (std::size_t e = 0; e < report.pairs.size(); ++e) {
+    const auto [i, j] = report.pairs[e];
+    LMO_CHECK(i >= 0 && i < n && j >= 0 && j < n);
+    const auto& p = report.per_pair[e];
+    h.L(i, j) = p.L;
+    h.g[std::size_t(i)][std::size_t(j)] = p.g;
+  }
+  // Per-processor overheads: average each processor's curves over all its
+  // links, on the union of breakpoints.
+  for (int node = 0; node < n; ++node) {
+    std::set<double> xs;
+    std::vector<const models::PLogP*> mine;
+    for (std::size_t e = 0; e < report.pairs.size(); ++e) {
+      const auto [i, j] = report.pairs[e];
+      if (i != node && j != node) continue;
+      mine.push_back(&report.per_pair[e]);
+      for (double x : report.per_pair[e].os.xs()) xs.insert(x);
+      for (double x : report.per_pair[e].orr.xs()) xs.insert(x);
+    }
+    LMO_CHECK_MSG(!mine.empty(), "processor missing from pair estimates");
+    for (const double x : xs) {
+      double os_sum = 0, orr_sum = 0;
+      for (const auto* p : mine) {
+        os_sum += p->os(x);
+        orr_sum += p->orr(x);
+      }
+      h.os[std::size_t(node)].add_point(x, os_sum / double(mine.size()));
+      h.orr[std::size_t(node)].add_point(x, orr_sum / double(mine.size()));
+    }
+  }
+  return h;
+}
+
+}  // namespace lmo::estimate

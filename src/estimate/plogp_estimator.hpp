@@ -1,0 +1,52 @@
+// PLogP parameter estimation (Kielmann et al.; paper Section II).
+//
+// o_s(M), o_r(M) and g(M) are measured at adaptively chosen message sizes:
+// starting from a doubling ladder, a midpoint is inserted whenever g at a
+// new size disagrees with the linear extrapolation of the previous two
+// breakpoints by more than `tolerance` — the bisection rule quoted in the
+// paper. The latency is L = RTT(0)/2 - g(0) (consistent with the PLogP
+// point-to-point reading T = L + g(M)).
+//
+// The homogeneous PLogP of Table II is obtained by averaging the per-pair
+// piecewise functions over all pairs on a union of breakpoints.
+#pragma once
+
+#include "estimate/experimenter.hpp"
+#include "models/plogp.hpp"
+
+namespace lmo::estimate {
+
+struct PLogPOptions {
+  Bytes max_size = 256 * 1024;
+  double tolerance = 0.10;  ///< relative disagreement triggering bisection
+  int saturation_count = 32;
+  int max_points = 40;      ///< safety cap on adaptive refinement
+};
+
+struct PLogPReport {
+  models::PLogP averaged;               ///< homogeneous view (Table II)
+  /// Directed estimates: pairs[e] = (sender, receiver). The gap is
+  /// dominated by the sender's processing on CPU-bound clusters, so both
+  /// directions of every link are measured.
+  std::vector<models::PLogP> per_pair;
+  std::vector<Pair> pairs;
+  std::uint64_t world_runs = 0;
+  SimTime estimation_cost;
+};
+
+/// Estimate one pair's PLogP parameters.
+[[nodiscard]] models::PLogP estimate_plogp_pair(Experimenter& ex, int i,
+                                                int j,
+                                                const PLogPOptions& opts = {});
+
+/// Estimate all pairs and average.
+[[nodiscard]] PLogPReport estimate_plogp(Experimenter& ex,
+                                         const PLogPOptions& opts = {});
+
+/// Assemble the heterogeneous PLogP extension from the per-pair estimates:
+/// per-link L and g(M), per-processor overheads averaged over the links the
+/// processor participates in (paper Section II's suggestion).
+[[nodiscard]] models::HeteroPLogP hetero_plogp(const PLogPReport& report,
+                                               int n);
+
+}  // namespace lmo::estimate

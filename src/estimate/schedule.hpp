@@ -1,0 +1,37 @@
+// Parallel experiment schedules (paper Section IV).
+//
+// On a single-switch cluster, communication experiments over
+// non-overlapping processor sets run concurrently without perturbing each
+// other, so the estimation procedure batches them:
+//  * pairs — a 1-factorization of K_n (the circle method): n-1 rounds of
+//    floor(n/2) disjoint pairs each;
+//  * oriented triplets — all 3*C(n,3) one-to-two experiments packed
+//    greedily into rounds of disjoint triplets.
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+namespace lmo::estimate {
+
+using Pair = std::pair<int, int>;
+/// (root, peer_a, peer_b): the root sends to both peers.
+using Triplet = std::array<int, 3>;
+
+/// All unordered pairs {i < j}.
+[[nodiscard]] std::vector<Pair> all_pairs(int n);
+
+/// All oriented triplets: for each {i<j<k}, the three root choices.
+[[nodiscard]] std::vector<Triplet> all_oriented_triplets(int n);
+
+/// Rounds of disjoint pairs covering all of K_n (circle method);
+/// exactly n-1 rounds for even n, n rounds for odd n.
+[[nodiscard]] std::vector<std::vector<Pair>> pair_rounds(int n);
+
+/// Greedy packing of the given triplets into rounds of node-disjoint
+/// triplets (first-fit).
+[[nodiscard]] std::vector<std::vector<Triplet>> triplet_rounds(
+    const std::vector<Triplet>& triplets);
+
+}  // namespace lmo::estimate

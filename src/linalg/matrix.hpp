@@ -1,0 +1,50 @@
+// Small dense row-major matrices.
+//
+// The LMO estimator builds and solves per-triplet linear systems (eqs. 6-11
+// of the paper); these are tiny (<= 6x6), so a simple dense representation
+// with bounds-checked access is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lmo::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-wise construction: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    LMO_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    LMO_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  [[nodiscard]] Matrix transposed() const;
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend std::vector<double> operator*(const Matrix& a,
+                                       const std::vector<double>& x);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace lmo::linalg

@@ -1,0 +1,49 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+namespace lmo::linalg {
+
+std::optional<std::vector<double>> solve(Matrix a, std::vector<double> b) {
+  LMO_CHECK(a.rows() == a.cols());
+  LMO_CHECK(a.rows() == b.size());
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    if (std::fabs(a(pivot, col)) < 1e-300) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> solve_least_squares(
+    const Matrix& a, const std::vector<double>& b) {
+  LMO_CHECK(a.rows() == b.size());
+  LMO_CHECK(a.rows() >= a.cols());
+  const Matrix at = a.transposed();
+  return solve(at * a, at * b);
+}
+
+}  // namespace lmo::linalg

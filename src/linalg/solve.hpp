@@ -1,0 +1,21 @@
+// Linear solvers for the estimation systems.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace lmo::linalg {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns nullopt when A is (numerically) singular.
+[[nodiscard]] std::optional<std::vector<double>> solve(Matrix a,
+                                                       std::vector<double> b);
+
+/// Least-squares solution of an overdetermined system via the normal
+/// equations A^T A x = A^T b. Returns nullopt when A^T A is singular.
+[[nodiscard]] std::optional<std::vector<double>> solve_least_squares(
+    const Matrix& a, const std::vector<double>& b);
+
+}  // namespace lmo::linalg

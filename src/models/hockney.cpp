@@ -1,0 +1,75 @@
+#include "models/hockney.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trees/binomial.hpp"
+
+namespace lmo::models {
+
+double Hockney::flat_collective(int n, Bytes m, FlatAssumption a) const {
+  LMO_CHECK(n >= 2);
+  const double one = pt2pt(m);
+  return a == FlatAssumption::kSequential ? double(n - 1) * one : one;
+}
+
+double Hockney::binomial_collective(int n, Bytes m) const {
+  LMO_CHECK(n >= 2);
+  return double(trees::binomial_rounds(n)) * alpha +
+         double(n - 1) * beta * double(m);
+}
+
+double HeteroHockney::flat_collective(int root, Bytes m,
+                                      FlatAssumption a) const {
+  const int n = size();
+  LMO_CHECK(n >= 2);
+  LMO_CHECK(root >= 0 && root < n);
+  double sum = 0.0, mx = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (i == root) continue;
+    const double t = pt2pt(root, i, m);
+    sum += t;
+    mx = std::max(mx, t);
+  }
+  return a == FlatAssumption::kSequential ? sum : mx;
+}
+
+namespace {
+/// Execution time of the binomial subtree whose root sits at virtual rank
+/// `v` and owns `span` virtual slots (eq. 1), counted from the moment the
+/// subtree root holds its data.
+double subtree_time(const HeteroHockney& h, const std::vector<int>& mapping,
+                    int root, int n, Bytes m, int v, int span) {
+  if (span <= 1) return 0.0;
+  int half = 1;
+  while (half * 2 < span) half *= 2;  // largest power of two below span
+  const int s = v + half;
+  if (s >= n)  // clamped tree: this half is empty, recurse shallower
+    return subtree_time(h, mapping, root, n, m, v, half);
+  const int pr = trees::map_rank(mapping, v, root, n);
+  const int ps = trees::map_rank(mapping, s, root, n);
+  const int blocks = trees::binomial_subtree_blocks(s, n);
+  const double edge =
+      h.alpha(pr, ps) + h.beta(pr, ps) * double(blocks) * double(m);
+  const double left = subtree_time(h, mapping, root, n, m, v, half);
+  const double right =
+      subtree_time(h, mapping, root, n, m, s, span - half);
+  return edge + std::max(left, right);
+}
+}  // namespace
+
+double HeteroHockney::binomial_collective(
+    int root, Bytes m, const std::vector<int>& mapping) const {
+  const int n = size();
+  LMO_CHECK(n >= 2);
+  LMO_CHECK(root >= 0 && root < n);
+  int span = 1;
+  while (span < n) span *= 2;
+  return subtree_time(*this, mapping, root, n, m, 0, span);
+}
+
+Hockney HeteroHockney::averaged() const {
+  return Hockney{alpha.off_diagonal_mean(), beta.off_diagonal_mean()};
+}
+
+}  // namespace lmo::models

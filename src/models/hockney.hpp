@@ -1,0 +1,73 @@
+// The Hockney model and its heterogeneous extension (paper Section II).
+//
+// Homogeneous:   T(M) = alpha + beta * M
+// Heterogeneous: T_ij(M) = alpha_ij + beta_ij * M
+//
+// Because Hockney folds processor and network contributions into two
+// integral parameters, a flat-tree collective can only be modelled under
+// one of two assumptions — fully sequential or fully parallel — and the
+// paper shows both are wrong on a switched cluster (Fig. 1). Both variants
+// are provided, plus the binomial predictions: the homogeneous closed form
+// (eq. 3) and the recursive heterogeneous formula (eqs. 1-2).
+#pragma once
+
+#include <vector>
+
+#include "models/pair_table.hpp"
+#include "util/bytes.hpp"
+
+namespace lmo::models {
+
+/// Flat-tree (linear) collective modelling assumption (Fig. 1).
+enum class FlatAssumption {
+  kSequential,  ///< point-to-points back to back: sum
+  kParallel,    ///< point-to-points fully concurrent: max
+};
+
+// ------------------------------------------------------------ homogeneous
+
+struct Hockney {
+  double alpha = 0.0;  ///< latency [s]
+  double beta = 0.0;   ///< inverse bandwidth [s/B]
+
+  [[nodiscard]] double pt2pt(Bytes m) const {
+    return alpha + beta * double(m);
+  }
+
+  /// Linear scatter == linear gather under Hockney (Table II):
+  /// (n-1)(alpha + beta M) sequential, alpha + beta M parallel.
+  [[nodiscard]] double flat_collective(int n, Bytes m,
+                                       FlatAssumption a) const;
+
+  /// Binomial scatter/gather, eq. (3): ceil(log2 n) alpha + (n-1) beta M.
+  [[nodiscard]] double binomial_collective(int n, Bytes m) const;
+};
+
+// ---------------------------------------------------------- heterogeneous
+
+struct HeteroHockney {
+  PairTable alpha;  ///< alpha_ij [s]
+  PairTable beta;   ///< beta_ij [s/B]
+
+  [[nodiscard]] int size() const { return alpha.size(); }
+
+  [[nodiscard]] double pt2pt(int i, int j, Bytes m) const {
+    return alpha(i, j) + beta(i, j) * double(m);
+  }
+
+  /// Sum or max of (alpha_ri + beta_ri M) over i != r (Table II / Fig. 1).
+  [[nodiscard]] double flat_collective(int root, Bytes m,
+                                       FlatAssumption a) const;
+
+  /// Recursive binomial formula, eqs. (1)-(2): the largest sub-subtree's
+  /// transfer cost plus the max over the two halves' recursions.
+  /// `mapping` assigns physical ranks to virtual tree nodes (empty = MPI
+  /// default (v + root) mod n).
+  [[nodiscard]] double binomial_collective(
+      int root, Bytes m, const std::vector<int>& mapping = {}) const;
+
+  /// Averaged homogeneous model (Section II's first approach).
+  [[nodiscard]] Hockney averaged() const;
+};
+
+}  // namespace lmo::models

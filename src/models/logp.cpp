@@ -1,0 +1,26 @@
+#include "models/logp.hpp"
+
+namespace lmo::models {
+
+double LogP::message_series(int k) const {
+  LMO_CHECK(k >= 1);
+  return L + 2.0 * o + double(k - 1) * g;
+}
+
+double LogGP::message_series(int k, Bytes m) const {
+  LMO_CHECK(k >= 1);
+  return pt2pt(m) + double(k - 1) * g;
+}
+
+double LogGP::flat_collective(int n, Bytes m) const {
+  LMO_CHECK(n >= 2);
+  return L + 2.0 * o + double(n - 1) * double(m > 0 ? m - 1 : 0) * G +
+         double(n - 2) * g;
+}
+
+LogGP HeteroLogGP::averaged() const {
+  return LogGP{L.off_diagonal_mean(), o.off_diagonal_mean(),
+               g.off_diagonal_mean(), G.off_diagonal_mean()};
+}
+
+}  // namespace lmo::models

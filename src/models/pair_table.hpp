@@ -1,0 +1,47 @@
+// Dense per-pair parameter storage shared by the heterogeneous models.
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lmo::models {
+
+/// n x n table of doubles with a zero diagonal; used for alpha_ij, beta_ij,
+/// L_ij, 1/beta_ij and friends.
+class PairTable {
+ public:
+  PairTable() = default;
+  explicit PairTable(int n, double fill = 0.0)
+      : n_(n), v_(std::size_t(n) * std::size_t(n), fill) {
+    LMO_CHECK(n >= 0);
+  }
+
+  [[nodiscard]] int size() const { return n_; }
+
+  [[nodiscard]] double& operator()(int i, int j) {
+    LMO_ASSERT(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return v_[std::size_t(i) * std::size_t(n_) + std::size_t(j)];
+  }
+  [[nodiscard]] double operator()(int i, int j) const {
+    LMO_ASSERT(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return v_[std::size_t(i) * std::size_t(n_) + std::size_t(j)];
+  }
+
+  /// Mean over all off-diagonal entries (the "treat it as homogeneous"
+  /// averaging of Section II).
+  [[nodiscard]] double off_diagonal_mean() const {
+    LMO_CHECK(n_ >= 2);
+    double sum = 0.0;
+    for (int i = 0; i < n_; ++i)
+      for (int j = 0; j < n_; ++j)
+        if (i != j) sum += (*this)(i, j);
+    return sum / double(n_ * (n_ - 1));
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<double> v_;
+};
+
+}  // namespace lmo::models

@@ -1,0 +1,21 @@
+#include "models/plogp.hpp"
+
+#include <algorithm>
+
+namespace lmo::models {
+
+double HeteroPLogP::flat_collective(int root, Bytes m) const {
+  const int n = size();
+  LMO_CHECK(n >= 2);
+  LMO_CHECK(root >= 0 && root < n);
+  double gap_sum = 0.0;
+  double max_latency = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (i == root) continue;
+    gap_sum += g[std::size_t(root)][std::size_t(i)](double(m));
+    max_latency = std::max(max_latency, L(root, i));
+  }
+  return max_latency + gap_sum;
+}
+
+}  // namespace lmo::models

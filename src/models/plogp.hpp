@@ -1,0 +1,61 @@
+// The parameterized LogP model (Kielmann et al.; paper Section II).
+//
+// All parameters except the latency are piecewise-linear functions of the
+// message size: send overhead o_s(M), receive overhead o_r(M), and gap
+// g(M) >= max(o_s, o_r). Point-to-point time is L + g(M); linear
+// scatter/gather is L + (n-1) g(M) (Table II).
+#pragma once
+
+#include <vector>
+
+#include "models/pair_table.hpp"
+#include "stats/piecewise.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace lmo::models {
+
+struct PLogP {
+  double L = 0.0;
+  stats::PiecewiseLinear os;   ///< send overhead o_s(M)
+  stats::PiecewiseLinear orr;  ///< receive overhead o_r(M)
+  stats::PiecewiseLinear g;    ///< gap g(M)
+
+  [[nodiscard]] double pt2pt(Bytes m) const {
+    LMO_CHECK(!g.empty());
+    return L + g(double(m));
+  }
+
+  /// Table II: L + (n-1) g(M).
+  [[nodiscard]] double flat_collective(int n, Bytes m) const {
+    LMO_CHECK(n >= 2);
+    LMO_CHECK(!g.empty());
+    return L + double(n - 1) * g(double(m));
+  }
+};
+
+/// Heterogeneous PLogP — the extension the paper sketches in Section II
+/// and leaves as "a subject of separate research": the overheads o_s(M),
+/// o_r(M) are *processor* properties and are averaged per processor over
+/// all links it participates in, while the latency L and gap g(M) mix
+/// processor and network contributions and therefore stay per-link.
+struct HeteroPLogP {
+  PairTable L;                                   ///< per link
+  std::vector<std::vector<stats::PiecewiseLinear>> g;  ///< per link, [i][j]
+  std::vector<stats::PiecewiseLinear> os;        ///< per processor
+  std::vector<stats::PiecewiseLinear> orr;       ///< per processor
+
+  [[nodiscard]] int size() const { return L.size(); }
+
+  [[nodiscard]] double pt2pt(int i, int j, Bytes m) const {
+    LMO_CHECK(i != j && i >= 0 && j >= 0 && i < size() && j < size());
+    return L(i, j) + g[std::size_t(i)][std::size_t(j)](double(m));
+  }
+
+  /// Heterogeneous flat scatter/gather: the root's gaps toward the n-1
+  /// destinations serialize (sum of per-link gaps), one slowest latency on
+  /// top — the natural per-link refinement of Table II's L + (n-1) g(M).
+  [[nodiscard]] double flat_collective(int root, Bytes m) const;
+};
+
+}  // namespace lmo::models

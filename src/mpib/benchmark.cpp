@@ -1,0 +1,48 @@
+#include "mpib/benchmark.hpp"
+
+#include "coll/collectives.hpp"
+#include "util/error.hpp"
+
+namespace lmo::mpib {
+
+Measurement measure(const std::function<double()>& sample_once,
+                    const MeasureOptions& opts) {
+  LMO_CHECK(opts.min_reps >= 2);
+  LMO_CHECK(opts.max_reps >= opts.min_reps);
+  LMO_CHECK(opts.rel_err > 0);
+  Measurement out;
+  stats::RunningStats s;
+  for (int rep = 0; rep < opts.max_reps; ++rep) {
+    const double x = sample_once();
+    s.add(x);
+    out.samples.push_back(x);
+    if (int(s.count()) < opts.min_reps) continue;
+    const auto ci = stats::confidence_interval(s, opts.confidence);
+    if (ci.relative_error() <= opts.rel_err) {
+      out.converged = true;
+      break;
+    }
+  }
+  const auto ci = stats::confidence_interval(s, opts.confidence);
+  out.mean = s.mean();
+  out.ci_half = ci.half_width;
+  out.stddev = s.stddev();
+  out.min = s.min();
+  out.max = s.max();
+  out.reps = int(s.count());
+  return out;
+}
+
+Measurement measure_collective(
+    vmpi::World& world, int timed_rank,
+    const std::function<vmpi::Task(vmpi::Comm&)>& body,
+    const MeasureOptions& opts, TimingMethod method) {
+  auto sample = [&world, timed_rank, &body, method]() -> double {
+    if (method == TimingMethod::kRoot)
+      return coll::run_timed(world, timed_rank, body).seconds();
+    return world.run(coll::spmd(world.size(), body)).seconds();
+  };
+  return measure(sample, opts);
+}
+
+}  // namespace lmo::mpib

@@ -1,0 +1,62 @@
+// MPIBlib-style benchmarking (paper ref [12]).
+//
+// A communication experiment is repeated until the Student-t confidence
+// interval of the mean shrinks below rel_err * mean at the requested
+// confidence level (the paper uses 95% / 2.5%), within [min_reps,
+// max_reps]. Two timing methods are provided:
+//  * kRoot   — measure on one (root/sender) processor only: fast and, for
+//    collectives on small numbers of processors, accurate (Section IV);
+//  * kGlobal — completion time of all ranks (barrier-equivalent), the
+//    conservative reference method.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stats/students_t.hpp"
+#include "stats/summary.hpp"
+#include "util/time.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/task.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::mpib {
+
+struct MeasureOptions {
+  double confidence = 0.95;
+  double rel_err = 0.025;
+  int min_reps = 5;
+  int max_reps = 100;
+};
+
+struct Measurement {
+  double mean = 0.0;       ///< seconds
+  double ci_half = 0.0;    ///< half-width at the requested confidence
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int reps = 0;
+  bool converged = false;  ///< CI target met within max_reps
+  std::vector<double> samples;
+
+  [[nodiscard]] double relative_error() const {
+    return mean == 0.0 ? 0.0 : ci_half / mean;
+  }
+};
+
+/// Repeat `sample_once` (seconds per call) until the CI criterion holds.
+[[nodiscard]] Measurement measure(const std::function<double()>& sample_once,
+                                  const MeasureOptions& opts = {});
+
+enum class TimingMethod { kRoot, kGlobal };
+
+/// Measure an SPMD collective body on the world. With kRoot the elapsed
+/// time of `timed_rank` is sampled; with kGlobal the completion time of
+/// the whole round.
+[[nodiscard]] Measurement measure_collective(
+    vmpi::World& world, int timed_rank,
+    const std::function<vmpi::Task(vmpi::Comm&)>& body,
+    const MeasureOptions& opts = {},
+    TimingMethod method = TimingMethod::kRoot);
+
+}  // namespace lmo::mpib

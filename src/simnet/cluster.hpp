@@ -1,0 +1,116 @@
+// Cluster configuration: the ground truth the simulator runs on.
+//
+// Each node carries the four physically distinct contributions the paper's
+// extended LMO model separates: a fixed per-message processing delay (C_i),
+// a per-byte processing delay (t_i), a NIC line rate, and a propagation
+// latency to the switch. Pairwise LMO ground truth derives from these:
+//
+//   L_ij     = latency_i + switch_latency + latency_j
+//   beta_ij  = min(rate_i, rate_j)             (single switch => symmetric)
+//
+// TcpQuirks configures the TCP-layer irregularities the paper observes on
+// switched Ethernet clusters (Section III and V).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace lmo::sim {
+
+struct NodeParams {
+  std::string label;           ///< e.g. "Dell Poweredge 750 / 3.4 Xeon"
+  int type = 0;                ///< node type id (Table I rows)
+  double fixed_delay_s = 0.0;  ///< C_i: per-message processing delay [s]
+  double per_byte_s = 0.0;     ///< t_i: per-byte processing delay [s/B]
+  double link_rate_bps = 0.0;  ///< NIC line rate [bytes/s]
+  double latency_s = 0.0;      ///< propagation to the switch [s]
+};
+
+/// TCP-layer irregularities injected by the fabric.
+struct TcpQuirks {
+  bool enabled = true;
+
+  /// Rendezvous threshold: messages strictly larger switch from eager to
+  /// rendezvous protocol. This is the physical origin of the paper's M2
+  /// (65 KB for LAM 7.1.3, 125 KB for MPICH 1.2.7).
+  Bytes rendezvous_threshold = 64 * 1024;
+
+  /// Escalation band: many-to-one eager messages with size in
+  /// (escalation_min, rendezvous_threshold] may suffer non-deterministic
+  /// delayed-ACK/retransmit escalations (the paper's M1..M2 band).
+  Bytes escalation_min = 4 * 1024;
+  /// Per-message escalation probability at the top of the band. TCP incast
+  /// hits almost the whole band once message bursts exceed the switch
+  /// buffers, so the probability ramps only mildly: from 40% of the peak
+  /// just above escalation_min to the full peak at the rendezvous
+  /// threshold.
+  double escalation_peak_prob = 0.12;
+  /// The discrete escalation magnitudes (retransmission timer quanta) and
+  /// their relative weights. Paper: escalations reach 0.25 s.
+  std::vector<double> escalation_values_s = {0.05, 0.10, 0.20, 0.25};
+  std::vector<double> escalation_weights = {0.45, 0.30, 0.15, 0.10};
+
+  /// Fragmentation leap: a pipelined (back-to-back) send pays this extra
+  /// delay once per full `frag_threshold` contained in the message — the
+  /// repeated leaps of Fig. 4 that "converge to the line with the same
+  /// slope".
+  Bytes frag_threshold = 64 * 1024;
+  double frag_leap_s = 0.0008;
+
+  /// Socket send-buffer: a blocking eager send returns early (buffered) as
+  /// long as the NIC backlog is below this many bytes.
+  Bytes send_buffer = 128 * 1024;
+};
+
+struct ClusterConfig {
+  std::vector<NodeParams> nodes;
+  TcpQuirks quirks;
+  double switch_latency_s = 10e-6;  ///< fixed forwarding delay in the switch
+  double noise_rel = 0.01;          ///< relative measurement/OS noise
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] int size() const { return int(nodes.size()); }
+
+  /// Ground-truth L_ij [s]; requires i != j.
+  [[nodiscard]] double latency(int i, int j) const;
+
+  /// Ground-truth beta_ij [bytes/s]; requires i != j.
+  [[nodiscard]] double rate(int i, int j) const;
+
+  void validate() const;
+};
+
+/// Ground-truth extended-LMO parameters of a config, for validating that
+/// estimators recover what the simulator was built from.
+struct GroundTruth {
+  std::vector<double> C;              ///< fixed processing delay per node [s]
+  std::vector<double> t;              ///< per-byte delay per node [s/B]
+  std::vector<std::vector<double>> L; ///< latency per pair [s] (0 on diagonal)
+  std::vector<std::vector<double>> inv_beta;  ///< 1/beta per pair [s/B]
+};
+
+[[nodiscard]] GroundTruth ground_truth(const ClusterConfig& cfg);
+
+/// The 16-node heterogeneous cluster of Table I: seven node types with
+/// heterogeneous processing delays (derived from CPU class) on a single
+/// switch. Rates are 100 Mbit/s Fast Ethernet across the board except the
+/// three newer HP DL140 nodes which have gigabit NICs (beta_ij still clamps
+/// to the slower endpoint, as on a real switch).
+[[nodiscard]] ClusterConfig make_paper_cluster(std::uint64_t seed = 1);
+
+/// n identical nodes; useful for testing that heterogeneous machinery
+/// degenerates to the homogeneous case.
+[[nodiscard]] ClusterConfig make_homogeneous_cluster(int n,
+                                                     const NodeParams& node,
+                                                     std::uint64_t seed = 1);
+
+/// Randomized heterogeneous cluster for property tests. Parameters are
+/// drawn from realistic ranges (fixed delays 30..120 us, per-byte delays
+/// 40..160 ns/B, 100 Mbit or 1 Gbit NICs).
+[[nodiscard]] ClusterConfig make_random_cluster(int n, std::uint64_t seed);
+
+}  // namespace lmo::sim

@@ -1,0 +1,145 @@
+#include "simnet/config_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lmo::sim {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+std::string to_text(const ClusterConfig& cfg) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "[cluster]\n";
+  os << "switch_latency_s = " << cfg.switch_latency_s << "\n";
+  os << "noise_rel = " << cfg.noise_rel << "\n";
+  os << "seed = " << cfg.seed << "\n";
+  const auto& q = cfg.quirks;
+  os << "[quirks]\n";
+  os << "enabled = " << (q.enabled ? 1 : 0) << "\n";
+  os << "rendezvous_threshold = " << q.rendezvous_threshold << "\n";
+  os << "escalation_min = " << q.escalation_min << "\n";
+  os << "escalation_peak_prob = " << q.escalation_peak_prob << "\n";
+  os << "frag_threshold = " << q.frag_threshold << "\n";
+  os << "frag_leap_s = " << q.frag_leap_s << "\n";
+  os << "send_buffer = " << q.send_buffer << "\n";
+  auto emit_list = [&os](const char* key, const std::vector<double>& v) {
+    os << key << " = ";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) os << ", ";
+      os << v[i];
+    }
+    os << "\n";
+  };
+  emit_list("escalation_values_s", q.escalation_values_s);
+  emit_list("escalation_weights", q.escalation_weights);
+  for (const auto& n : cfg.nodes) {
+    os << "[node]\n";
+    os << "label = " << n.label << "\n";
+    os << "type = " << n.type << "\n";
+    os << "fixed_delay_s = " << n.fixed_delay_s << "\n";
+    os << "per_byte_s = " << n.per_byte_s << "\n";
+    os << "link_rate_bps = " << n.link_rate_bps << "\n";
+    os << "latency_s = " << n.latency_s << "\n";
+  }
+  return os.str();
+}
+
+ClusterConfig cluster_from_text(const std::string& text) {
+  ClusterConfig cfg;
+  cfg.nodes.clear();
+  std::istringstream is(text);
+  std::string line, section;
+  int lineno = 0;
+  NodeParams* node = nullptr;
+  while (std::getline(is, line)) {
+    ++lineno;
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = line.substr(1, line.size() - 2);
+      if (section == "node") {
+        cfg.nodes.emplace_back();
+        node = &cfg.nodes.back();
+      }
+      continue;
+    }
+    const auto eq = line.find('=');
+    LMO_CHECK_MSG(eq != std::string::npos,
+                  "config line " + std::to_string(lineno) + ": missing '='");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    auto d = [&] { return std::stod(value); };
+    auto ll = [&] { return std::stoll(value); };
+    try {
+      if (section == "cluster") {
+        if (key == "switch_latency_s") cfg.switch_latency_s = d();
+        else if (key == "noise_rel") cfg.noise_rel = d();
+        else if (key == "seed") cfg.seed = std::uint64_t(ll());
+        else LMO_CHECK_MSG(false, "unknown cluster key: " + key);
+      } else if (section == "quirks") {
+        auto& q = cfg.quirks;
+        if (key == "enabled") q.enabled = ll() != 0;
+        else if (key == "rendezvous_threshold") q.rendezvous_threshold = ll();
+        else if (key == "escalation_min") q.escalation_min = ll();
+        else if (key == "escalation_peak_prob") q.escalation_peak_prob = d();
+        else if (key == "frag_threshold") q.frag_threshold = ll();
+        else if (key == "frag_leap_s") q.frag_leap_s = d();
+        else if (key == "send_buffer") q.send_buffer = ll();
+        else if (key == "escalation_values_s" ||
+                 key == "escalation_weights") {
+          std::vector<double> row;
+          std::istringstream cells(value);
+          std::string cell;
+          while (std::getline(cells, cell, ','))
+            row.push_back(std::stod(trim(cell)));
+          (key == "escalation_values_s" ? q.escalation_values_s
+                                        : q.escalation_weights) =
+              std::move(row);
+        } else LMO_CHECK_MSG(false, "unknown quirks key: " + key);
+      } else if (section == "node") {
+        LMO_CHECK_MSG(node != nullptr, "node key outside [node] section");
+        if (key == "label") node->label = value;
+        else if (key == "type") node->type = int(ll());
+        else if (key == "fixed_delay_s") node->fixed_delay_s = d();
+        else if (key == "per_byte_s") node->per_byte_s = d();
+        else if (key == "link_rate_bps") node->link_rate_bps = d();
+        else if (key == "latency_s") node->latency_s = d();
+        else LMO_CHECK_MSG(false, "unknown node key: " + key);
+      } else {
+        LMO_CHECK_MSG(false, "unknown section: " + section);
+      }
+    } catch (const std::invalid_argument&) {
+      throw Error("config line " + std::to_string(lineno) +
+                  ": bad number '" + value + "'");
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+void save_cluster(const ClusterConfig& cfg, const std::string& path) {
+  std::ofstream os(path);
+  LMO_CHECK_MSG(os.good(), "cannot open " + path + " for writing");
+  os << to_text(cfg);
+  LMO_CHECK_MSG(os.good(), "write failed: " + path);
+}
+
+ClusterConfig load_cluster(const std::string& path) {
+  std::ifstream is(path);
+  LMO_CHECK_MSG(is.good(), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return cluster_from_text(buffer.str());
+}
+
+}  // namespace lmo::sim

@@ -1,0 +1,29 @@
+// Text serialization of cluster configurations.
+//
+// The paper's software tool [13] persists what it learns about a cluster;
+// we do the same for both the simulated cluster description and (in
+// core/params_io) the estimated model parameters. The format is a simple
+// line-oriented "key = value" file with [section] headers — diffable,
+// hand-editable, and stable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "simnet/cluster.hpp"
+
+namespace lmo::sim {
+
+/// Serialize the full configuration (nodes, quirks, noise, seed).
+[[nodiscard]] std::string to_text(const ClusterConfig& cfg);
+
+/// Parse a configuration previously produced by to_text(); throws
+/// lmo::Error with a line number on malformed input. The result is
+/// validate()d.
+[[nodiscard]] ClusterConfig cluster_from_text(const std::string& text);
+
+/// File helpers.
+void save_cluster(const ClusterConfig& cfg, const std::string& path);
+[[nodiscard]] ClusterConfig load_cluster(const std::string& path);
+
+}  // namespace lmo::sim

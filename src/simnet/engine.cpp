@@ -1,0 +1,36 @@
+#include "simnet/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace lmo::sim {
+
+void Engine::schedule_at(SimTime t, Action fn) {
+  LMO_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // Move the action out before popping so the queue can be mutated by the
+  // action itself.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+SimTime Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void Engine::reset() {
+  now_ = SimTime::zero();
+  executed_ = 0;
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace lmo::sim

@@ -1,0 +1,64 @@
+// Discrete-event engine.
+//
+// Deterministic: events at equal timestamps fire in insertion order, and all
+// time is integer nanoseconds, so a simulation is bit-reproducible for a
+// given seed regardless of platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace lmo::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now).
+  void schedule_at(SimTime t, Action fn);
+
+  /// Schedule `fn` `dt` after now.
+  void schedule_after(SimTime dt, Action fn) { schedule_at(now_ + dt, std::move(fn)); }
+
+  /// Pop and execute the earliest event. Returns false if the queue was
+  /// empty.
+  bool step();
+
+  /// Run until the event queue drains. Returns the final time.
+  SimTime run();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Reset the clock and drop pending events (used between measurement
+  /// repetitions; the caller is responsible for not leaking suspended
+  /// coroutines into a reset).
+  void reset();
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace lmo::sim

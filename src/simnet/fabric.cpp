@@ -1,0 +1,142 @@
+#include "simnet/fabric.hpp"
+
+#include <cmath>
+
+namespace lmo::sim {
+
+namespace {
+/// A zero-byte MPI message still costs one minimal Ethernet frame.
+constexpr Bytes kMinFrame = 64;
+}  // namespace
+
+Fabric::Fabric(const ClusterConfig& cfg) : cfg_(&cfg) {
+  cfg.validate();
+  const auto n = std::size_t(cfg.size());
+  egress_.resize(n);
+  ingress_.resize(n);
+  inflows_.assign(n, 0);
+  Rng seeder(cfg.seed);
+  node_rng_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) node_rng_.push_back(seeder.split());
+}
+
+SimTime Fabric::noised(double seconds, Rng& rng) {
+  if (cfg_->noise_rel <= 0) return SimTime::from_seconds_clamped(seconds);
+  // One-sided noise: OS jitter and cache effects only ever add time.
+  const double jitter = std::fabs(rng.normal()) * cfg_->noise_rel;
+  return SimTime::from_seconds_clamped(seconds * (1.0 + jitter));
+}
+
+SimTime Fabric::send_cpu_cost(int src, Bytes n, bool pipelined) {
+  LMO_CHECK(src >= 0 && src < size());
+  LMO_CHECK(n >= 0);
+  const NodeParams& node = cfg_->nodes[std::size_t(src)];
+  double cost = node.fixed_delay_s + double(n) * node.per_byte_s;
+  const TcpQuirks& q = cfg_->quirks;
+  if (q.enabled && pipelined && n >= q.frag_threshold) {
+    const auto crossings = n / q.frag_threshold;
+    cost += q.frag_leap_s * double(crossings);
+    counters_.leaps += std::uint64_t(crossings);
+  }
+  return noised(cost, node_rng_[std::size_t(src)]);
+}
+
+SimTime Fabric::recv_cpu_cost(int dst, Bytes n) {
+  LMO_CHECK(dst >= 0 && dst < size());
+  LMO_CHECK(n >= 0);
+  const NodeParams& node = cfg_->nodes[std::size_t(dst)];
+  return noised(node.fixed_delay_s + double(n) * node.per_byte_s,
+                node_rng_[std::size_t(dst)]);
+}
+
+double Fabric::escalation_seconds(int dst, Bytes n) {
+  const TcpQuirks& q = cfg_->quirks;
+  if (!q.enabled) return 0.0;
+  if (n <= q.escalation_min || n > q.rendezvous_threshold) return 0.0;
+  if (inflows_[std::size_t(dst)] < 1) return 0.0;  // needs converging traffic
+  const double band =
+      double(n - q.escalation_min) /
+      double(q.rendezvous_threshold - q.escalation_min);
+  const double p = q.escalation_peak_prob * (0.4 + 0.6 * band);
+  Rng& rng = node_rng_[std::size_t(dst)];
+  if (!rng.chance(p)) return 0.0;
+  // Draw one of the discrete retransmission-timeout magnitudes.
+  double total_w = 0.0;
+  for (double w : q.escalation_weights) total_w += w;
+  double pick = rng.uniform() * total_w;
+  for (std::size_t i = 0; i < q.escalation_values_s.size(); ++i) {
+    pick -= q.escalation_weights[i];
+    if (pick <= 0) return q.escalation_values_s[i];
+  }
+  return q.escalation_values_s.back();
+}
+
+WireTiming Fabric::transfer(int src, int dst, Bytes n, SimTime ready) {
+  LMO_CHECK(src >= 0 && src < size());
+  LMO_CHECK(dst >= 0 && dst < size());
+  LMO_CHECK_MSG(src != dst, "self-transfer does not touch the fabric");
+  LMO_CHECK(n >= 0);
+  ++counters_.transfers;
+
+  const Bytes frame_bytes = n < kMinFrame ? kMinFrame : n;
+  const double rate = cfg_->rate(src, dst);
+  const SimTime wire_time =
+      noised(double(frame_bytes) / rate, node_rng_[std::size_t(src)]);
+  const SimTime latency = wire_latency(src, dst);
+
+  WireTiming w;
+  w.egress_start = egress_[std::size_t(src)].reserve(ready, wire_time);
+  w.egress_end = w.egress_start + wire_time;
+  // Cut-through at the switch: the ingress port starts receiving one
+  // latency after the first byte left, and is occupied for the same wire
+  // time (both ports run at beta_ij = min of the two line rates).
+  const SimTime ingress_start =
+      ingress_[std::size_t(dst)].reserve(w.egress_start + latency, wire_time);
+  w.escalation = SimTime::from_seconds_clamped(escalation_seconds(dst, n));
+  if (w.escalation > SimTime::zero()) ++counters_.escalations;
+  w.arrival = ingress_start + wire_time + w.escalation;
+  return w;
+}
+
+bool Fabric::use_rendezvous(Bytes n) const {
+  const TcpQuirks& q = cfg_->quirks;
+  return q.enabled && n > q.rendezvous_threshold;
+}
+
+SimTime Fabric::wire_latency(int src, int dst) const {
+  return SimTime::from_seconds(cfg_->latency(src, dst));
+}
+
+bool Fabric::egress_busy(int src, SimTime t) const {
+  LMO_CHECK(src >= 0 && src < size());
+  return egress_[std::size_t(src)].busy_at(t);
+}
+
+SimTime Fabric::send_buffer_time(int src, int dst) const {
+  return SimTime::from_seconds(double(cfg_->quirks.send_buffer) /
+                               cfg_->rate(src, dst));
+}
+
+void Fabric::begin_inflow(int dst) {
+  LMO_CHECK(dst >= 0 && dst < size());
+  ++inflows_[std::size_t(dst)];
+}
+
+void Fabric::end_inflow(int dst) {
+  LMO_CHECK(dst >= 0 && dst < size());
+  LMO_CHECK(inflows_[std::size_t(dst)] > 0);
+  --inflows_[std::size_t(dst)];
+}
+
+int Fabric::inflows(int dst) const {
+  LMO_CHECK(dst >= 0 && dst < size());
+  return inflows_[std::size_t(dst)];
+}
+
+void Fabric::reset_timelines() {
+  for (auto& t : egress_) t.reset();
+  for (auto& t : ingress_) t.reset();
+  for (auto& c : inflows_) c = 0;
+}
+
+}  // namespace lmo::sim

@@ -1,0 +1,35 @@
+// A serially reusable resource (CPU, NIC egress/ingress wire).
+//
+// Reservations are FIFO: a request made at `earliest` starts no earlier than
+// the previous reservation ends. This models store-and-forward serialization
+// at a single port; the switch fabric itself is contention-free between
+// disjoint ports (paper Section IV).
+#pragma once
+
+#include "util/time.hpp"
+
+namespace lmo::sim {
+
+class Timeline {
+ public:
+  /// Reserve `duration` starting no earlier than `earliest`; returns the
+  /// actual start time.
+  SimTime reserve(SimTime earliest, SimTime duration) {
+    const SimTime start = lmo::max(earliest, free_);
+    free_ = start + duration;
+    return start;
+  }
+
+  /// When the resource next becomes idle.
+  [[nodiscard]] SimTime next_free() const { return free_; }
+
+  /// True if a reservation at `t` would have to queue.
+  [[nodiscard]] bool busy_at(SimTime t) const { return free_ > t; }
+
+  void reset() { free_ = SimTime::zero(); }
+
+ private:
+  SimTime free_ = SimTime::zero();
+};
+
+}  // namespace lmo::sim

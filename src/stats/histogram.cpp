@@ -1,0 +1,63 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lmo::stats {
+
+std::vector<Mode> find_modes(std::vector<double> samples, double tolerance) {
+  LMO_CHECK(tolerance > 0);
+  std::sort(samples.begin(), samples.end());
+  std::vector<Mode> modes;
+  std::size_t i = 0;
+  while (i < samples.size()) {
+    double sum = samples[i];
+    std::size_t count = 1;
+    std::size_t j = i + 1;
+    while (j < samples.size() && samples[j] - sum / double(count) <= tolerance) {
+      sum += samples[j];
+      ++count;
+      ++j;
+    }
+    modes.push_back({sum / double(count), count, 0.0});
+    i = j;
+  }
+  for (auto& m : modes) m.frequency = double(m.count) / double(samples.size());
+  std::sort(modes.begin(), modes.end(),
+            [](const Mode& a, const Mode& b) { return a.count > b.count; });
+  return modes;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  LMO_CHECK(hi > lo);
+  LMO_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double w = (hi_ - lo_) / double(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / w);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   std::ptrdiff_t(counts_.size()) - 1);
+  ++counts_[std::size_t(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  LMO_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  LMO_CHECK(i < counts_.size());
+  const double w = (hi_ - lo_) / double(counts_.size());
+  return lo_ + (double(i) + 0.5) * w;
+}
+
+double Histogram::mode() const {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return bin_center(std::size_t(it - counts_.begin()));
+}
+
+}  // namespace lmo::stats

@@ -1,0 +1,46 @@
+// Histograms and mode detection for the empirical part of the LMO model.
+//
+// Section V: for medium message sizes the LMO model records "the most
+// frequent values of escalations and their probability" in the execution
+// time of linear gather. We cluster observed escalation magnitudes within a
+// tolerance and report the modes with their empirical frequencies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lmo::stats {
+
+struct Mode {
+  double value = 0.0;      ///< cluster centroid
+  std::size_t count = 0;   ///< samples in the cluster
+  double frequency = 0.0;  ///< count / total samples
+};
+
+/// Greedy 1-d clustering: samples within `tolerance` (relative to the
+/// running centroid, absolute units) merge into one mode. Returned sorted
+/// by descending count.
+[[nodiscard]] std::vector<Mode> find_modes(std::vector<double> samples,
+                                           double tolerance);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  /// Center of the fullest bin.
+  [[nodiscard]] double mode() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace lmo::stats

@@ -1,0 +1,43 @@
+#include "stats/piecewise.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lmo::stats {
+
+void PiecewiseLinear::add_point(double x, double y) {
+  auto it = std::lower_bound(xs_.begin(), xs_.end(), x);
+  const auto idx = std::size_t(it - xs_.begin());
+  if (it != xs_.end() && *it == x) {
+    ys_[idx] = y;
+    return;
+  }
+  xs_.insert(it, x);
+  ys_.insert(ys_.begin() + std::ptrdiff_t(idx), y);
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  LMO_CHECK_MSG(!xs_.empty(), "evaluating empty piecewise function");
+  if (xs_.size() == 1) return ys_.front();
+  // Segment selection: clamp to the end segments for extrapolation.
+  auto it = std::lower_bound(xs_.begin(), xs_.end(), x);
+  std::size_t hi = std::size_t(it - xs_.begin());
+  if (hi == 0) hi = 1;
+  if (hi >= xs_.size()) hi = xs_.size() - 1;
+  const std::size_t lo = hi - 1;
+  const double x0 = xs_[lo], x1 = xs_[hi];
+  const double y0 = ys_[lo], y1 = ys_[hi];
+  const double w = (x - x0) / (x1 - x0);
+  return y0 + w * (y1 - y0);
+}
+
+double PiecewiseLinear::extrapolate_from_last_two(double x) const {
+  LMO_CHECK(xs_.size() >= 2);
+  const std::size_t n = xs_.size();
+  const double x0 = xs_[n - 2], x1 = xs_[n - 1];
+  const double y0 = ys_[n - 2], y1 = ys_[n - 1];
+  return y0 + (x - x0) * (y1 - y0) / (x1 - x0);
+}
+
+}  // namespace lmo::stats

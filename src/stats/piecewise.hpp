@@ -1,0 +1,39 @@
+// Piecewise-linear functions of message size.
+//
+// The PLogP model's parameters o_s(M), o_r(M), g(M) are piecewise-linear
+// functions built up adaptively: when the measurement at a new size is not
+// consistent with linear extrapolation of the previous two breakpoints, the
+// estimator bisects (Kielmann et al., and Section II of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lmo::stats {
+
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Insert (or overwrite) a breakpoint. Keeps points sorted by x.
+  void add_point(double x, double y);
+
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] const std::vector<double>& xs() const { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const { return ys_; }
+
+  /// Evaluate with interpolation between breakpoints and linear
+  /// extrapolation beyond the ends (constant if only one point).
+  [[nodiscard]] double operator()(double x) const;
+
+  /// The y-value linear extrapolation of the last two breakpoints predicts
+  /// at x; requires >= 2 points.
+  [[nodiscard]] double extrapolate_from_last_two(double x) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace lmo::stats

@@ -1,0 +1,91 @@
+#include "stats/students_t.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace lmo::stats {
+
+namespace {
+
+// Rows: df 1..30, then 40, 60, 120, inf. Columns: 90%, 95%, 99% two-sided.
+struct Row {
+  double df;
+  double q90, q95, q99;
+};
+constexpr std::array<Row, 34> kTable = {{
+    {1, 6.314, 12.706, 63.657},  {2, 2.920, 4.303, 9.925},
+    {3, 2.353, 3.182, 5.841},    {4, 2.132, 2.776, 4.604},
+    {5, 2.015, 2.571, 4.032},    {6, 1.943, 2.447, 3.707},
+    {7, 1.895, 2.365, 3.499},    {8, 1.860, 2.306, 3.355},
+    {9, 1.833, 2.262, 3.250},    {10, 1.812, 2.228, 3.169},
+    {11, 1.796, 2.201, 3.106},   {12, 1.782, 2.179, 3.055},
+    {13, 1.771, 2.160, 3.012},   {14, 1.761, 2.145, 2.977},
+    {15, 1.753, 2.131, 2.947},   {16, 1.746, 2.120, 2.921},
+    {17, 1.740, 2.110, 2.898},   {18, 1.734, 2.101, 2.878},
+    {19, 1.729, 2.093, 2.861},   {20, 1.725, 2.086, 2.845},
+    {21, 1.721, 2.080, 2.831},   {22, 1.717, 2.074, 2.819},
+    {23, 1.714, 2.069, 2.807},   {24, 1.711, 2.064, 2.797},
+    {25, 1.708, 2.060, 2.787},   {26, 1.706, 2.056, 2.779},
+    {27, 1.703, 2.052, 2.771},   {28, 1.701, 2.048, 2.763},
+    {29, 1.699, 2.045, 2.756},   {30, 1.697, 2.042, 2.750},
+    {40, 1.684, 2.021, 2.704},   {60, 1.671, 2.000, 2.660},
+    {120, 1.658, 1.980, 2.617},  {1e9, 1.645, 1.960, 2.576},
+}};
+
+double column(const Row& r, int c) {
+  switch (c) {
+    case 0: return r.q90;
+    case 1: return r.q95;
+    default: return r.q99;
+  }
+}
+
+double lookup(double df, int c) {
+  if (df <= kTable.front().df) return column(kTable.front(), c);
+  for (std::size_t i = 1; i < kTable.size(); ++i) {
+    if (df <= kTable[i].df) {
+      const Row& lo = kTable[i - 1];
+      const Row& hi = kTable[i];
+      // Interpolate in 1/df, which is nearly linear for t quantiles.
+      const double x = 1.0 / df, x0 = 1.0 / lo.df, x1 = 1.0 / hi.df;
+      const double w = (x - x0) / (x1 - x0);
+      return column(lo, c) + w * (column(hi, c) - column(lo, c));
+    }
+  }
+  return column(kTable.back(), c);
+}
+
+}  // namespace
+
+double t_critical(double confidence, std::size_t df) {
+  LMO_CHECK_MSG(df >= 1, "need at least 1 degree of freedom");
+  LMO_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
+                "confidence must be in (0,1)");
+  const double d = double(df);
+  if (confidence <= 0.90) return lookup(d, 0);
+  if (confidence >= 0.99) return lookup(d, 2);
+  if (confidence <= 0.95) {
+    const double w = (confidence - 0.90) / 0.05;
+    return (1 - w) * lookup(d, 0) + w * lookup(d, 1);
+  }
+  const double w = (confidence - 0.95) / 0.04;
+  return (1 - w) * lookup(d, 1) + w * lookup(d, 2);
+}
+
+double ConfidenceInterval::relative_error() const {
+  if (mean == 0.0) return half_width == 0.0 ? 0.0 : 1.0;
+  return std::fabs(half_width / mean);
+}
+
+ConfidenceInterval confidence_interval(const RunningStats& s,
+                                       double confidence) {
+  LMO_CHECK_MSG(s.count() >= 2, "confidence interval needs >= 2 samples");
+  const double t = t_critical(confidence, s.count() - 1);
+  return {s.mean(), t * s.sem()};
+}
+
+}  // namespace lmo::stats

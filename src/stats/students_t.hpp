@@ -1,0 +1,34 @@
+// Student-t quantiles and confidence intervals.
+//
+// MPIBlib-style benchmarking repeats a communication experiment until the
+// half-width of the confidence interval shrinks below rel_err * mean
+// (the paper uses 95% confidence, 2.5% relative error). We provide the
+// two-sided t quantile for the confidence levels used in practice by table
+// lookup with interpolation over degrees of freedom.
+#pragma once
+
+#include <cstddef>
+
+namespace lmo::stats {
+
+/// Two-sided Student-t critical value: P(|T_df| <= t) = confidence.
+/// Supported confidence levels: 0.90, 0.95, 0.99 (others are interpolated
+/// between the nearest supported levels). df >= 1.
+[[nodiscard]] double t_critical(double confidence, std::size_t df);
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+  /// half_width / mean, guarding mean == 0.
+  [[nodiscard]] double relative_error() const;
+};
+
+class RunningStats;
+
+/// CI of the mean from a summary; n must be >= 2.
+[[nodiscard]] ConfidenceInterval confidence_interval(const RunningStats& s,
+                                                     double confidence);
+
+}  // namespace lmo::stats

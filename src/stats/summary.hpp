@@ -1,0 +1,41 @@
+// Streaming summary statistics (Welford) used by every measurement loop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lmo::stats {
+
+/// Numerically stable streaming mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * double(n_); }
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot helpers.
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+[[nodiscard]] double median_of(std::vector<double> xs);  // by value: sorts
+[[nodiscard]] double stddev_of(const std::vector<double>& xs);
+
+}  // namespace lmo::stats

@@ -1,0 +1,47 @@
+#include "trees/mapping.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace lmo::trees {
+
+std::vector<int> default_mapping(int n, int root) {
+  LMO_CHECK(n >= 1);
+  LMO_CHECK(root >= 0 && root < n);
+  std::vector<int> m(std::size_t(n), 0);
+  for (int v = 0; v < n; ++v) m[std::size_t(v)] = (v + root) % n;
+  return m;
+}
+
+MappingResult optimize_mapping(int n, int root, const MappingCost& cost,
+                               int max_rounds) {
+  LMO_CHECK(n >= 1);
+  MappingResult best;
+  best.mapping = default_mapping(n, root);
+  best.cost = cost(best.mapping);
+  best.evaluations = 1;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    // Swap every non-root pair of virtual positions.
+    for (int a = 1; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        std::swap(best.mapping[std::size_t(a)], best.mapping[std::size_t(b)]);
+        const double c = cost(best.mapping);
+        ++best.evaluations;
+        if (c + 1e-15 < best.cost) {
+          best.cost = c;
+          improved = true;
+        } else {
+          std::swap(best.mapping[std::size_t(a)],
+                    best.mapping[std::size_t(b)]);
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace lmo::trees

@@ -1,0 +1,36 @@
+// Heterogeneous processor-to-tree-node mapping optimization.
+//
+// On a heterogeneous cluster the execution time of a binomial collective
+// depends on which physical processor sits at which node of the virtual
+// tree (paper Section I, citing Hatta & Shibusawa). Given a cost oracle —
+// typically an LMO- or Hockney-based prediction of the mapped tree — we
+// search the permutation space with a greedy seed followed by pairwise-swap
+// hill climbing. The root's physical processor stays fixed (the data lives
+// there).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace lmo::trees {
+
+/// Cost of a candidate mapping: mapping[v] = physical rank of virtual
+/// rank v; mapping[0] is the root and is never moved.
+using MappingCost = std::function<double(const std::vector<int>&)>;
+
+struct MappingResult {
+  std::vector<int> mapping;
+  double cost = 0.0;
+  int evaluations = 0;
+};
+
+/// Identity mapping with the MPI root offset: v -> (v + root) mod n.
+[[nodiscard]] std::vector<int> default_mapping(int n, int root);
+
+/// Pairwise-swap hill climbing from the default mapping; terminates at a
+/// local optimum or after max_rounds full sweeps.
+[[nodiscard]] MappingResult optimize_mapping(int n, int root,
+                                             const MappingCost& cost,
+                                             int max_rounds = 8);
+
+}  // namespace lmo::trees

@@ -1,0 +1,25 @@
+// Message sizes in bytes, with the literals used throughout the paper
+// (message-size sweeps are quoted in KB).
+#pragma once
+
+#include <cstdint>
+
+namespace lmo {
+
+/// Message size in bytes. A plain alias (not a strong type): sizes enter
+/// arithmetic with rates and counts constantly and never mix with times.
+using Bytes = std::int64_t;
+
+namespace literals {
+constexpr Bytes operator""_B(unsigned long long v) {
+  return static_cast<Bytes>(v);
+}
+constexpr Bytes operator""_KB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024;
+}
+constexpr Bytes operator""_MB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024 * 1024;
+}
+}  // namespace literals
+
+}  // namespace lmo

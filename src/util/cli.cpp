@@ -1,0 +1,57 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lmo {
+
+Cli::Cli(int argc, const char* const* argv, std::vector<std::string> known) {
+  auto is_known = [&](const std::string& n) {
+    return known.empty() || std::find(known.begin(), known.end(), n) != known.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value = "true";
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    LMO_CHECK_MSG(is_known(name), "unknown option --" + name);
+    values_[name] = std::move(value);
+  }
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace lmo

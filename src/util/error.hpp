@@ -1,0 +1,46 @@
+// Error handling primitives shared by all lmo libraries.
+//
+// We use exceptions for unrecoverable precondition violations (the Core
+// Guidelines E.* rules): LMO_CHECK throws lmo::Error with a formatted
+// location, and LMO_ASSERT compiles to LMO_CHECK in all build types because
+// the library is used for experiments where silent corruption is worse than
+// the (tiny) branch cost.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace lmo {
+
+/// Exception type thrown by all lmo libraries on precondition violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const std::string& msg,
+                              const std::source_location loc) {
+  std::string full = std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": check failed: " + expr;
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace lmo
+
+#define LMO_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::lmo::detail::fail(#expr, "", std::source_location::current());   \
+  } while (0)
+
+#define LMO_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::lmo::detail::fail(#expr, (msg), std::source_location::current()); \
+  } while (0)
+
+#define LMO_ASSERT(expr) LMO_CHECK(expr)

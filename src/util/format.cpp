@@ -1,0 +1,54 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lmo {
+
+namespace {
+std::string printf_str(const char* fmt, double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  std::string out = buf;
+  out += unit;
+  return out;
+}
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  const double v = double(b);
+  if (b < 1024) return std::to_string(b) + " B";
+  if (b < 1024 * 1024) {
+    const double kb = v / 1024.0;
+    return kb == std::floor(kb) ? printf_str("%.0f", kb, " KB")
+                                : printf_str("%.1f", kb, " KB");
+  }
+  const double mb = v / (1024.0 * 1024.0);
+  return mb == std::floor(mb) ? printf_str("%.0f", mb, " MB")
+                              : printf_str("%.2f", mb, " MB");
+}
+
+std::string format_seconds(double s) {
+  const double a = std::fabs(s);
+  if (a == 0.0) return "0 s";
+  if (a < 1e-6) return printf_str("%.3g", s * 1e9, " ns");
+  if (a < 1e-3) return printf_str("%.3g", s * 1e6, " us");
+  if (a < 1.0) return printf_str("%.3g", s * 1e3, " ms");
+  return printf_str("%.3g", s, " s");
+}
+
+std::string format_time(SimTime t) { return format_seconds(t.seconds()); }
+
+std::string format_fixed(double v, int decimals) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof fmt, "%%.%df", decimals);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+std::string format_percent(double fraction) {
+  return format_fixed(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace lmo

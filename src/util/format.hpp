@@ -1,0 +1,24 @@
+// Human-readable formatting of sizes and durations for bench/example output.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace lmo {
+
+/// "64 KB", "1.5 MB", "512 B". Powers of 1024.
+[[nodiscard]] std::string format_bytes(Bytes b);
+
+/// "1.234 ms", "56.7 us", "2.34 s" — three significant digits.
+[[nodiscard]] std::string format_time(SimTime t);
+[[nodiscard]] std::string format_seconds(double s);
+
+/// Fixed-point with the given number of decimals.
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+/// Percentage with one decimal, e.g. "12.3%".
+[[nodiscard]] std::string format_percent(double fraction);
+
+}  // namespace lmo

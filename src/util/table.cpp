@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace lmo {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LMO_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  LMO_CHECK_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  LMO_CHECK(i < rows_.size());
+  return rows_[i];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << r[c];
+      if (c + 1 < r.size())
+        os << std::string(width[c] - r[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << quote(r[c]);
+      if (c + 1 < r.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace lmo

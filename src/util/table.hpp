@@ -1,0 +1,36 @@
+// Aligned ASCII tables and CSV output for the benchmark harnesses.
+//
+// Every bench binary reproducing a paper figure prints one ASCII table
+// (the series that would be plotted) and can optionally emit CSV for
+// external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lmo {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated with minimal quoting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lmo

@@ -1,0 +1,98 @@
+// SimTime: simulated time as a strong integer nanosecond type.
+//
+// The discrete-event engine and the vmpi layer operate on integer
+// nanoseconds so that event ordering is exact and runs are bit-reproducible.
+// Analytical model code works in double seconds; conversions are explicit.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lmo {
+
+/// A point in (or span of) simulated time, in integer nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return double(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double micros() const { return double(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double millis() const { return double(ns_) * 1e-6; }
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+  /// Nearest-integer conversion from floating seconds. Negative durations
+  /// (possible transient artifacts of noisy arithmetic) clamp to zero in
+  /// from_seconds_clamped.
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr SimTime from_seconds_clamped(double s) {
+    return s <= 0 ? zero() : from_seconds(s);
+  }
+  static constexpr SimTime from_micros(double us) {
+    return from_seconds(us * 1e-6);
+  }
+  static constexpr SimTime from_millis(double ms) {
+    return from_seconds(ms * 1e-3);
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ / k};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+[[nodiscard]] constexpr SimTime max(SimTime a, SimTime b) {
+  return a < b ? b : a;
+}
+[[nodiscard]] constexpr SimTime min(SimTime a, SimTime b) {
+  return a < b ? a : b;
+}
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime{static_cast<std::int64_t>(v)};
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime{static_cast<std::int64_t>(v) * 1000};
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime{static_cast<std::int64_t>(v) * 1000000};
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime{static_cast<std::int64_t>(v) * 1000000000};
+}
+}  // namespace literals
+
+}  // namespace lmo

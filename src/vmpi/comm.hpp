@@ -1,0 +1,171 @@
+// Comm: the MPI-like interface a rank program communicates through.
+//
+// Semantics mirror MPI point-to-point over TCP:
+//  * send() is blocking; for messages up to the rendezvous threshold it is
+//    eager (returns once the data is buffered/handed to the NIC), above it
+//    it is rendezvous (synchronizes with the matching recv);
+//  * recv() is blocking and matches by (source, tag) preserving the
+//    non-overtaking order per (source, destination, tag);
+//  * isend()/irecv() return a Request to co_await via wait(); any number of
+//    requests may be outstanding. Background receive processing serializes
+//    on the node's progress engine;
+//  * compute() charges local per-message processing (C_i + n t_i) — used
+//    by reduction-style collectives;
+//  * message payloads are not simulated — only sizes and times are.
+#pragma once
+
+#include <coroutine>
+#include <memory>
+
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace lmo::vmpi {
+
+class World;
+class Comm;
+
+/// Matches any tag in recv()/irecv().
+inline constexpr int kAnyTag = -1;
+
+namespace detail {
+/// Shared completion state of one communication operation.
+struct OpState {
+  bool has_completion = false;
+  SimTime completion;
+  Bytes bytes = 0;
+  // At most one waiter (the owning rank's coroutine).
+  std::coroutine_handle<> waiter = {};
+  int waiter_rank = -1;
+  SimTime waiter_post;
+};
+}  // namespace detail
+
+/// Handle to an outstanding isend/irecv.
+class Request {
+ public:
+  Request() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  /// True once the operation's completion time is determined (it may still
+  /// lie in the simulated future).
+  [[nodiscard]] bool matched() const {
+    return state_ && state_->has_completion;
+  }
+  /// Message size (receives: valid after wait()).
+  [[nodiscard]] Bytes bytes() const { return state_ ? state_->bytes : 0; }
+
+ private:
+  friend class World;
+  friend class Comm;
+  friend struct WaitOp;
+  explicit Request(std::shared_ptr<detail::OpState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::OpState> state_;
+};
+
+struct SendOp {
+  World* world;
+  int src;
+  int dst;
+  int tag;
+  Bytes bytes;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+struct RecvOp {
+  World* world;
+  int dst;
+  int src;
+  int tag;
+  std::shared_ptr<detail::OpState> state;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  /// Returns the received message size.
+  Bytes await_resume() const noexcept { return state->bytes; }
+};
+
+struct WaitOp {
+  World* world;
+  int rank;
+  std::shared_ptr<detail::OpState> state;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  /// Returns the message size (receives) or 0 (sends).
+  Bytes await_resume() const noexcept { return state->bytes; }
+};
+
+struct SleepOp {
+  World* world;
+  int rank;
+  SimTime duration;
+
+  bool await_ready() const noexcept { return duration <= SimTime::zero(); }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+struct ComputeOp {
+  World* world;
+  int rank;
+  Bytes bytes;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+struct BarrierOp {
+  World* world;
+  int rank;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+class Comm {
+ public:
+  Comm() = default;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  /// Current simulated time at this rank.
+  [[nodiscard]] SimTime now() const;
+
+  /// Blocking send of `n` bytes to `dst`. co_await the result.
+  [[nodiscard]] SendOp send(int dst, Bytes n, int tag = 0);
+  /// Blocking receive from `src` (specific source or kAnyTag wildcard tag).
+  /// co_await yields the message size.
+  [[nodiscard]] RecvOp recv(int src, int tag = 0);
+
+  /// Nonblocking send/receive; complete with wait().
+  [[nodiscard]] Request isend(int dst, Bytes n, int tag = 0);
+  [[nodiscard]] Request irecv(int src, int tag = 0);
+  /// Await one request's completion; yields the message size.
+  [[nodiscard]] WaitOp wait(const Request& r);
+
+  /// Advance this rank's local time without using any resource.
+  [[nodiscard]] SleepOp sleep(SimTime dt);
+  /// Local per-message processing of n bytes: C_i + n t_i (with noise) —
+  /// the combine step of reductions.
+  [[nodiscard]] ComputeOp compute(Bytes n);
+  /// Synchronize all active ranks of the world.
+  [[nodiscard]] BarrierOp barrier();
+
+  [[nodiscard]] World* world() const { return world_; }
+
+ private:
+  friend class World;
+  Comm(World* w, int r) : world_(w), rank_(r) {}
+
+  World* world_ = nullptr;
+  int rank_ = -1;
+};
+
+}  // namespace lmo::vmpi

@@ -1,0 +1,102 @@
+// Coroutine task type for rank programs.
+//
+// A rank program is a coroutine that co_awaits communication operations;
+// the World's discrete-event engine resumes it when the operation
+// completes in simulated time. Tasks start suspended (the World launches
+// them at t=0), support co_await-ing sub-tasks via symmetric transfer
+// (collective algorithms are themselves Tasks), and propagate exceptions to
+// the World.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace lmo::vmpi {
+
+class Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) const noexcept {
+        const auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return bool(h_); }
+  [[nodiscard]] bool done() const { return h_ && h_.done(); }
+
+  /// Launch a top-level task (resume from the initial suspend point).
+  void start() {
+    LMO_CHECK(h_ && !h_.done());
+    h_.resume();
+  }
+
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().exception)
+      std::rethrow_exception(h_.promise().exception);
+  }
+
+  /// Awaiting a task runs it to completion, then resumes the awaiter
+  /// (symmetric transfer, no stack growth).
+  auto operator co_await() const noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) const noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() const {
+        if (h && h.promise().exception)
+          std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_;
+};
+
+}  // namespace lmo::vmpi

@@ -1,0 +1,54 @@
+#include "vmpi/trace_json.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lmo::vmpi {
+
+namespace {
+void emit_event(std::ostream& os, bool& first, const std::string& name,
+                int track, double ts_us, double dur_us,
+                const MessageTrace& m) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\": \"" << name << "\", \"cat\": \"msg\", \"ph\": \"X\""
+     << ", \"pid\": 1, \"tid\": " << track << ", \"ts\": " << ts_us
+     << ", \"dur\": " << dur_us << ", \"args\": {\"bytes\": " << m.bytes
+     << ", \"tag\": " << m.tag
+     << ", \"rendezvous\": " << (m.rendezvous ? "true" : "false") << "}}";
+}
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<MessageTrace>& trace) {
+  os << "[\n";
+  bool first = true;
+  for (const auto& m : trace) {
+    const std::string label =
+        std::to_string(m.src) + "->" + std::to_string(m.dst);
+    emit_event(os, first, "transfer " + label, m.src, m.send_post.micros(),
+               (m.arrival - m.send_post).micros(), m);
+    emit_event(os, first, "recv " + label, m.dst, m.arrival.micros(),
+               (m.recv_complete - m.arrival).micros(), m);
+  }
+  os << "\n]\n";
+}
+
+std::string chrome_trace_json(const std::vector<MessageTrace>& trace) {
+  std::ostringstream os;
+  write_chrome_trace(os, trace);
+  return os.str();
+}
+
+void save_chrome_trace(const std::vector<MessageTrace>& trace,
+                       const std::string& path) {
+  std::ofstream os(path);
+  LMO_CHECK_MSG(os.good(), "cannot open " + path + " for writing");
+  write_chrome_trace(os, trace);
+  LMO_CHECK_MSG(os.good(), "write failed: " + path);
+}
+
+}  // namespace lmo::vmpi

@@ -1,0 +1,30 @@
+// Chrome-tracing JSON export of World message traces.
+//
+// Load the output in chrome://tracing or https://ui.perfetto.dev to see
+// each message's wire transfer and receive processing on per-rank tracks —
+// gather escalations show up as glaring red gaps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vmpi/world.hpp"
+
+namespace lmo::vmpi {
+
+/// Serialize a message trace to the Chrome trace-event JSON array format.
+/// Per message two duration events are emitted: "transfer src->dst" on the
+/// sender's track (post to arrival) and "recv src->dst" on the receiver's
+/// track (arrival to completion). Timestamps are microseconds.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<MessageTrace>& trace);
+
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<MessageTrace>& trace);
+
+/// File helper.
+void save_chrome_trace(const std::vector<MessageTrace>& trace,
+                       const std::string& path);
+
+}  // namespace lmo::vmpi

@@ -1,0 +1,151 @@
+// The Experimenter interface decouples estimation from the platform: this
+// test drives the LMO estimator through a mock that returns pure analytic
+// times — eqs. (6)-(11) must then invert exactly (the algebra in
+// isolation, no simulator involved).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/predictions.hpp"
+#include "estimate/experimenter.hpp"
+#include "estimate/hockney_estimator.hpp"
+#include "estimate/lmo_estimator.hpp"
+#include "models/pair_table.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lmo::estimate {
+namespace {
+
+/// Returns exactly the paper's analytical expressions for each experiment,
+/// built from a hidden parameter set.
+class AnalyticExperimenter final : public Experimenter {
+ public:
+  explicit AnalyticExperimenter(core::LmoParams params)
+      : params_(std::move(params)) {
+    params_.validate();
+  }
+
+  [[nodiscard]] int size() const override { return params_.size(); }
+
+  [[nodiscard]] std::vector<double> roundtrip_round(
+      const std::vector<Pair>& pairs, Bytes m_fwd, Bytes m_back) override {
+    std::vector<double> out;
+    for (const auto& [i, j] : pairs) {
+      ++runs_;
+      // One-way each direction: T = C_i + L + C_j + M(t_i + 1/b + t_j).
+      out.push_back(params_.pt2pt(i, j, m_fwd) + params_.pt2pt(j, i, m_back));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<double> one_to_two_round(
+      const std::vector<Triplet>& triplets, Bytes m, Bytes reply) override {
+    LMO_CHECK(reply == 0);  // the LMO experiments use empty replies
+    std::vector<double> out;
+    for (const auto& [root, a, b] : triplets) {
+      ++runs_;
+      // Eq. (9) with the far child b on the critical path:
+      // 2(2C_r + M t_r) + max_x (2(L_rx + C_x) + M(1/b_rx + t_x)).
+      auto leg = [&](int x) {
+        return 2.0 * (params_.L(root, x) + params_.C[std::size_t(x)]) +
+               double(m) * (params_.inv_beta(root, x) +
+                            params_.t[std::size_t(x)]);
+      };
+      out.push_back(2.0 * (2.0 * params_.C[std::size_t(root)] +
+                           double(m) * params_.t[std::size_t(root)]) +
+                    std::max(leg(a), leg(b)));
+    }
+    return out;
+  }
+
+  [[nodiscard]] double send_overhead(int i, int, Bytes m) override {
+    return params_.C[std::size_t(i)] + double(m) * params_.t[std::size_t(i)];
+  }
+  [[nodiscard]] double recv_overhead(int i, int, Bytes m) override {
+    return params_.C[std::size_t(i)] + double(m) * params_.t[std::size_t(i)];
+  }
+  [[nodiscard]] double saturation_gap(int i, int j, Bytes m, int) override {
+    return std::max(
+        params_.C[std::size_t(i)] + double(m) * params_.t[std::size_t(i)],
+        double(m) * params_.inv_beta(i, j));
+  }
+  [[nodiscard]] double observe_scatter(int root, Bytes m) override {
+    return core::linear_scatter_time(params_, root, m);
+  }
+  [[nodiscard]] double observe_gather(int root, Bytes m) override {
+    core::GatherEmpirical none;
+    return core::linear_gather_time(params_, none, root, m).base;
+  }
+  [[nodiscard]] std::uint64_t runs() const override { return runs_; }
+  [[nodiscard]] SimTime cost() const override { return SimTime::zero(); }
+
+ private:
+  core::LmoParams params_;
+  std::uint64_t runs_ = 0;
+};
+
+core::LmoParams random_params(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  core::LmoParams p;
+  p.L = models::PairTable(n);
+  p.inv_beta = models::PairTable(n);
+  for (int i = 0; i < n; ++i) {
+    p.C.push_back(rng.uniform(20e-6, 100e-6));
+    p.t.push_back(rng.uniform(80e-9, 200e-9));
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double l = rng.uniform(10e-6, 40e-6);
+      const double ib = rng.uniform(8e-9, 80e-9);
+      p.L(i, j) = p.L(j, i) = l;
+      p.inv_beta(i, j) = p.inv_beta(j, i) = ib;
+    }
+  return p;
+}
+
+class AnalyticInversion : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyticInversion, LmoEquationsInvertExactly) {
+  const int n = 6;
+  const auto truth = random_params(n, GetParam());
+  AnalyticExperimenter ex(truth);
+  const auto rep = estimate_lmo(ex);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(rep.params.C[std::size_t(i)], truth.C[std::size_t(i)], 1e-12)
+        << "C_" << i;
+    EXPECT_NEAR(rep.params.t[std::size_t(i)], truth.t[std::size_t(i)], 1e-15)
+        << "t_" << i;
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      EXPECT_NEAR(rep.params.L(i, j), truth.L(i, j), 1e-12);
+      EXPECT_NEAR(rep.params.inv_beta(i, j), truth.inv_beta(i, j), 1e-15);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyticInversion,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(AnalyticInversionSingle, HockneyTooInvertsExactly) {
+  const auto truth = random_params(5, 9);
+  AnalyticExperimenter ex(truth);
+  const auto rep = estimate_hockney(ex);
+  const auto view = truth.as_hockney();
+  for (const auto& [i, j] : all_pairs(5)) {
+    EXPECT_NEAR(rep.hetero.alpha(i, j), view.alpha(i, j), 1e-12);
+    EXPECT_NEAR(rep.hetero.beta(i, j), view.beta(i, j), 1e-15);
+  }
+}
+
+TEST(AnalyticInversionSingle, MockCountsRuns) {
+  const auto truth = random_params(4, 5);
+  AnalyticExperimenter ex(truth);
+  (void)estimate_lmo(ex);
+  // C(4,2) pairs x 2 sizes + 3 C(4,3) one-to-two x 2 sizes = 12 + 24.
+  EXPECT_EQ(ex.runs(), 36u);
+}
+
+}  // namespace
+}  // namespace lmo::estimate

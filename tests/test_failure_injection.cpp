@@ -1,0 +1,233 @@
+// Failure injection and edge cases: extreme measurement noise, degenerate
+// clusters, tiny probes, misuse of the APIs. The estimators must degrade
+// gracefully (clamped, finite, still roughly predictive), never crash or
+// hang.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coll/collectives.hpp"
+#include "core/predictions.hpp"
+#include "estimate/empirical_estimator.hpp"
+#include "estimate/experimenter.hpp"
+#include "estimate/hockney_estimator.hpp"
+#include "estimate/lmo_estimator.hpp"
+#include "simnet/cluster.hpp"
+#include "util/error.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo {
+namespace {
+
+using estimate::SimExperimenter;
+using vmpi::Comm;
+using vmpi::Task;
+using vmpi::World;
+
+TEST(NoiseInjection, EstimationSurvivesTenPercentNoise) {
+  auto cfg = sim::make_random_cluster(6, 5150);
+  cfg.noise_rel = 0.10;  // brutal
+  World w(cfg);
+  SimExperimenter ex(w);
+  const auto rep = estimate::estimate_lmo(ex);
+  const auto gt = sim::ground_truth(cfg);
+  for (int i = 0; i < cfg.size(); ++i) {
+    EXPECT_GE(rep.params.C[std::size_t(i)], 0.0);
+    EXPECT_GE(rep.params.t[std::size_t(i)], 0.0);
+    EXPECT_TRUE(std::isfinite(rep.params.C[std::size_t(i)]));
+  }
+  // Point-to-point predictions still land within 40% despite the noise.
+  for (int i = 0; i < cfg.size(); ++i)
+    for (int j = 0; j < cfg.size(); ++j) {
+      if (i == j) continue;
+      const double truth =
+          gt.C[std::size_t(i)] + gt.L[std::size_t(i)][std::size_t(j)] +
+          gt.C[std::size_t(j)] +
+          65536.0 * (gt.t[std::size_t(i)] +
+                     gt.inv_beta[std::size_t(i)][std::size_t(j)] +
+                     gt.t[std::size_t(j)]);
+      EXPECT_NEAR(rep.params.pt2pt(i, j, 65536), truth, 0.4 * truth);
+    }
+}
+
+TEST(Degenerate, ZeroLatencyCluster) {
+  sim::NodeParams node;
+  node.fixed_delay_s = 40e-6;
+  node.per_byte_s = 100e-9;
+  node.link_rate_bps = 12.5e6;
+  node.latency_s = 0.0;
+  auto cfg = sim::make_homogeneous_cluster(4, node);
+  cfg.switch_latency_s = 0.0;
+  cfg.noise_rel = 0.0;
+  cfg.quirks.enabled = false;
+  World w(cfg);
+  SimExperimenter ex(w);
+  const auto rep = estimate::estimate_lmo(ex);
+  // Latency estimates collapse to the residual frame time (~5 us), never
+  // negative.
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_GE(rep.params.L(i, j), 0.0);
+      EXPECT_LE(rep.params.L(i, j), 20e-6);
+    }
+}
+
+TEST(Degenerate, HomogeneousClusterGivesUniformParameters) {
+  sim::NodeParams node;
+  node.fixed_delay_s = 60e-6;
+  node.per_byte_s = 120e-9;
+  node.link_rate_bps = 12.5e6;
+  node.latency_s = 10e-6;
+  auto cfg = sim::make_homogeneous_cluster(5, node);
+  cfg.noise_rel = 0.0;
+  cfg.quirks.enabled = false;
+  World w(cfg);
+  SimExperimenter ex(w);
+  const auto rep = estimate::estimate_lmo(ex);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_NEAR(rep.params.C[std::size_t(i)], rep.params.C[0],
+                0.02 * rep.params.C[0]);
+    EXPECT_NEAR(rep.params.t[std::size_t(i)], rep.params.t[0],
+                0.02 * rep.params.t[0]);
+  }
+}
+
+TEST(Degenerate, TinyProbeSizeStillFinite) {
+  auto cfg = sim::make_random_cluster(4, 99);
+  World w(cfg);
+  SimExperimenter ex(w);
+  estimate::LmoOptions opts;
+  opts.probe_size = 64;  // t_i estimates become noise-dominated
+  const auto rep = estimate_lmo(ex, opts);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(rep.params.t[std::size_t(i)]));
+    EXPECT_GE(rep.params.t[std::size_t(i)], 0.0);
+  }
+}
+
+TEST(Degenerate, TwoNodeClusterHockneyOnly) {
+  auto cfg = sim::make_random_cluster(2, 31);
+  World w(cfg);
+  SimExperimenter ex(w);
+  const auto rep = estimate::estimate_hockney(ex);
+  EXPECT_GT(rep.hetero.alpha(0, 1), 0.0);
+  EXPECT_GT(rep.hetero.beta(0, 1), 0.0);
+}
+
+TEST(Degenerate, EmpiricalSweepWithCustomSparseSizes) {
+  auto cfg = sim::make_paper_cluster();
+  World w(cfg);
+  SimExperimenter ex(w);
+  const auto lmo = estimate::estimate_lmo(ex);
+  estimate::EmpiricalOptions opts;
+  opts.sizes = {1024, 16 * 1024, 128 * 1024};
+  opts.observations_per_size = 4;
+  const auto rep = estimate::estimate_gather_empirical(ex, lmo.params, opts);
+  EXPECT_GE(rep.empirical.m1, 1024);
+  EXPECT_LE(rep.empirical.m2, 128 * 1024);
+  EXPECT_EQ(rep.sweep.size(), 3u);
+}
+
+TEST(Misuse, CollectiveWithBadRootThrows) {
+  auto cfg = sim::make_random_cluster(4, 8);
+  World w(cfg);
+  auto programs = vmpi::idle_programs(4);
+  programs[0] = [](Comm& c) -> Task {
+    co_await coll::linear_scatter(c, 9, 100);  // root out of range
+  };
+  EXPECT_THROW(w.run(programs), Error);
+}
+
+TEST(Misuse, NegativeBytesRejected) {
+  auto cfg = sim::make_random_cluster(4, 8);
+  World w(cfg);
+  auto programs = vmpi::idle_programs(4);
+  programs[0] = [](Comm& c) -> Task {
+    EXPECT_THROW((void)c.send(1, -5), Error);
+    co_return;
+  };
+  w.run(programs);
+}
+
+TEST(Misuse, ExceptionMidCollectiveLeavesWorldUsable) {
+  auto cfg = sim::make_random_cluster(4, 8);
+  World w(cfg);
+  auto bad = vmpi::idle_programs(4);
+  bad[0] = [](Comm& c) -> Task {
+    co_await c.send(1, 100);
+    throw Error("mid-flight failure");
+  };
+  bad[1] = [](Comm& c) -> Task {
+    co_await c.recv(0);
+    co_await c.recv(0);  // never satisfied -> stranded
+  };
+  EXPECT_THROW(w.run(bad), Error);
+  // The world must still run clean programs afterwards.
+  const SimTime t = w.run(coll::spmd(4, [](Comm& c) {
+    return coll::linear_gather(c, 0, 512);
+  }));
+  EXPECT_GT(t, SimTime::zero());
+}
+
+TEST(Misuse, GatherPredictionWithInvertedBand) {
+  // m1 >= m2 means "no band": medium regime never triggers.
+  auto cfg = sim::make_paper_cluster();
+  const auto gt = sim::ground_truth(cfg);
+  core::LmoParams p;
+  p.C = gt.C;
+  p.t = gt.t;
+  p.L = models::PairTable(16);
+  p.inv_beta = models::PairTable(16);
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) {
+      if (i == j) continue;
+      p.L(i, j) = gt.L[std::size_t(i)][std::size_t(j)];
+      p.inv_beta(i, j) = gt.inv_beta[std::size_t(i)][std::size_t(j)];
+    }
+  core::GatherEmpirical emp;
+  emp.m1 = 100;
+  emp.m2 = 100;
+  const auto pred = core::linear_gather_time(p, emp, 0, 50);
+  EXPECT_EQ(pred.regime, core::GatherRegime::kSmall);
+  const auto pred2 = core::linear_gather_time(p, emp, 0, 5000);
+  EXPECT_EQ(pred2.regime, core::GatherRegime::kLarge);
+}
+
+TEST(Robustness, RepeatedEstimationIsStable) {
+  // Two estimations on the same world (fresh noise draws) agree closely —
+  // the statistical machinery suppresses run-to-run variation.
+  auto cfg = sim::make_paper_cluster(17);
+  World w(cfg);
+  SimExperimenter ex(w);
+  const auto a = estimate::estimate_lmo(ex);
+  const auto b = estimate::estimate_lmo(ex);
+  for (int i = 0; i < cfg.size(); ++i)
+    EXPECT_NEAR(a.params.C[std::size_t(i)], b.params.C[std::size_t(i)],
+                0.10 * a.params.C[std::size_t(i)] + 2e-6);
+}
+
+TEST(Robustness, QuirklessWorldHasNoEscalationsEver) {
+  auto cfg = sim::make_paper_cluster();
+  cfg.quirks.enabled = false;
+  World w(cfg);
+  for (int rep = 0; rep < 10; ++rep)
+    w.run(coll::spmd(16, [](Comm& c) {
+      return coll::linear_gather(c, 0, 32 * 1024);
+    }));
+  EXPECT_EQ(w.fabric().counters().escalations, 0u);
+  EXPECT_EQ(w.fabric().counters().leaps, 0u);
+}
+
+TEST(Robustness, QuirkyWorldEscalatesInBandGathers) {
+  auto cfg = sim::make_paper_cluster();
+  World w(cfg);
+  for (int rep = 0; rep < 10; ++rep)
+    w.run(coll::spmd(16, [](Comm& c) {
+      return coll::linear_gather(c, 0, 32 * 1024);
+    }));
+  EXPECT_GT(w.fabric().counters().escalations, 0u);
+}
+
+}  // namespace
+}  // namespace lmo

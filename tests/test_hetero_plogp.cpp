@@ -1,0 +1,118 @@
+// Tests for the heterogeneous PLogP extension (paper Section II's sketch:
+// per-processor averaged overheads, per-link latency and gap).
+#include <gtest/gtest.h>
+
+#include "estimate/experimenter.hpp"
+#include "estimate/plogp_estimator.hpp"
+#include "simnet/cluster.hpp"
+#include "util/error.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::estimate {
+namespace {
+
+sim::ClusterConfig quiet_cluster6() {
+  auto cfg = sim::make_paper_cluster();
+  cfg.nodes.resize(6);
+  cfg.noise_rel = 0.0;
+  cfg.quirks.enabled = false;
+  return cfg;
+}
+
+PLogPReport report_for(vmpi::World& w) {
+  SimExperimenter ex(w);
+  PLogPOptions opts;
+  opts.max_size = 64 * 1024;
+  return estimate_plogp(ex, opts);
+}
+
+TEST(HeteroPLogP, AssembledShapes) {
+  auto cfg = quiet_cluster6();
+  vmpi::World w(cfg);
+  const auto rep = report_for(w);
+  const auto h = hetero_plogp(rep, 6);
+  EXPECT_EQ(h.size(), 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(h.os[std::size_t(i)].empty());
+    EXPECT_FALSE(h.orr[std::size_t(i)].empty());
+    for (int j = 0; j < 6; ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(h.g[std::size_t(i)][std::size_t(j)].empty());
+      EXPECT_GE(h.L(i, j), 0.0);
+    }
+  }
+}
+
+TEST(HeteroPLogP, PerLinkGapsReflectSenderHeterogeneity) {
+  // The gap toward any destination is dominated by the sender's CPU on
+  // this cluster; a slower sender must show a larger gap.
+  auto cfg = quiet_cluster6();
+  cfg.nodes[5].per_byte_s = 3 * cfg.nodes[0].per_byte_s;
+  vmpi::World w(cfg);
+  const auto rep = report_for(w);
+  const auto h = hetero_plogp(rep, 6);
+  const double m = 32768;
+  EXPECT_GT(h.g[5][0](m), 1.5 * h.g[0][1](m));
+}
+
+TEST(HeteroPLogP, OverheadsAveragedPerProcessor) {
+  // o_s is a processor property: the per-processor average must sit inside
+  // the range of that processor's per-pair estimates.
+  auto cfg = quiet_cluster6();
+  vmpi::World w(cfg);
+  const auto rep = report_for(w);
+  const auto h = hetero_plogp(rep, 6);
+  const double m = 16384;
+  for (int node = 0; node < 6; ++node) {
+    double lo = 1e9, hi = 0;
+    for (std::size_t e = 0; e < rep.pairs.size(); ++e) {
+      const auto [i, j] = rep.pairs[e];
+      if (i != node && j != node) continue;
+      lo = std::min(lo, rep.per_pair[e].os(m));
+      hi = std::max(hi, rep.per_pair[e].os(m));
+    }
+    const double avg = h.os[std::size_t(node)](m);
+    EXPECT_GE(avg, lo * 0.999) << node;
+    EXPECT_LE(avg, hi * 1.001) << node;
+  }
+}
+
+TEST(HeteroPLogP, PtToPtMatchesPairEstimate) {
+  auto cfg = quiet_cluster6();
+  vmpi::World w(cfg);
+  const auto rep = report_for(w);
+  const auto h = hetero_plogp(rep, 6);
+  for (std::size_t e = 0; e < rep.pairs.size(); ++e) {
+    const auto [i, j] = rep.pairs[e];
+    EXPECT_DOUBLE_EQ(h.pt2pt(i, j, 8192),
+                     rep.per_pair[e].L + rep.per_pair[e].g(8192.0));
+  }
+}
+
+TEST(HeteroPLogP, FlatCollectiveSumsRootGaps) {
+  auto cfg = quiet_cluster6();
+  vmpi::World w(cfg);
+  const auto rep = report_for(w);
+  const auto h = hetero_plogp(rep, 6);
+  const Bytes m = 4096;
+  double expect = 0, max_l = 0;
+  for (int i = 1; i < 6; ++i) {
+    expect += h.g[0][std::size_t(i)](double(m));
+    max_l = std::max(max_l, h.L(0, i));
+  }
+  EXPECT_DOUBLE_EQ(h.flat_collective(0, m), max_l + expect);
+}
+
+TEST(HeteroPLogP, RejectsBadInput) {
+  auto cfg = quiet_cluster6();
+  vmpi::World w(cfg);
+  const auto rep = report_for(w);
+  // A size smaller than the cluster leaves processors without pairs.
+  EXPECT_THROW((void)hetero_plogp(rep, 8), Error);
+  const auto h = hetero_plogp(rep, 6);
+  EXPECT_THROW((void)h.pt2pt(0, 0, 100), Error);
+  EXPECT_THROW((void)h.flat_collective(9, 100), Error);
+}
+
+}  // namespace
+}  // namespace lmo::estimate

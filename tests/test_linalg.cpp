@@ -1,0 +1,116 @@
+// Unit tests for the linalg library.
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lmo::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  m(1, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(MatrixTest, RejectsRagged) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  const Matrix i3 = Matrix::identity(3);
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Matrix p = m * i3;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(p(r, c), m(r, c));
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m{{1, 2}, {3, 4}};
+  const auto y = m * std::vector<double>{1.0, 1.0};
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Solve, TwoByTwo) {
+  const auto x = solve(Matrix{{2, 1}, {1, 3}}, {5, 10});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve(Matrix{{0, 1}, {1, 0}}, {2, 3});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularReturnsNullopt) {
+  EXPECT_FALSE(solve(Matrix{{1, 2}, {2, 4}}, {1, 2}).has_value());
+}
+
+TEST(Solve, RandomRoundTrip) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + std::size_t(rng.uniform_int(1, 6));
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.uniform(-5, 5);
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+      a(i, i) += 3.0;  // diagonally dominant => well-conditioned
+    }
+    const auto b = a * x_true;
+    const auto x = solve(a, b);
+    ASSERT_TRUE(x.has_value());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(LeastSquares, OverdeterminedConsistent) {
+  // y = 1 + 2x sampled at 4 points, A = [1 x].
+  Matrix a{{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  const auto x = solve_least_squares(a, {1, 3, 5, 7});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidual) {
+  // Inconsistent system: least squares beats any perturbation.
+  Matrix a{{1, 0}, {1, 1}, {1, 2}};
+  const std::vector<double> b{0.0, 1.2, 1.9};
+  const auto x = solve_least_squares(a, b);
+  ASSERT_TRUE(x.has_value());
+  auto residual = [&](double c0, double c1) {
+    double s = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double r = b[i] - (c0 + c1 * double(i));
+      s += r * r;
+    }
+    return s;
+  };
+  const double best = residual((*x)[0], (*x)[1]);
+  EXPECT_LT(best, residual((*x)[0] + 0.01, (*x)[1]));
+  EXPECT_LT(best, residual((*x)[0], (*x)[1] + 0.01));
+  EXPECT_LT(best, residual((*x)[0] - 0.01, (*x)[1] - 0.01));
+}
+
+}  // namespace
+}  // namespace lmo::linalg

@@ -1,0 +1,99 @@
+// Tests for the MPIBlib-style benchmarking layer.
+#include <gtest/gtest.h>
+
+#include "mpib/benchmark.hpp"
+#include "coll/collectives.hpp"
+#include "simnet/cluster.hpp"
+#include "util/error.hpp"
+
+namespace lmo::mpib {
+namespace {
+
+TEST(Measure, ConvergesOnLowVariance) {
+  int calls = 0;
+  const auto m = measure([&calls] {
+    ++calls;
+    return 1.0 + 1e-6 * (calls % 2);
+  });
+  EXPECT_TRUE(m.converged);
+  EXPECT_EQ(m.reps, 5);  // min_reps suffices
+  EXPECT_NEAR(m.mean, 1.0, 1e-5);
+  EXPECT_LT(m.relative_error(), 0.025);
+}
+
+TEST(Measure, KeepsSamplingHighVariance) {
+  int calls = 0;
+  const auto m = measure([&calls] {
+    ++calls;
+    return calls % 2 ? 1.0 : 3.0;  // 100% swing: needs many reps
+  });
+  EXPECT_GT(m.reps, 5);
+  EXPECT_NEAR(m.mean, 2.0, 0.2);
+}
+
+TEST(Measure, GivesUpAtMaxReps) {
+  MeasureOptions opts;
+  opts.max_reps = 10;
+  int calls = 0;
+  const auto m = measure(
+      [&calls] {
+        ++calls;
+        return calls % 2 ? 1.0 : 100.0;
+      },
+      opts);
+  EXPECT_FALSE(m.converged);
+  EXPECT_EQ(m.reps, 10);
+  EXPECT_EQ(m.samples.size(), 10u);
+}
+
+TEST(Measure, TightensWithStricterTarget) {
+  // Stricter relative error must need at least as many reps.
+  auto noisy = [](int& state) {
+    state = state * 1103515245 + 12345;
+    return 1.0 + double((state >> 16) & 0xff) / 2560.0;  // ~10% spread
+  };
+  MeasureOptions loose, strict;
+  loose.rel_err = 0.10;
+  strict.rel_err = 0.01;
+  loose.max_reps = strict.max_reps = 500;
+  int s1 = 42, s2 = 42;
+  const auto a = measure([&] { return noisy(s1); }, loose);
+  const auto b = measure([&] { return noisy(s2); }, strict);
+  EXPECT_LE(a.reps, b.reps);
+}
+
+TEST(Measure, RejectsBadOptions) {
+  MeasureOptions opts;
+  opts.min_reps = 1;
+  EXPECT_THROW((void)measure([] { return 1.0; }, opts), Error);
+}
+
+TEST(MeasureCollective, RootVsGlobalTiming) {
+  auto cfg = sim::make_paper_cluster();
+  cfg.noise_rel = 0.005;
+  vmpi::World w(cfg);
+  const Bytes m = 8192;
+  const auto body = [m](vmpi::Comm& c) {
+    return coll::linear_scatter(c, 0, m);
+  };
+  const auto at_root = measure_collective(w, 0, body, {}, TimingMethod::kRoot);
+  const auto global = measure_collective(w, 0, body, {}, TimingMethod::kGlobal);
+  // Global completion includes the last receiver's tail.
+  EXPECT_GT(global.mean, at_root.mean);
+  EXPECT_TRUE(at_root.converged);
+  EXPECT_TRUE(global.converged);
+}
+
+TEST(MeasureCollective, PaperAccuracySettings) {
+  // The paper's settings: 95% confidence, 2.5% relative error.
+  auto cfg = sim::make_paper_cluster();
+  vmpi::World w(cfg);
+  const auto meas = measure_collective(
+      w, 0, [](vmpi::Comm& c) { return coll::linear_gather(c, 0, 1024); });
+  EXPECT_TRUE(meas.converged);
+  EXPECT_LE(meas.relative_error(), 0.025);
+  EXPECT_GE(meas.reps, 5);
+}
+
+}  // namespace
+}  // namespace lmo::mpib

@@ -1,0 +1,103 @@
+// Additional mpib coverage: timing methods on subsets, option boundaries,
+// and measurement-record invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coll/collectives.hpp"
+#include "mpib/benchmark.hpp"
+#include "simnet/cluster.hpp"
+#include "util/error.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::mpib {
+namespace {
+
+using vmpi::Comm;
+using vmpi::Task;
+
+TEST(MeasureRecord, SummaryFieldsConsistent) {
+  int calls = 0;
+  const auto m = measure([&calls] {
+    ++calls;
+    return 1.0 + 0.1 * double(calls % 3);
+  });
+  EXPECT_EQ(int(m.samples.size()), m.reps);
+  EXPECT_LE(m.min, m.mean);
+  EXPECT_GE(m.max, m.mean);
+  EXPECT_DOUBLE_EQ(m.min, *std::min_element(m.samples.begin(), m.samples.end()));
+  EXPECT_DOUBLE_EQ(m.max, *std::max_element(m.samples.begin(), m.samples.end()));
+  EXPECT_GE(m.stddev, 0.0);
+}
+
+TEST(MeasureRecord, ExactlyMinRepsWhenImmediatelyTight) {
+  MeasureOptions opts;
+  opts.min_reps = 7;
+  const auto m = measure([] { return 2.0; }, opts);
+  EXPECT_EQ(m.reps, 7);
+  EXPECT_TRUE(m.converged);
+  EXPECT_DOUBLE_EQ(m.mean, 2.0);
+  EXPECT_DOUBLE_EQ(m.ci_half, 0.0);
+}
+
+TEST(MeasureRecord, MaxEqualsMinRepsAllowed) {
+  MeasureOptions opts;
+  opts.min_reps = 5;
+  opts.max_reps = 5;
+  int calls = 0;
+  const auto m = measure(
+      [&calls] {
+        ++calls;
+        return calls % 2 ? 1.0 : 50.0;
+      },
+      opts);
+  EXPECT_EQ(m.reps, 5);
+}
+
+TEST(MeasureCollective, WorksOnSubsetViaIdleRanks) {
+  // A pair experiment on a 16-rank world: only two ranks act; the timing
+  // method must still converge.
+  auto cfg = sim::make_paper_cluster();
+  vmpi::World w(cfg);
+  const auto meas = measure_collective(
+      w, 0,
+      [](Comm& c) -> Task {
+        if (c.rank() == 0) {
+          co_await c.send(1, 4096);
+          co_await c.recv(1);
+        } else if (c.rank() == 1) {
+          co_await c.recv(0);
+          co_await c.send(0, 4096);
+        }
+      });
+  EXPECT_TRUE(meas.converged);
+  EXPECT_GT(meas.mean, 0.0);
+}
+
+TEST(MeasureCollective, GlobalAtLeastRootForGatherToo) {
+  auto cfg = sim::make_paper_cluster();
+  cfg.quirks.escalation_peak_prob = 0.0;  // deterministic comparison
+  vmpi::World w(cfg);
+  const auto body = [](Comm& c) { return coll::linear_gather(c, 0, 2048); };
+  const auto root = measure_collective(w, 0, body, {}, TimingMethod::kRoot);
+  const auto global = measure_collective(w, 0, body, {}, TimingMethod::kGlobal);
+  // For gather the root finishes last: the two methods nearly coincide.
+  EXPECT_NEAR(global.mean, root.mean, 0.02 * root.mean);
+}
+
+TEST(MeasureCollective, EscalationsInflateVarianceInBand) {
+  auto cfg = sim::make_paper_cluster();
+  vmpi::World w(cfg);
+  MeasureOptions opts;
+  opts.max_reps = 40;
+  const auto in_band = measure_collective(
+      w, 0, [](Comm& c) { return coll::linear_gather(c, 0, 32 * 1024); },
+      opts);
+  const auto below = measure_collective(
+      w, 0, [](Comm& c) { return coll::linear_gather(c, 0, 1024); }, opts);
+  // Relative spread in the escalation band dwarfs the clean region's.
+  EXPECT_GT(in_band.stddev / in_band.mean, 5 * below.stddev / below.mean);
+}
+
+}  // namespace
+}  // namespace lmo::mpib

@@ -1,0 +1,76 @@
+// Tests for the Chrome-trace export of message traces.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "coll/collectives.hpp"
+#include "simnet/cluster.hpp"
+#include "vmpi/trace_json.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::vmpi {
+namespace {
+
+std::vector<MessageTrace> sample_trace() {
+  auto cfg = sim::make_paper_cluster();
+  cfg.noise_rel = 0.0;
+  cfg.quirks.enabled = false;
+  World w(cfg);
+  w.set_tracing(true);
+  w.run(coll::spmd(w.size(), [](Comm& c) {
+    return coll::linear_scatter(c, 0, 2048);
+  }));
+  return w.trace();
+}
+
+TEST(TraceJson, StructurallyValidJsonArray) {
+  const auto trace = sample_trace();
+  const std::string json = chrome_trace_json(trace);
+  // Crude but effective structural checks: balanced brackets/braces,
+  // one transfer and one recv event per message.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  std::size_t events = 0, braces = 0;
+  for (const char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;  // net zero at the end
+    events += (ch == 'X');
+  }
+  EXPECT_EQ(braces, 0u);
+  EXPECT_EQ(events, 2 * trace.size());
+  EXPECT_NE(json.find("\"transfer 0->1\""), std::string::npos);
+  EXPECT_NE(json.find("\"recv 0->15\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\": 2048"), std::string::npos);
+  EXPECT_NE(json.find("\"rendezvous\": false"), std::string::npos);
+}
+
+TEST(TraceJson, EmptyTraceIsEmptyArray) {
+  const std::string json = chrome_trace_json({});
+  EXPECT_NE(json.find('['), std::string::npos);
+  EXPECT_EQ(json.find('{'), std::string::npos);
+}
+
+TEST(TraceJson, DurationsNonNegativeAndOrdered) {
+  const auto trace = sample_trace();
+  for (const auto& m : trace) {
+    EXPECT_LE(m.send_post, m.arrival);
+    EXPECT_LE(m.arrival, m.recv_complete);
+  }
+}
+
+TEST(TraceJson, FileRoundTrip) {
+  const auto trace = sample_trace();
+  const std::string path = "/tmp/lmo_test_trace.json";
+  save_chrome_trace(trace, path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  EXPECT_EQ(buffer.str(), chrome_trace_json(trace));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lmo::vmpi

@@ -1,0 +1,165 @@
+// Tests for the model-driven collective tuner.
+#include <gtest/gtest.h>
+
+#include "coll/collectives.hpp"
+#include "core/tuner.hpp"
+#include "simnet/cluster.hpp"
+#include "util/error.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::core {
+namespace {
+
+using vmpi::Comm;
+using vmpi::Task;
+using vmpi::World;
+
+LmoParams from_ground_truth(const sim::ClusterConfig& cfg) {
+  const auto gt = sim::ground_truth(cfg);
+  const int n = cfg.size();
+  LmoParams p;
+  p.C = gt.C;
+  p.t = gt.t;
+  p.L = models::PairTable(n);
+  p.inv_beta = models::PairTable(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      p.L(i, j) = gt.L[std::size_t(i)][std::size_t(j)];
+      p.inv_beta(i, j) = gt.inv_beta[std::size_t(i)][std::size_t(j)];
+    }
+  return p;
+}
+
+GatherEmpirical paper_band() {
+  GatherEmpirical emp;
+  emp.m1 = 4 * 1024;
+  emp.m2 = 80 * 1024;
+  emp.escalation_modes = {{0.10, 10, 0.6}, {0.25, 4, 0.4}};
+  emp.linear_prob_at_m1 = 0.9;
+  emp.linear_prob_at_m2 = 0.3;
+  return emp;
+}
+
+Tuner make_tuner() {
+  return Tuner(from_ground_truth(sim::make_paper_cluster()), paper_band());
+}
+
+TEST(TunerTest, ScatterLargeIsLinear) {
+  const auto t = make_tuner();
+  const auto d = t.decide(CollectiveKind::kScatter, 0, 150 * 1024);
+  EXPECT_EQ(d.algorithm, ScatterAlgorithm::kLinear);
+  EXPECT_EQ(d.split_chunk, 0);
+  EXPECT_GT(d.predicted_seconds, 0.0);
+}
+
+TEST(TunerTest, ScatterTinyIsBinomial) {
+  const auto t = make_tuner();
+  const auto d = t.decide(CollectiveKind::kScatter, 0, 16);
+  EXPECT_EQ(d.algorithm, ScatterAlgorithm::kBinomial);
+}
+
+TEST(TunerTest, MediumGatherSplits) {
+  const auto t = make_tuner();
+  const auto d = t.decide(CollectiveKind::kGather, 0, 32 * 1024);
+  EXPECT_EQ(d.algorithm, ScatterAlgorithm::kLinear);
+  EXPECT_EQ(d.split_chunk, 4 * 1024);
+  // The split plan must beat the expected (escalation-weighted) native.
+  const auto no_split = Tuner(t.params(), paper_band(),
+                              TunerOptions{true, false})
+                            .decide(CollectiveKind::kGather, 0, 32 * 1024);
+  EXPECT_LT(d.predicted_seconds, no_split.predicted_seconds);
+}
+
+TEST(TunerTest, SmallAndLargeGathersDoNotSplit) {
+  const auto t = make_tuner();
+  EXPECT_EQ(t.decide(CollectiveKind::kGather, 0, 1024).split_chunk, 0);
+  EXPECT_EQ(t.decide(CollectiveKind::kGather, 0, 256 * 1024).split_chunk, 0);
+}
+
+TEST(TunerTest, BcastPrefersBinomialBroadly) {
+  // Broadcast re-sends the same m on every arc, so the tree's log depth
+  // wins across sizes (unlike scatter, no data amplification).
+  const auto t = make_tuner();
+  for (const Bytes m : {Bytes(64), Bytes(4096), Bytes(65536)})
+    EXPECT_EQ(t.decide(CollectiveKind::kBcast, 0, m).algorithm,
+              ScatterAlgorithm::kBinomial)
+        << m;
+}
+
+TEST(TunerTest, MappingOnlyWhenItHelps) {
+  const auto base = make_tuner();
+  const auto with = base.decide(CollectiveKind::kBcast, 0, 4096);
+  const auto without =
+      Tuner(base.params(), paper_band(), TunerOptions{false, true})
+          .decide(CollectiveKind::kBcast, 0, 4096);
+  EXPECT_LE(with.predicted_seconds, without.predicted_seconds);
+  if (!with.mapping.empty()) {
+    EXPECT_EQ(int(with.mapping.size()), base.params().size());
+    EXPECT_EQ(with.mapping[0], 0);  // root stays
+  }
+}
+
+TEST(TunerTest, CrossoverBisection) {
+  const auto t = make_tuner();
+  const Bytes cross = t.crossover(CollectiveKind::kScatter, 0, 8, 256 * 1024);
+  ASSERT_GT(cross, 0);
+  EXPECT_EQ(t.decide(CollectiveKind::kScatter, 0, cross - 1).algorithm,
+            ScatterAlgorithm::kBinomial);
+  EXPECT_EQ(t.decide(CollectiveKind::kScatter, 0, cross).algorithm,
+            ScatterAlgorithm::kLinear);
+}
+
+TEST(TunerTest, CrossoverZeroWhenNoFlip) {
+  const auto t = make_tuner();
+  EXPECT_EQ(t.crossover(CollectiveKind::kScatter, 0, 100 * 1024, 200 * 1024),
+            0);
+}
+
+TEST(TunerTest, DescribeMentionsPlan) {
+  const auto t = make_tuner();
+  const auto split = t.decide(CollectiveKind::kGather, 0, 32 * 1024);
+  EXPECT_NE(split.describe().find("split"), std::string::npos);
+  const auto lin = t.decide(CollectiveKind::kScatter, 0, 150 * 1024);
+  EXPECT_EQ(lin.describe(), "linear");
+}
+
+TEST(TunerTest, DecisionsBeatWorstCaseInSimulator) {
+  // End to end: for each kind and size, executing the tuner's decision is
+  // never slower than the worse of the two plain algorithms.
+  auto cfg = sim::make_paper_cluster();
+  World w(cfg);
+  const auto t = make_tuner();
+  for (const Bytes m : {Bytes(1024), Bytes(32) * 1024}) {
+    const auto d = t.decide(CollectiveKind::kScatter, 0, m);
+    auto run = [&](auto body) {
+      double total = 0;
+      for (int r = 0; r < 4; ++r)
+        total += w.run(coll::spmd(16, body)).seconds();
+      return total / 4;
+    };
+    const double lin = run([m](Comm& c) {
+      return coll::linear_scatter(c, 0, m);
+    });
+    const double bin = run([m](Comm& c) {
+      return coll::binomial_scatter(c, 0, m);
+    });
+    const auto mapping = d.mapping;
+    const double tuned = run([m, d, mapping](Comm& c) {
+      return d.algorithm == ScatterAlgorithm::kLinear
+                 ? coll::linear_scatter(c, 0, m)
+                 : coll::binomial_scatter(c, 0, m, mapping);
+    });
+    EXPECT_LE(tuned, std::max(lin, bin) * 1.05) << "m=" << m;
+  }
+}
+
+TEST(TunerTest, RejectsBadInput) {
+  const auto t = make_tuner();
+  EXPECT_THROW((void)t.decide(CollectiveKind::kScatter, 99, 1024), Error);
+  EXPECT_THROW((void)t.decide(CollectiveKind::kScatter, 0, -1), Error);
+  EXPECT_THROW((void)t.crossover(CollectiveKind::kScatter, 0, 10, 10), Error);
+}
+
+}  // namespace
+}  // namespace lmo::core

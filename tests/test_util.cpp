@@ -1,0 +1,217 @@
+// Unit tests for the util library: SimTime, Rng, Table, Cli, formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bytes.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/sweep.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace lmo {
+namespace {
+
+using namespace lmo::literals;
+
+TEST(SimTime, LiteralsAndConversions) {
+  EXPECT_EQ((1_s).ns(), 1000000000);
+  EXPECT_EQ((1_ms).ns(), 1000000);
+  EXPECT_EQ((1_us).ns(), 1000);
+  EXPECT_DOUBLE_EQ((500_ms).seconds(), 0.5);
+  EXPECT_DOUBLE_EQ((3_us).micros(), 3.0);
+}
+
+TEST(SimTime, FromSecondsRounds) {
+  EXPECT_EQ(SimTime::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(1.4e-9).ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(1.6e-9).ns(), 2);
+  EXPECT_EQ(SimTime::from_seconds_clamped(-5.0), SimTime::zero());
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(2_s + 500_ms, SimTime::from_seconds(2.5));
+  EXPECT_EQ(2_s - 500_ms, SimTime::from_seconds(1.5));
+  EXPECT_EQ(3 * 100_us, 300_us);
+  EXPECT_EQ((1_s) / 4, 250_ms);
+  EXPECT_LT(1_us, 1_ms);
+  EXPECT_EQ(lmo::max(1_us, 1_ms), 1_ms);
+  EXPECT_EQ(lmo::min(1_us, 1_ms), 1_us);
+}
+
+TEST(Bytes, Literals) {
+  EXPECT_EQ(1_KB, 1024);
+  EXPECT_EQ(64_KB, 65536);
+  EXPECT_EQ(1_MB, 1048576);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = r.uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform_int(3, 6));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{3, 4, 5, 6}));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsDecorrelated) {
+  Rng parent(99);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c1.next_u64() == c2.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1 KB");
+  EXPECT_EQ(format_bytes(1536), "1.5 KB");
+  EXPECT_EQ(format_bytes(2 * 1024 * 1024), "2 MB");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(0.0), "0 s");
+  EXPECT_EQ(format_seconds(1.5e-3), "1.5 ms");
+  EXPECT_EQ(format_seconds(2.0), "2 s");
+  EXPECT_EQ(format_seconds(25e-6), "25 us");
+}
+
+TEST(Format, FixedAndPercent) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(0.123), "12.3%");
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(Table, RejectsAritysMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, CsvQuotes) {
+  Table t({"x"});
+  t.add_row({"va,lue"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"va,lue\""), std::string::npos);
+}
+
+TEST(Cli, ParsesForms) {
+  // Note: a bare "--flag" greedily consumes a following non-option token,
+  // so flags go last or use the --flag=true form.
+  const char* argv[] = {"prog", "--alpha", "3", "--beta=x", "pos", "--flag"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get("beta", ""), "x");
+  EXPECT_TRUE(cli.get_flag("flag"));
+  EXPECT_FALSE(cli.get_flag("missing"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Cli, RejectsUnknownWhenKnownListGiven) {
+  const char* argv[] = {"prog", "--oops", "1"};
+  EXPECT_THROW(Cli(3, argv, {"fine"}), Error);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("n", 16), 16);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+}
+
+TEST(Sweep, GeometricEndpointsAndGrowth) {
+  const auto s = geometric_sizes(1024, 262144, 9);
+  ASSERT_EQ(s.size(), 9u);
+  EXPECT_EQ(s.front(), 1024);
+  EXPECT_EQ(s.back(), 262144);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_GT(s[i], s[i - 1]);
+  // Each step multiplies by roughly the same ratio (within rounding).
+  const double r0 = double(s[1]) / double(s[0]);
+  const double r7 = double(s[8]) / double(s[7]);
+  EXPECT_NEAR(r0, r7, 0.05 * r0);
+}
+
+TEST(Sweep, LinearSpacingExact) {
+  const auto s = linear_sizes(100, 200, 6);
+  EXPECT_EQ(s, (std::vector<Bytes>{100, 120, 140, 160, 180, 200}));
+}
+
+TEST(Sweep, RejectsDegenerateRanges) {
+  EXPECT_THROW((void)geometric_sizes(0, 100, 4), Error);
+  EXPECT_THROW((void)geometric_sizes(100, 100, 4), Error);
+  EXPECT_THROW((void)geometric_sizes(1, 100, 1), Error);
+  EXPECT_THROW((void)linear_sizes(5, 5, 3), Error);
+}
+
+TEST(Sweep, MeanRelativeError) {
+  EXPECT_DOUBLE_EQ(mean_relative_error({10, 20}, {10, 20}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_relative_error({10, 20}, {11, 18}), 0.1);
+  EXPECT_THROW((void)mean_relative_error({1}, {1, 2}), Error);
+  EXPECT_THROW((void)mean_relative_error({}, {}), Error);
+}
+
+TEST(Error, CheckMacroThrowsWithLocation) {
+  try {
+    LMO_CHECK_MSG(false, "context here");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context here"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace lmo

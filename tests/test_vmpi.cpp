@@ -1,0 +1,405 @@
+// Unit tests for the vmpi layer: coroutine tasks, point-to-point semantics,
+// timing exactness on a quiet cluster, rendezvous, barrier, deadlock
+// detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/cluster.hpp"
+#include "util/error.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::vmpi {
+namespace {
+
+using namespace lmo::literals;
+
+sim::ClusterConfig quiet_cluster(int n = 4) {
+  sim::NodeParams node;
+  node.fixed_delay_s = 50e-6;   // C
+  node.per_byte_s = 100e-9;     // t
+  node.link_rate_bps = 12.5e6;  // 80 ns/B
+  node.latency_s = 20e-6;
+  sim::ClusterConfig cfg = sim::make_homogeneous_cluster(n, node);
+  cfg.noise_rel = 0.0;
+  cfg.quirks.enabled = false;
+  cfg.switch_latency_s = 10e-6;
+  return cfg;
+}
+
+// Exact expected one-way time on the quiet cluster: C + Mt + L + M/beta + C + Mt.
+double pt2pt_seconds(const sim::ClusterConfig& cfg, int i, int j, Bytes m) {
+  const Bytes frame = m < 64 ? 64 : m;
+  return cfg.nodes[std::size_t(i)].fixed_delay_s +
+         double(m) * cfg.nodes[std::size_t(i)].per_byte_s + cfg.latency(i, j) +
+         double(frame) / cfg.rate(i, j) +
+         cfg.nodes[std::size_t(j)].fixed_delay_s +
+         double(m) * cfg.nodes[std::size_t(j)].per_byte_s;
+}
+
+TEST(VmpiBasic, OneWayMessageExactTiming) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  const Bytes m = 10000;
+  SimTime recv_done;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task { co_await c.send(1, m); };
+  programs[1] = [&](Comm& c) -> Task {
+    const Bytes got = co_await c.recv(0);
+    EXPECT_EQ(got, m);
+    recv_done = c.now();
+  };
+  w.run(programs);
+  EXPECT_NEAR(recv_done.seconds(), pt2pt_seconds(cfg, 0, 1, m), 1e-12);
+}
+
+TEST(VmpiBasic, SenderReturnsBeforeArrival) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  SimTime send_done, recv_done;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task {
+    co_await c.send(1, 10000);
+    send_done = c.now();
+  };
+  programs[1] = [&](Comm& c) -> Task {
+    co_await c.recv(0);
+    recv_done = c.now();
+  };
+  w.run(programs);
+  EXPECT_LT(send_done, recv_done);  // eager: buffered return
+}
+
+TEST(VmpiBasic, RecvBlocksUntilMessage) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  SimTime recv_done;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task {
+    co_await c.sleep(10_ms);
+    co_await c.send(1, 0);
+  };
+  programs[1] = [&](Comm& c) -> Task {
+    co_await c.recv(0);
+    recv_done = c.now();
+  };
+  w.run(programs);
+  EXPECT_GT(recv_done, 10_ms);
+}
+
+TEST(VmpiBasic, LateRecvStartsProcessingAtPost) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  SimTime recv_done;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task { co_await c.send(1, 0); };
+  programs[1] = [&](Comm& c) -> Task {
+    co_await c.sleep(50_ms);  // message waits in the queue
+    co_await c.recv(0);
+    recv_done = c.now();
+  };
+  w.run(programs);
+  EXPECT_NEAR(recv_done.seconds(), 0.05 + 50e-6, 1e-9);
+}
+
+TEST(VmpiBasic, RoundtripTiming) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  const Bytes m = 5000;
+  SimTime elapsed;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task {
+    const SimTime t0 = c.now();
+    co_await c.send(1, m);
+    co_await c.recv(1);
+    elapsed = c.now() - t0;
+  };
+  programs[1] = [&](Comm& c) -> Task {
+    co_await c.recv(0);
+    co_await c.send(0, m);
+  };
+  w.run(programs);
+  EXPECT_NEAR(elapsed.seconds(), 2 * pt2pt_seconds(cfg, 0, 1, m), 1e-12);
+}
+
+TEST(VmpiBasic, TagsSelectMessages) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  Bytes first = 0, second = 0;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task {
+    co_await c.send(1, 100, /*tag=*/7);
+    co_await c.send(1, 200, /*tag=*/8);
+  };
+  programs[1] = [&](Comm& c) -> Task {
+    first = co_await c.recv(0, /*tag=*/8);  // out of order by tag
+    second = co_await c.recv(0, /*tag=*/7);
+  };
+  w.run(programs);
+  EXPECT_EQ(first, 200);
+  EXPECT_EQ(second, 100);
+}
+
+TEST(VmpiBasic, NonOvertakingSameTag) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  std::vector<Bytes> got;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task {
+    for (Bytes m : {100, 200, 300}) co_await c.send(1, m);
+  };
+  programs[1] = [&](Comm& c) -> Task {
+    for (int i = 0; i < 3; ++i) got.push_back(co_await c.recv(0));
+  };
+  w.run(programs);
+  EXPECT_EQ(got, (std::vector<Bytes>{100, 200, 300}));
+}
+
+TEST(VmpiBasic, AnyTagMatchesFirst) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  Bytes got = 0;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task { co_await c.send(1, 42, /*tag=*/3); };
+  programs[1] = [&](Comm& c) -> Task { got = co_await c.recv(0, kAnyTag); };
+  w.run(programs);
+  EXPECT_EQ(got, 42);
+}
+
+TEST(VmpiRendezvous, LargeSendWaitsForRecv) {
+  auto cfg = quiet_cluster();
+  cfg.quirks.enabled = true;
+  cfg.quirks.rendezvous_threshold = 64 * 1024;
+  // Disable the noise quirks so times stay deterministic.
+  cfg.quirks.escalation_peak_prob = 0.0;
+  cfg.quirks.frag_leap_s = 0.0;
+  World w(cfg);
+  const Bytes m = 256 * 1024;
+  SimTime send_done;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task {
+    co_await c.send(1, m);
+    send_done = c.now();
+  };
+  programs[1] = [&](Comm& c) -> Task {
+    co_await c.sleep(100_ms);  // recv posted late
+    co_await c.recv(0);
+  };
+  w.run(programs);
+  // The sender cannot finish before the recv was even posted.
+  EXPECT_GT(send_done, 100_ms);
+}
+
+TEST(VmpiRendezvous, EagerBelowThresholdDoesNotWait) {
+  auto cfg = quiet_cluster();
+  cfg.quirks.enabled = true;
+  cfg.quirks.rendezvous_threshold = 64 * 1024;
+  World w(cfg);
+  SimTime send_done;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task {
+    co_await c.send(1, 1024);
+    send_done = c.now();
+  };
+  programs[1] = [&](Comm& c) -> Task {
+    co_await c.sleep(100_ms);
+    co_await c.recv(0);
+  };
+  w.run(programs);
+  EXPECT_LT(send_done, 1_ms);
+}
+
+TEST(VmpiBarrier, SynchronizesActiveRanks) {
+  const auto cfg = quiet_cluster(4);
+  World w(cfg);
+  std::vector<SimTime> after(4);
+  auto programs = idle_programs(4);
+  for (int r = 0; r < 3; ++r)  // rank 3 idle: quorum is active ranks only
+    programs[std::size_t(r)] = [&, r](Comm& c) -> Task {
+      co_await c.sleep(SimTime::from_millis(double(r)));
+      co_await c.barrier();
+      after[std::size_t(r)] = c.now();
+    };
+  w.run(programs);
+  EXPECT_EQ(after[0], after[1]);
+  EXPECT_EQ(after[1], after[2]);
+  EXPECT_GE(after[0], 2_ms);  // no rank released before the last arrival
+}
+
+TEST(VmpiSubtask, CollectiveStyleNesting) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  SimTime done;
+  // A sub-coroutine performing a ping, awaited from the rank program.
+  auto ping = [](Comm& c, int peer) -> Task {
+    co_await c.send(peer, 1000);
+    co_await c.recv(peer);
+  };
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task {
+    co_await ping(c, 1);
+    co_await ping(c, 1);
+    done = c.now();
+  };
+  programs[1] = [&](Comm& c) -> Task {
+    for (int k = 0; k < 2; ++k) {
+      co_await c.recv(0);
+      co_await c.send(0, 1000);
+    }
+  };
+  w.run(programs);
+  EXPECT_NEAR(done.seconds(), 4 * pt2pt_seconds(cfg, 0, 1, 1000), 1e-12);
+}
+
+TEST(VmpiErrors, DeadlockDetected) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  auto programs = idle_programs(4);
+  programs[0] = [](Comm& c) -> Task { co_await c.recv(1); };  // never sent
+  EXPECT_THROW(w.run(programs), Error);
+}
+
+TEST(VmpiErrors, RankExceptionPropagates) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  auto programs = idle_programs(4);
+  programs[0] = [](Comm&) -> Task {
+    throw Error("boom");
+    co_return;
+  };
+  try {
+    w.run(programs);
+    FAIL() << "expected exception";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(VmpiErrors, WorldUsableAfterDeadlock) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  auto bad = idle_programs(4);
+  bad[0] = [](Comm& c) -> Task { co_await c.recv(1); };
+  EXPECT_THROW(w.run(bad), Error);
+  auto good = idle_programs(4);
+  bool ran = false;
+  good[0] = [&](Comm& c) -> Task {
+    co_await c.sleep(1_us);
+    ran = true;
+  };
+  w.run(good);
+  EXPECT_TRUE(ran);
+}
+
+TEST(VmpiErrors, RejectsSelfMessaging) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  auto programs = idle_programs(4);
+  programs[0] = [](Comm& c) -> Task {
+    EXPECT_THROW((void)c.send(0, 10), Error);
+    EXPECT_THROW((void)c.recv(0), Error);
+    co_return;
+  };
+  w.run(programs);
+}
+
+TEST(VmpiDeterminism, NoiselessRunsIdentical) {
+  const auto cfg = quiet_cluster();
+  auto run_once = [&cfg] {
+    World w(cfg);
+    SimTime done;
+    auto programs = idle_programs(4);
+    programs[0] = [&](Comm& c) -> Task {
+      for (int i = 0; i < 5; ++i) co_await c.send(1, 7777);
+      co_await c.recv(1);
+      done = c.now();
+    };
+    programs[1] = [&](Comm& c) -> Task {
+      for (int i = 0; i < 5; ++i) co_await c.recv(0);
+      co_await c.send(0, 1);
+    };
+    w.run(programs);
+    return done;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(VmpiDeterminism, SameSeedSameNoise) {
+  auto cfg = quiet_cluster();
+  cfg.noise_rel = 0.05;
+  auto run_once = [&cfg] {
+    World w(cfg);
+    SimTime done;
+    auto programs = idle_programs(4);
+    programs[0] = [&](Comm& c) -> Task {
+      co_await c.send(1, 10000);
+      co_await c.recv(1);
+      done = c.now();
+    };
+    programs[1] = [&](Comm& c) -> Task {
+      co_await c.recv(0);
+      co_await c.send(0, 10000);
+    };
+    w.run(programs);
+    return done;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(VmpiDeterminism, RepetitionsWithinWorldDiffer) {
+  auto cfg = quiet_cluster();
+  cfg.noise_rel = 0.05;
+  World w(cfg);
+  auto one = [&]() {
+    SimTime done;
+    auto programs = idle_programs(4);
+    programs[0] = [&](Comm& c) -> Task {
+      co_await c.send(1, 10000);
+      co_await c.recv(1);
+      done = c.now();
+    };
+    programs[1] = [&](Comm& c) -> Task {
+      co_await c.recv(0);
+      co_await c.send(0, 10000);
+    };
+    w.run(programs);
+    return done;
+  };
+  EXPECT_NE(one(), one());  // fresh noise draws per repetition
+}
+
+TEST(VmpiAccounting, AccumulatedTimeSums) {
+  const auto cfg = quiet_cluster();
+  World w(cfg);
+  auto programs = idle_programs(4);
+  programs[0] = [](Comm& c) -> Task { co_await c.sleep(10_ms); };
+  w.run(programs);
+  w.run(programs);
+  EXPECT_EQ(w.accumulated_time(), 20_ms);
+  w.reset_accumulated_time();
+  EXPECT_EQ(w.accumulated_time(), SimTime::zero());
+  EXPECT_EQ(w.total_runs(), 2u);
+}
+
+TEST(VmpiPipelining, ScatterPatternRootCpuBound) {
+  // On the quiet cluster t = 100 ns/B > 80 ns/B wire, so back-to-back sends
+  // from one root are CPU-bound and the wire drains in the gaps: the root's
+  // total send time is (n-1)(C + Mt) exactly.
+  const auto cfg = quiet_cluster(4);
+  World w(cfg);
+  const Bytes m = 20000;
+  SimTime root_done;
+  auto programs = idle_programs(4);
+  programs[0] = [&](Comm& c) -> Task {
+    for (int dst = 1; dst < 4; ++dst) co_await c.send(dst, m);
+    root_done = c.now();
+  };
+  for (int r = 1; r < 4; ++r)
+    programs[std::size_t(r)] = [](Comm& c) -> Task { co_await c.recv(0); };
+  w.run(programs);
+  const double expect = 3 * (50e-6 + double(m) * 100e-9);
+  EXPECT_NEAR(root_done.seconds(), expect, 1e-12);
+}
+
+}  // namespace
+}  // namespace lmo::vmpi
