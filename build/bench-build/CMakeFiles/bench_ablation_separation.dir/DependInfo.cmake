@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_separation.cpp" "bench-build/CMakeFiles/bench_ablation_separation.dir/bench_ablation_separation.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_separation.dir/bench_ablation_separation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/lmo_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/lmo_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpib/CMakeFiles/lmo_mpib.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lmo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/lmo_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/lmo_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/lmo_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/lmo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/lmo_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lmo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_separation"
+  "../bench/bench_ablation_separation.pdb"
+  "CMakeFiles/bench_ablation_separation.dir/bench_ablation_separation.cpp.o"
+  "CMakeFiles/bench_ablation_separation.dir/bench_ablation_separation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

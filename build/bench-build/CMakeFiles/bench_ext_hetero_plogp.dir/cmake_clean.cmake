@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_hetero_plogp"
+  "../bench/bench_ext_hetero_plogp.pdb"
+  "CMakeFiles/bench_ext_hetero_plogp.dir/bench_ext_hetero_plogp.cpp.o"
+  "CMakeFiles/bench_ext_hetero_plogp.dir/bench_ext_hetero_plogp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hetero_plogp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_linear_scatter_hockney"
+  "../bench/bench_fig1_linear_scatter_hockney.pdb"
+  "CMakeFiles/bench_fig1_linear_scatter_hockney.dir/bench_fig1_linear_scatter_hockney.cpp.o"
+  "CMakeFiles/bench_fig1_linear_scatter_hockney.dir/bench_fig1_linear_scatter_hockney.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_linear_scatter_hockney.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_binomial_scatter"
+  "../bench/bench_fig3_binomial_scatter.pdb"
+  "CMakeFiles/bench_fig3_binomial_scatter.dir/bench_fig3_binomial_scatter.cpp.o"
+  "CMakeFiles/bench_fig3_binomial_scatter.dir/bench_fig3_binomial_scatter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_binomial_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

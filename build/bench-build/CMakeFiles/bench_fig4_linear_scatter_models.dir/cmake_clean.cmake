@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_linear_scatter_models"
+  "../bench/bench_fig4_linear_scatter_models.pdb"
+  "CMakeFiles/bench_fig4_linear_scatter_models.dir/bench_fig4_linear_scatter_models.cpp.o"
+  "CMakeFiles/bench_fig4_linear_scatter_models.dir/bench_fig4_linear_scatter_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_linear_scatter_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_linear_gather_models"
+  "../bench/bench_fig5_linear_gather_models.pdb"
+  "CMakeFiles/bench_fig5_linear_gather_models.dir/bench_fig5_linear_gather_models.cpp.o"
+  "CMakeFiles/bench_fig5_linear_gather_models.dir/bench_fig5_linear_gather_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_linear_gather_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_algorithm_selection"
+  "../bench/bench_fig6_algorithm_selection.pdb"
+  "CMakeFiles/bench_fig6_algorithm_selection.dir/bench_fig6_algorithm_selection.cpp.o"
+  "CMakeFiles/bench_fig6_algorithm_selection.dir/bench_fig6_algorithm_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_algorithm_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

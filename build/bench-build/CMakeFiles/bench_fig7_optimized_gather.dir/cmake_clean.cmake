@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_optimized_gather"
+  "../bench/bench_fig7_optimized_gather.pdb"
+  "CMakeFiles/bench_fig7_optimized_gather.dir/bench_fig7_optimized_gather.cpp.o"
+  "CMakeFiles/bench_fig7_optimized_gather.dir/bench_fig7_optimized_gather.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_optimized_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_estimation_cost"
+  "../bench/bench_sec4_estimation_cost.pdb"
+  "CMakeFiles/bench_sec4_estimation_cost.dir/bench_sec4_estimation_cost.cpp.o"
+  "CMakeFiles/bench_sec4_estimation_cost.dir/bench_sec4_estimation_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_estimation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_predictions"
+  "../bench/bench_table2_predictions.pdb"
+  "CMakeFiles/bench_table2_predictions.dir/bench_table2_predictions.cpp.o"
+  "CMakeFiles/bench_table2_predictions.dir/bench_table2_predictions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_benchlib.dir/common.cpp.o"
+  "CMakeFiles/lmo_benchlib.dir/common.cpp.o.d"
+  "liblmo_benchlib.a"
+  "liblmo_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

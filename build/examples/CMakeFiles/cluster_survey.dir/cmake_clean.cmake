@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_survey.dir/cluster_survey.cpp.o"
+  "CMakeFiles/cluster_survey.dir/cluster_survey.cpp.o.d"
+  "cluster_survey"
+  "cluster_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

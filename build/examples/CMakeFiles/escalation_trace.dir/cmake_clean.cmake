@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escalation_trace.dir/escalation_trace.cpp.o"
+  "CMakeFiles/escalation_trace.dir/escalation_trace.cpp.o.d"
+  "escalation_trace"
+  "escalation_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escalation_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_tool.dir/lmo_tool.cpp.o"
+  "CMakeFiles/lmo_tool.dir/lmo_tool.cpp.o.d"
+  "lmo_tool"
+  "lmo_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

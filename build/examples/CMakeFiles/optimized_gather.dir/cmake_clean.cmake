@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimized_gather.dir/optimized_gather.cpp.o"
+  "CMakeFiles/optimized_gather.dir/optimized_gather.cpp.o.d"
+  "optimized_gather"
+  "optimized_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimized_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuned_collectives.dir/tuned_collectives.cpp.o"
+  "CMakeFiles/tuned_collectives.dir/tuned_collectives.cpp.o.d"
+  "tuned_collectives"
+  "tuned_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuned_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_coll.dir/collectives.cpp.o"
+  "CMakeFiles/lmo_coll.dir/collectives.cpp.o.d"
+  "liblmo_coll.a"
+  "liblmo_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

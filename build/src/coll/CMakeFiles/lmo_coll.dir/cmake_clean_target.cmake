@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblmo_coll.a"
+)

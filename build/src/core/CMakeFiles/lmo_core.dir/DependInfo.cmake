@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/empirical.cpp" "src/core/CMakeFiles/lmo_core.dir/empirical.cpp.o" "gcc" "src/core/CMakeFiles/lmo_core.dir/empirical.cpp.o.d"
+  "/root/repo/src/core/lmo_model.cpp" "src/core/CMakeFiles/lmo_core.dir/lmo_model.cpp.o" "gcc" "src/core/CMakeFiles/lmo_core.dir/lmo_model.cpp.o.d"
+  "/root/repo/src/core/optimize.cpp" "src/core/CMakeFiles/lmo_core.dir/optimize.cpp.o" "gcc" "src/core/CMakeFiles/lmo_core.dir/optimize.cpp.o.d"
+  "/root/repo/src/core/params_io.cpp" "src/core/CMakeFiles/lmo_core.dir/params_io.cpp.o" "gcc" "src/core/CMakeFiles/lmo_core.dir/params_io.cpp.o.d"
+  "/root/repo/src/core/predictions.cpp" "src/core/CMakeFiles/lmo_core.dir/predictions.cpp.o" "gcc" "src/core/CMakeFiles/lmo_core.dir/predictions.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/lmo_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/lmo_core.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/lmo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lmo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/lmo_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_core.dir/empirical.cpp.o"
+  "CMakeFiles/lmo_core.dir/empirical.cpp.o.d"
+  "CMakeFiles/lmo_core.dir/lmo_model.cpp.o"
+  "CMakeFiles/lmo_core.dir/lmo_model.cpp.o.d"
+  "CMakeFiles/lmo_core.dir/optimize.cpp.o"
+  "CMakeFiles/lmo_core.dir/optimize.cpp.o.d"
+  "CMakeFiles/lmo_core.dir/params_io.cpp.o"
+  "CMakeFiles/lmo_core.dir/params_io.cpp.o.d"
+  "CMakeFiles/lmo_core.dir/predictions.cpp.o"
+  "CMakeFiles/lmo_core.dir/predictions.cpp.o.d"
+  "CMakeFiles/lmo_core.dir/tuner.cpp.o"
+  "CMakeFiles/lmo_core.dir/tuner.cpp.o.d"
+  "liblmo_core.a"
+  "liblmo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

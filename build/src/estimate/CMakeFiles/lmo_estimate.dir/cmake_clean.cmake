@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_estimate.dir/empirical_estimator.cpp.o"
+  "CMakeFiles/lmo_estimate.dir/empirical_estimator.cpp.o.d"
+  "CMakeFiles/lmo_estimate.dir/experimenter.cpp.o"
+  "CMakeFiles/lmo_estimate.dir/experimenter.cpp.o.d"
+  "CMakeFiles/lmo_estimate.dir/hockney_estimator.cpp.o"
+  "CMakeFiles/lmo_estimate.dir/hockney_estimator.cpp.o.d"
+  "CMakeFiles/lmo_estimate.dir/lmo_estimator.cpp.o"
+  "CMakeFiles/lmo_estimate.dir/lmo_estimator.cpp.o.d"
+  "CMakeFiles/lmo_estimate.dir/loggp_estimator.cpp.o"
+  "CMakeFiles/lmo_estimate.dir/loggp_estimator.cpp.o.d"
+  "CMakeFiles/lmo_estimate.dir/plogp_estimator.cpp.o"
+  "CMakeFiles/lmo_estimate.dir/plogp_estimator.cpp.o.d"
+  "CMakeFiles/lmo_estimate.dir/schedule.cpp.o"
+  "CMakeFiles/lmo_estimate.dir/schedule.cpp.o.d"
+  "liblmo_estimate.a"
+  "liblmo_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

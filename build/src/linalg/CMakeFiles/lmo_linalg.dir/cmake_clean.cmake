@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/lmo_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/lmo_linalg.dir/solve.cpp.o"
+  "CMakeFiles/lmo_linalg.dir/solve.cpp.o.d"
+  "liblmo_linalg.a"
+  "liblmo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblmo_linalg.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/hockney.cpp" "src/models/CMakeFiles/lmo_models.dir/hockney.cpp.o" "gcc" "src/models/CMakeFiles/lmo_models.dir/hockney.cpp.o.d"
+  "/root/repo/src/models/logp.cpp" "src/models/CMakeFiles/lmo_models.dir/logp.cpp.o" "gcc" "src/models/CMakeFiles/lmo_models.dir/logp.cpp.o.d"
+  "/root/repo/src/models/plogp.cpp" "src/models/CMakeFiles/lmo_models.dir/plogp.cpp.o" "gcc" "src/models/CMakeFiles/lmo_models.dir/plogp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lmo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lmo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/lmo_trees.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

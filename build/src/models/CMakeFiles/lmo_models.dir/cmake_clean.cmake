@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_models.dir/hockney.cpp.o"
+  "CMakeFiles/lmo_models.dir/hockney.cpp.o.d"
+  "CMakeFiles/lmo_models.dir/logp.cpp.o"
+  "CMakeFiles/lmo_models.dir/logp.cpp.o.d"
+  "CMakeFiles/lmo_models.dir/plogp.cpp.o"
+  "CMakeFiles/lmo_models.dir/plogp.cpp.o.d"
+  "liblmo_models.a"
+  "liblmo_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

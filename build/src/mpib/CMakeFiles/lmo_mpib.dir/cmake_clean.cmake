@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_mpib.dir/benchmark.cpp.o"
+  "CMakeFiles/lmo_mpib.dir/benchmark.cpp.o.d"
+  "liblmo_mpib.a"
+  "liblmo_mpib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_mpib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

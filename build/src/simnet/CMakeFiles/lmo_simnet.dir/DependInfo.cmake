@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/cluster.cpp" "src/simnet/CMakeFiles/lmo_simnet.dir/cluster.cpp.o" "gcc" "src/simnet/CMakeFiles/lmo_simnet.dir/cluster.cpp.o.d"
+  "/root/repo/src/simnet/config_io.cpp" "src/simnet/CMakeFiles/lmo_simnet.dir/config_io.cpp.o" "gcc" "src/simnet/CMakeFiles/lmo_simnet.dir/config_io.cpp.o.d"
+  "/root/repo/src/simnet/engine.cpp" "src/simnet/CMakeFiles/lmo_simnet.dir/engine.cpp.o" "gcc" "src/simnet/CMakeFiles/lmo_simnet.dir/engine.cpp.o.d"
+  "/root/repo/src/simnet/fabric.cpp" "src/simnet/CMakeFiles/lmo_simnet.dir/fabric.cpp.o" "gcc" "src/simnet/CMakeFiles/lmo_simnet.dir/fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_simnet.dir/cluster.cpp.o"
+  "CMakeFiles/lmo_simnet.dir/cluster.cpp.o.d"
+  "CMakeFiles/lmo_simnet.dir/config_io.cpp.o"
+  "CMakeFiles/lmo_simnet.dir/config_io.cpp.o.d"
+  "CMakeFiles/lmo_simnet.dir/engine.cpp.o"
+  "CMakeFiles/lmo_simnet.dir/engine.cpp.o.d"
+  "CMakeFiles/lmo_simnet.dir/fabric.cpp.o"
+  "CMakeFiles/lmo_simnet.dir/fabric.cpp.o.d"
+  "liblmo_simnet.a"
+  "liblmo_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/lmo_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/lmo_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/piecewise.cpp" "src/stats/CMakeFiles/lmo_stats.dir/piecewise.cpp.o" "gcc" "src/stats/CMakeFiles/lmo_stats.dir/piecewise.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/lmo_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/lmo_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/students_t.cpp" "src/stats/CMakeFiles/lmo_stats.dir/students_t.cpp.o" "gcc" "src/stats/CMakeFiles/lmo_stats.dir/students_t.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/lmo_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/lmo_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_stats.dir/histogram.cpp.o"
+  "CMakeFiles/lmo_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/lmo_stats.dir/piecewise.cpp.o"
+  "CMakeFiles/lmo_stats.dir/piecewise.cpp.o.d"
+  "CMakeFiles/lmo_stats.dir/regression.cpp.o"
+  "CMakeFiles/lmo_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/lmo_stats.dir/students_t.cpp.o"
+  "CMakeFiles/lmo_stats.dir/students_t.cpp.o.d"
+  "CMakeFiles/lmo_stats.dir/summary.cpp.o"
+  "CMakeFiles/lmo_stats.dir/summary.cpp.o.d"
+  "liblmo_stats.a"
+  "liblmo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_trees.dir/binomial.cpp.o"
+  "CMakeFiles/lmo_trees.dir/binomial.cpp.o.d"
+  "CMakeFiles/lmo_trees.dir/mapping.cpp.o"
+  "CMakeFiles/lmo_trees.dir/mapping.cpp.o.d"
+  "liblmo_trees.a"
+  "liblmo_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

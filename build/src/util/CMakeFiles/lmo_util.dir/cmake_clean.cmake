@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_util.dir/cli.cpp.o"
+  "CMakeFiles/lmo_util.dir/cli.cpp.o.d"
+  "CMakeFiles/lmo_util.dir/format.cpp.o"
+  "CMakeFiles/lmo_util.dir/format.cpp.o.d"
+  "CMakeFiles/lmo_util.dir/rng.cpp.o"
+  "CMakeFiles/lmo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lmo_util.dir/sweep.cpp.o"
+  "CMakeFiles/lmo_util.dir/sweep.cpp.o.d"
+  "CMakeFiles/lmo_util.dir/table.cpp.o"
+  "CMakeFiles/lmo_util.dir/table.cpp.o.d"
+  "liblmo_util.a"
+  "liblmo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

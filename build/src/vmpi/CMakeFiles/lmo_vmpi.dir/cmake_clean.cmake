@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmo_vmpi.dir/trace_json.cpp.o"
+  "CMakeFiles/lmo_vmpi.dir/trace_json.cpp.o.d"
+  "CMakeFiles/lmo_vmpi.dir/world.cpp.o"
+  "CMakeFiles/lmo_vmpi.dir/world.cpp.o.d"
+  "liblmo_vmpi.a"
+  "liblmo_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmo_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_extended.dir/test_coll_extended.cpp.o"
+  "CMakeFiles/test_coll_extended.dir/test_coll_extended.cpp.o.d"
+  "test_coll_extended"
+  "test_coll_extended.pdb"
+  "test_coll_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_extended.dir/test_core_extended.cpp.o"
+  "CMakeFiles/test_core_extended.dir/test_core_extended.cpp.o.d"
+  "test_core_extended"
+  "test_core_extended.pdb"
+  "test_core_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

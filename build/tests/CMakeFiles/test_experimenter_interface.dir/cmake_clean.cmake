@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experimenter_interface.dir/test_experimenter_interface.cpp.o"
+  "CMakeFiles/test_experimenter_interface.dir/test_experimenter_interface.cpp.o.d"
+  "test_experimenter_interface"
+  "test_experimenter_interface.pdb"
+  "test_experimenter_interface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experimenter_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_plogp.dir/test_hetero_plogp.cpp.o"
+  "CMakeFiles/test_hetero_plogp.dir/test_hetero_plogp.cpp.o.d"
+  "test_hetero_plogp"
+  "test_hetero_plogp.pdb"
+  "test_hetero_plogp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_plogp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpib.dir/test_mpib.cpp.o"
+  "CMakeFiles/test_mpib.dir/test_mpib.cpp.o.d"
+  "test_mpib"
+  "test_mpib.pdb"
+  "test_mpib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpib_extended.dir/test_mpib_extended.cpp.o"
+  "CMakeFiles/test_mpib_extended.dir/test_mpib_extended.cpp.o.d"
+  "test_mpib_extended"
+  "test_mpib_extended.pdb"
+  "test_mpib_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpib_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

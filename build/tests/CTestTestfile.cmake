@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_trees[1]_include.cmake")
+include("/root/repo/build/tests/test_coll[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_mpib[1]_include.cmake")
+include("/root/repo/build/tests/test_estimate[1]_include.cmake")
+include("/root/repo/build/tests/test_coll_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_core_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_tuner[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_metamorphic[1]_include.cmake")
+include("/root/repo/build/tests/test_hetero_plogp[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_json[1]_include.cmake")
+include("/root/repo/build/tests/test_mpib_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_experimenter_interface[1]_include.cmake")
