@@ -6,6 +6,7 @@
 #include "stats/summary.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lmo::bench {
 
@@ -13,17 +14,14 @@ double observe_mean(estimate::SimExperimenter& ex,
                     const std::function<vmpi::Task(vmpi::Comm&)>& body,
                     int reps) {
   stats::RunningStats s;
-  for (int r = 0; r < reps; ++r) s.add(ex.observe_global(body));
+  for (const double x : ex.observe_global_samples(body, reps)) s.add(x);
   return s.mean();
 }
 
 std::vector<double> observe_samples(
     estimate::SimExperimenter& ex,
     const std::function<vmpi::Task(vmpi::Comm&)>& body, int reps) {
-  std::vector<double> out;
-  out.reserve(std::size_t(reps));
-  for (int r = 0; r < reps; ++r) out.push_back(ex.observe_global(body));
-  return out;
+  return ex.observe_global_samples(body, reps);
 }
 
 std::string ms(double seconds) { return format_fixed(seconds * 1e3, 3); }
@@ -38,7 +36,10 @@ void emit(const Table& table, const Cli& cli, const std::string& title) {
 }
 
 Cli parse_bench_cli(int argc, const char* const* argv) {
-  return Cli(argc, argv, {"seed", "reps", "csv", "points"});
+  Cli cli(argc, argv, {"seed", "reps", "csv", "points", "jobs"});
+  // 0 = auto (hardware concurrency); results are jobs-independent.
+  set_default_jobs(int(cli.get_int("jobs", 0)));
+  return cli;
 }
 
 }  // namespace lmo::bench

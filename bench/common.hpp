@@ -30,12 +30,15 @@ using lmo::geometric_sizes;
 using lmo::linear_sizes;
 using lmo::mean_relative_error;
 
-/// Mean of `reps` global observations of an SPMD collective.
+/// Mean of `reps` global observations of an SPMD collective. Observations
+/// run in independent sessions, concurrently up to --jobs; the result does
+/// not depend on the degree of parallelism.
 [[nodiscard]] double observe_mean(
     estimate::SimExperimenter& ex,
     const std::function<vmpi::Task(vmpi::Comm&)>& body, int reps = 8);
 
-/// All samples (for escalation scatter plots).
+/// All samples (for escalation scatter plots). Same execution model as
+/// observe_mean.
 [[nodiscard]] std::vector<double> observe_samples(
     estimate::SimExperimenter& ex,
     const std::function<vmpi::Task(vmpi::Comm&)>& body, int reps);
@@ -55,7 +58,9 @@ struct BenchEnv {
 /// Print a table and, when --csv was passed, its CSV form.
 void emit(const Table& table, const Cli& cli, const std::string& title);
 
-/// Standard bench CLI: --seed N --reps N --csv.
+/// Standard bench CLI: --seed N --reps N --csv --jobs N. Parsing applies
+/// --jobs (default: hardware concurrency) as the process-wide default
+/// parallelism for session fan-out (util::set_default_jobs).
 [[nodiscard]] Cli parse_bench_cli(int argc, const char* const* argv);
 
 }  // namespace lmo::bench

@@ -21,6 +21,7 @@
 #include "simnet/config_io.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/thread_pool.hpp"
 #include "vmpi/world.hpp"
 
 namespace {
@@ -125,7 +126,10 @@ int main(int argc, char** argv) {
   try {
     const lmo::Cli cli(argc - 1, argv + 1,
                        {"out", "cluster", "model", "op", "size", "root",
-                        "nodes", "seed"});
+                        "nodes", "seed", "jobs"});
+    // --jobs N: parallel experiment sessions (default: hardware
+    // concurrency). Estimates are bit-identical for any value.
+    lmo::set_default_jobs(int(cli.get_int("jobs", 0)));
     if (command == "make-cluster") return cmd_make_cluster(cli);
     if (command == "estimate") return cmd_estimate(cli);
     if (command == "predict") return cmd_predict(cli);

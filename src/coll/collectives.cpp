@@ -213,11 +213,11 @@ std::vector<vmpi::RankProgram> spmd(int n,
   return programs;
 }
 
-SimTime run_timed(vmpi::World& world, int timed_rank,
+SimTime run_timed(vmpi::SimSession& sess, int timed_rank,
                   std::function<Task(Comm&)> body) {
-  LMO_CHECK(timed_rank >= 0 && timed_rank < world.size());
+  LMO_CHECK(timed_rank >= 0 && timed_rank < sess.size());
   SimTime elapsed;
-  auto programs = spmd(world.size(), std::move(body));
+  auto programs = spmd(sess.size(), std::move(body));
   auto timed_body = programs[std::size_t(timed_rank)];
   programs[std::size_t(timed_rank)] = [&elapsed,
                                        timed_body](Comm& c) -> Task {
@@ -225,7 +225,7 @@ SimTime run_timed(vmpi::World& world, int timed_rank,
     co_await timed_body(c);
     elapsed = c.now() - t0;
   };
-  world.run(programs);
+  sess.run(programs);
   return elapsed;
 }
 

@@ -16,7 +16,7 @@
 #include "util/bytes.hpp"
 #include "vmpi/comm.hpp"
 #include "vmpi/task.hpp"
-#include "vmpi/world.hpp"
+#include "vmpi/session.hpp"
 
 namespace lmo::coll {
 
@@ -84,9 +84,9 @@ vmpi::Task pairwise_alltoall(vmpi::Comm& c, Bytes block);
 [[nodiscard]] std::vector<vmpi::RankProgram> spmd(
     int n, std::function<vmpi::Task(vmpi::Comm&)> body);
 
-/// Run `body` on all ranks and return the completion time of `timed_rank`
-/// (sender-side timing when timed_rank == root, per MPIBlib).
-[[nodiscard]] SimTime run_timed(vmpi::World& world, int timed_rank,
+/// Run `body` on all ranks of `sess` and return the completion time of
+/// `timed_rank` (sender-side timing when timed_rank == root, per MPIBlib).
+[[nodiscard]] SimTime run_timed(vmpi::SimSession& sess, int timed_rank,
                                 std::function<vmpi::Task(vmpi::Comm&)> body);
 
 }  // namespace lmo::coll

@@ -6,6 +6,8 @@
 #include "stats/students_t.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace lmo::estimate {
 
@@ -13,34 +15,62 @@ using vmpi::Comm;
 using vmpi::RankProgram;
 using vmpi::Task;
 
-SimExperimenter::SimExperimenter(vmpi::World& world,
+namespace {
+/// One repetition of a measured round: the per-experiment elapsed times
+/// and the session's simulated completion time (for cost accounting).
+struct RepSample {
+  std::vector<double> slots;
+  SimTime end;
+};
+}  // namespace
+
+SimExperimenter::SimExperimenter(vmpi::SimSession& session,
                                  mpib::MeasureOptions measure)
-    : world_(&world), measure_(measure) {}
+    : session_(&session), measure_(measure) {}
+
+int SimExperimenter::jobs() const {
+  return measure_.jobs > 0 ? measure_.jobs : default_jobs();
+}
 
 std::vector<double> SimExperimenter::measure_round(
     const std::function<std::vector<RankProgram>(std::vector<double>&)>&
         build,
     std::size_t n_experiments) {
   LMO_CHECK(n_experiments >= 1);
-  std::vector<stats::RunningStats> acc(n_experiments);
-  std::vector<double> slots(n_experiments, 0.0);
-  for (int rep = 0; rep < measure_.max_reps; ++rep) {
-    auto programs = build(slots);
-    world_->run(programs);
-    for (std::size_t e = 0; e < n_experiments; ++e) acc[e].add(slots[e]);
-    if (rep + 1 < measure_.min_reps) continue;
-    bool all_ok = true;
-    for (const auto& s : acc) {
-      const auto ci = stats::confidence_interval(s, measure_.confidence);
-      if (ci.relative_error() > measure_.rel_err) {
-        all_ok = false;
-        break;
-      }
+  const std::uint64_t round = next_round();
+  const std::uint64_t base = session_->seed();
+
+  // sample(rep) is pure in `rep`: a fresh session seeded from (base,
+  // round, rep), so repetitions can run on any thread in any order.
+  auto sample = [&](int rep) {
+    RepSample s;
+    s.slots.assign(n_experiments, 0.0);
+    vmpi::SimSession sess(session_->shared_config(),
+                          derive_seed(base, round, std::uint64_t(rep)));
+    const auto programs = build(s.slots);
+    s.end = sess.run(programs);
+    return s;
+  };
+  auto converged = [&](const std::vector<RepSample>& samples, int k) {
+    for (std::size_t e = 0; e < n_experiments; ++e) {
+      stats::RunningStats acc;
+      for (int r = 0; r < k; ++r) acc.add(samples[std::size_t(r)].slots[e]);
+      const auto ci = stats::confidence_interval(acc, measure_.confidence);
+      if (ci.relative_error() > measure_.rel_err) return false;
     }
-    if (all_ok) break;
+    return true;
+  };
+  const auto used = adaptive_reps<RepSample>(jobs(), measure_.min_reps,
+                                             measure_.max_reps, sample,
+                                             converged);
+
+  session_runs_ += used.size();
+  std::vector<double> means(n_experiments, 0.0);
+  for (const auto& s : used) {
+    session_cost_ += s.end;
+    for (std::size_t e = 0; e < n_experiments; ++e) means[e] += s.slots[e];
   }
-  std::vector<double> means(n_experiments);
-  for (std::size_t e = 0; e < n_experiments; ++e) means[e] = acc[e].mean();
+  for (auto& m : means) m /= double(used.size());
   return means;
 }
 
@@ -175,12 +205,32 @@ double SimExperimenter::observe_gather(int root, Bytes m) {
 
 double SimExperimenter::observe_once(
     const std::function<Task(Comm&)>& body, int timed_rank) {
-  return coll::run_timed(*world_, timed_rank, body).seconds();
+  return coll::run_timed(*session_, timed_rank, body).seconds();
 }
 
 double SimExperimenter::observe_global(
     const std::function<Task(Comm&)>& body) {
-  return world_->run(coll::spmd(size(), body)).seconds();
+  return session_->run(coll::spmd(size(), body)).seconds();
+}
+
+std::vector<double> SimExperimenter::observe_global_samples(
+    const std::function<Task(Comm&)>& body, int reps) {
+  LMO_CHECK(reps >= 1);
+  const std::uint64_t round = next_round();
+  const std::uint64_t base = session_->seed();
+  std::vector<SimTime> ends(static_cast<std::size_t>(reps));
+  parallel_for(jobs(), reps, [&](int rep) {
+    vmpi::SimSession sess(session_->shared_config(),
+                          derive_seed(base, round, std::uint64_t(rep)));
+    ends[std::size_t(rep)] = sess.run(coll::spmd(sess.size(), body));
+  });
+  std::vector<double> out(static_cast<std::size_t>(reps));
+  for (std::size_t r = 0; r < ends.size(); ++r) {
+    session_cost_ += ends[r];
+    out[r] = ends[r].seconds();
+  }
+  session_runs_ += std::uint64_t(reps);
+  return out;
 }
 
 }  // namespace lmo::estimate

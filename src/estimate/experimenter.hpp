@@ -1,15 +1,23 @@
 // SimExperimenter: the communication experiments the estimators consume.
 //
 // This is the only place where estimation touches the simulated cluster —
-// every primitive builds rank programs, runs them on the World, and
-// returns *measured* times (sender-side, per MPIBlib). Estimators therefore
-// see the virtual cluster exactly the way the paper's software tool [13]
-// sees a physical one. Batched variants run several experiments on
-// disjoint processor sets concurrently (single-switch property) and repeat
-// the whole round until every experiment meets the confidence-interval
-// criterion.
+// every primitive builds rank programs, runs them, and returns *measured*
+// times (sender-side, per MPIBlib). Estimators therefore see the virtual
+// cluster exactly the way the paper's software tool [13] sees a physical
+// one. Batched variants run several experiments on disjoint processor sets
+// concurrently (single-switch property) and repeat the whole round until
+// every experiment meets the confidence-interval criterion.
+//
+// Concurrency model: each repetition of a measured round executes in its
+// own SimSession seeded from (cluster seed, round index, repetition
+// index). Repetitions are therefore independent and fan out across the
+// util thread pool — with the hard guarantee that jobs = 1 and jobs = N
+// produce bit-identical measured times, repetition counts, and cost
+// accounting (see util/parallel.hpp adaptive_reps for how speculative
+// extra repetitions are discarded).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -77,11 +85,15 @@ class Experimenter {
 
 class SimExperimenter final : public Experimenter {
  public:
-  explicit SimExperimenter(vmpi::World& world,
+  /// `session` is the long-lived anchor simulation: single observations
+  /// run on it (its RNG persisting across calls supplies fresh noise), and
+  /// its shared_config() seeds the per-repetition isolated sessions of the
+  /// measured primitives. measure.jobs controls their parallelism.
+  explicit SimExperimenter(vmpi::SimSession& session,
                            mpib::MeasureOptions measure = {});
 
-  [[nodiscard]] int size() const override { return world_->size(); }
-  [[nodiscard]] vmpi::World& world() { return *world_; }
+  [[nodiscard]] int size() const override { return session_->size(); }
+  [[nodiscard]] vmpi::SimSession& session() { return *session_; }
   [[nodiscard]] const mpib::MeasureOptions& measure_options() const {
     return measure_;
   }
@@ -102,33 +114,55 @@ class SimExperimenter final : public Experimenter {
 
   /// One observation (no repetition) of an arbitrary SPMD collective,
   /// timed at `timed_rank` [s] — simulator-only (used by the benches).
+  /// Runs on the anchor session.
   [[nodiscard]] double observe_once(
       const std::function<vmpi::Task(vmpi::Comm&)>& body, int timed_rank);
 
   /// One observation of an SPMD collective's completion time across all
   /// ranks [s] — the "execution time of the collective" the figures plot.
+  /// Runs on the anchor session.
   [[nodiscard]] double observe_global(
       const std::function<vmpi::Task(vmpi::Comm&)>& body);
 
-  /// Total number of world runs issued through this experimenter.
+  /// `reps` independent global observations, one isolated session each,
+  /// executed concurrently (measure_options().jobs) with deterministic
+  /// per-repetition seeds; samples in repetition order, independent of the
+  /// degree of parallelism. `body` must be safe to invoke concurrently
+  /// (value-capturing lambdas are).
+  [[nodiscard]] std::vector<double> observe_global_samples(
+      const std::function<vmpi::Task(vmpi::Comm&)>& body, int reps);
+
+  /// Total number of simulation runs issued through this experimenter
+  /// (anchor-session runs plus committed isolated-session repetitions).
   [[nodiscard]] std::uint64_t runs() const override {
-    return world_->total_runs();
+    return session_->total_runs() + session_runs_;
   }
   /// Total simulated time consumed — the estimation cost of Section IV.
   [[nodiscard]] SimTime cost() const override {
-    return world_->accumulated_time();
+    return session_->accumulated_time() + session_cost_;
   }
 
  private:
   /// Run one round of concurrent experiments (writing elapsed seconds into
-  /// slots) repeatedly until all slots' CI criteria hold.
+  /// slots) repeatedly until all slots' CI criteria hold. Each repetition
+  /// gets its own SimSession; repetitions fan out across the thread pool.
   [[nodiscard]] std::vector<double> measure_round(
       const std::function<std::vector<vmpi::RankProgram>(
           std::vector<double>& slots)>& build,
       std::size_t n_experiments);
 
-  vmpi::World* world_;
+  [[nodiscard]] int jobs() const;
+  [[nodiscard]] std::uint64_t next_round() { return round_seq_++; }
+
+  vmpi::SimSession* session_;
   mpib::MeasureOptions measure_;
+  /// Monotonic index of measured rounds — the first seed-derivation key.
+  std::uint64_t round_seq_ = 0;
+  /// Runs/cost committed by isolated per-repetition sessions (speculative
+  /// repetitions that the stopping rule discarded are not counted, so the
+  /// totals match a serial run exactly).
+  std::uint64_t session_runs_ = 0;
+  SimTime session_cost_;
 };
 
 }  // namespace lmo::estimate

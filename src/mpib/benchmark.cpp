@@ -34,13 +34,13 @@ Measurement measure(const std::function<double()>& sample_once,
 }
 
 Measurement measure_collective(
-    vmpi::World& world, int timed_rank,
+    vmpi::SimSession& sess, int timed_rank,
     const std::function<vmpi::Task(vmpi::Comm&)>& body,
     const MeasureOptions& opts, TimingMethod method) {
-  auto sample = [&world, timed_rank, &body, method]() -> double {
+  auto sample = [&sess, timed_rank, &body, method]() -> double {
     if (method == TimingMethod::kRoot)
-      return coll::run_timed(world, timed_rank, body).seconds();
-    return world.run(coll::spmd(world.size(), body)).seconds();
+      return coll::run_timed(sess, timed_rank, body).seconds();
+    return sess.run(coll::spmd(sess.size(), body)).seconds();
   };
   return measure(sample, opts);
 }

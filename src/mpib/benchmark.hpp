@@ -18,7 +18,7 @@
 #include "util/time.hpp"
 #include "vmpi/comm.hpp"
 #include "vmpi/task.hpp"
-#include "vmpi/world.hpp"
+#include "vmpi/session.hpp"
 
 namespace lmo::mpib {
 
@@ -27,6 +27,11 @@ struct MeasureOptions {
   double rel_err = 0.025;
   int min_reps = 5;
   int max_reps = 100;
+  /// Worker threads for session-isolated repetition (consumed by
+  /// estimate::SimExperimenter; see util/parallel.hpp). 0 = the process
+  /// default (util::default_jobs(), i.e. --jobs / hardware concurrency).
+  /// Results are bit-identical for every value — only wall-clock changes.
+  int jobs = 0;
 };
 
 struct Measurement {
@@ -50,11 +55,14 @@ struct Measurement {
 
 enum class TimingMethod { kRoot, kGlobal };
 
-/// Measure an SPMD collective body on the world. With kRoot the elapsed
+/// Measure an SPMD collective body on the session. With kRoot the elapsed
 /// time of `timed_rank` is sampled; with kGlobal the completion time of
-/// the whole round.
+/// the whole round. The session is reused across repetitions (its noise
+/// RNG persists), so this sampler is inherently serial; parallel
+/// repetition lives in estimate::SimExperimenter, which runs one isolated
+/// session per repetition.
 [[nodiscard]] Measurement measure_collective(
-    vmpi::World& world, int timed_rank,
+    vmpi::SimSession& sess, int timed_rank,
     const std::function<vmpi::Task(vmpi::Comm&)>& body,
     const MeasureOptions& opts = {},
     TimingMethod method = TimingMethod::kRoot);

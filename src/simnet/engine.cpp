@@ -28,8 +28,14 @@ SimTime Engine::run() {
 }
 
 void Engine::reset() {
+  LMO_CHECK_MSG(queue_.empty(),
+                "Engine::reset() with pending events — run to completion or "
+                "discard_pending() first");
   now_ = SimTime::zero();
   executed_ = 0;
+}
+
+void Engine::discard_pending() {
   while (!queue_.empty()) queue_.pop();
 }
 

@@ -37,10 +37,18 @@ class Engine {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
-  /// Reset the clock and drop pending events (used between measurement
-  /// repetitions; the caller is responsible for not leaking suspended
-  /// coroutines into a reset).
+  /// Reset the clock between measurement repetitions. The queue must
+  /// already be drained (run() ran to completion) — silently dropping
+  /// pending events could strand suspended coroutines whose only resume
+  /// path lives in those events; throws if any are pending. For abnormal
+  /// teardown, call discard_pending() first.
   void reset();
+
+  /// Destroy all pending events without executing them. The event actions
+  /// are released safely (their closures are destroyed; coroutine handles
+  /// they hold are non-owning, the frames stay owned by their Tasks). Only
+  /// for abnormal teardown — see reset().
+  void discard_pending();
 
  private:
   struct Event {

@@ -9,13 +9,15 @@ namespace {
 constexpr Bytes kMinFrame = 64;
 }  // namespace
 
-Fabric::Fabric(const ClusterConfig& cfg) : cfg_(&cfg) {
+Fabric::Fabric(const ClusterConfig& cfg) : Fabric(cfg, cfg.seed) {}
+
+Fabric::Fabric(const ClusterConfig& cfg, std::uint64_t seed) : cfg_(&cfg) {
   cfg.validate();
   const auto n = std::size_t(cfg.size());
   egress_.resize(n);
   ingress_.resize(n);
   inflows_.assign(n, 0);
-  Rng seeder(cfg.seed);
+  Rng seeder(seed);
   node_rng_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) node_rng_.push_back(seeder.split());
 }

@@ -33,8 +33,13 @@ struct WireTiming {
 
 class Fabric {
  public:
-  /// `cfg` must outlive the fabric.
+  /// `cfg` must outlive the fabric. Node noise RNGs seed from cfg.seed.
   explicit Fabric(const ClusterConfig& cfg);
+
+  /// Same, but noise RNGs seed from `seed` instead of cfg.seed — how
+  /// session-isolated simulations get decorrelated noise streams from one
+  /// shared cluster description.
+  Fabric(const ClusterConfig& cfg, std::uint64_t seed);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;

@@ -1,0 +1,96 @@
+// Deterministic parallel execution helpers.
+//
+// Everything here preserves a hard invariant the simulation stack relies
+// on: *results are a pure function of the inputs, never of the degree of
+// parallelism*. parallel_for assigns work by index; adaptive_reps commits
+// to exactly the repetition count a serial run would have chosen and
+// discards any speculative extras. So `jobs = 1` and `jobs = N` produce
+// bit-identical outputs — only the wall-clock differs.
+#pragma once
+
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmo {
+
+/// Run fn(0) .. fn(n-1) across the shared pool, blocking until all
+/// complete. With jobs <= 1, n <= 1, or when already on a pool worker
+/// (nested parallelism), runs inline in index order. If any invocation
+/// throws, the lowest-index exception is rethrown after all tasks finish.
+/// fn must be safe to call concurrently for distinct indices.
+template <class Fn>
+void parallel_for(int jobs, int n, Fn&& fn) {
+  if (n <= 0) return;
+  if (jobs <= 1 || n == 1 || ThreadPool::on_worker_thread()) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto& pool = ThreadPool::shared();
+  std::vector<std::future<void>> done;
+  done.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i)
+    done.push_back(pool.submit([&fn, i] { fn(i); }));
+  std::exception_ptr first;
+  for (auto& f : done) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+/// Adaptive repetition with deterministic early stopping.
+///
+/// sample(rep) produces the rep-th observation and must depend only on
+/// `rep` (not on call order or thread). converged(samples, k) judges the
+/// prefix samples[0..k); it must be pure. The return value contains
+/// samples[0..S) where S is the smallest k in [min_reps, max_reps] with
+/// converged(samples, k), or max_reps if none — exactly the count a
+/// one-at-a-time serial loop would commit to. Parallel waves may compute a
+/// few samples beyond S speculatively; those are discarded, which is what
+/// keeps the result independent of `jobs`.
+template <class Sample, class SampleFn, class ConvergedFn>
+std::vector<Sample> adaptive_reps(int jobs, int min_reps, int max_reps,
+                                  SampleFn&& sample,
+                                  ConvergedFn&& converged) {
+  LMO_CHECK(min_reps >= 1);
+  LMO_CHECK(max_reps >= min_reps);
+  std::vector<Sample> samples;
+  int done = 0;
+  int next_check = min_reps;  // converged() is pure: each prefix once
+  while (done < max_reps) {
+    // First wave: at least min_reps (rounded up to fill idle workers —
+    // the stopping rule cannot fire earlier anyway). Later waves: one
+    // sample per worker.
+    int wave;
+    if (done == 0) {
+      wave = min_reps;
+      if (jobs > 1) wave = ((min_reps + jobs - 1) / jobs) * jobs;
+    } else {
+      wave = jobs < 1 ? 1 : jobs;
+    }
+    if (wave > max_reps - done) wave = max_reps - done;
+    samples.resize(std::size_t(done + wave));
+    parallel_for(jobs, wave, [&](int i) {
+      samples[std::size_t(done + i)] = sample(done + i);
+    });
+    done += wave;
+    for (int k = next_check; k <= done; ++k) {
+      if (converged(std::as_const(samples), k)) {
+        samples.resize(std::size_t(k));
+        return samples;
+      }
+    }
+    next_check = done + 1;
+  }
+  return samples;
+}
+
+}  // namespace lmo

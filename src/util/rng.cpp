@@ -18,6 +18,16 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 }
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
+                          std::uint64_t b) {
+  std::uint64_t sm = base;
+  (void)splitmix64(sm);
+  sm ^= a;
+  (void)splitmix64(sm);
+  sm ^= b;
+  return splitmix64(sm);
+}
+
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);

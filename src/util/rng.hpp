@@ -13,6 +13,14 @@
 
 namespace lmo {
 
+/// Derive a decorrelated child seed from a base seed and up to two stream
+/// indices (e.g. per-round, per-repetition). Pure SplitMix64 chaining, so
+/// the derivation is order-free and platform-stable — the backbone of the
+/// deterministic per-session seeding used by the parallel experiment
+/// runner.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
+                                        std::uint64_t b = 0);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }

@@ -1,0 +1,76 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace lmo {
+
+namespace {
+thread_local bool t_on_worker = false;
+std::atomic<int> g_default_jobs{0};  // 0 = hardware_jobs()
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads < 1 ? 1 : threads;
+  workers_.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  auto fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LMO_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(hardware_jobs());
+  return pool;
+}
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : int(n);
+}
+
+void set_default_jobs(int n) { g_default_jobs.store(n < 1 ? 0 : n); }
+
+int default_jobs() {
+  const int n = g_default_jobs.load();
+  return n == 0 ? hardware_jobs() : n;
+}
+
+}  // namespace lmo

@@ -1,0 +1,68 @@
+// A fixed-size worker pool for fanning independent simulation sessions out
+// across cores.
+//
+// Tasks are plain std::function<void()> jobs executed FIFO; submit()
+// returns a future that carries the task's exception if it threw. The
+// process-wide shared() pool is sized to the hardware once, lazily — the
+// degree of *useful* parallelism is chosen per call site (see
+// util/parallel.hpp), so the pool itself never needs resizing, and
+// determinism never depends on how many workers actually run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lmo {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue: all tasks submitted before destruction run to
+  /// completion, then the workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return int(workers_.size()); }
+
+  /// Enqueue one task. The future resolves when it finishes and rethrows
+  /// anything the task threw.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// True when called from a worker thread of *any* ThreadPool. Nested
+  /// parallel sections use this to degrade to inline execution instead of
+  /// deadlocking on their own pool.
+  [[nodiscard]] static bool on_worker_thread();
+
+  /// Process-wide pool, lazily constructed with hardware_jobs() workers.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Number of hardware threads (>= 1).
+[[nodiscard]] int hardware_jobs();
+
+/// Process-wide default parallelism, consumed wherever a jobs count is
+/// "auto" (0). Starts as hardware_jobs(); the --jobs CLI option overrides
+/// it. Passing n <= 0 resets to hardware_jobs().
+void set_default_jobs(int n);
+[[nodiscard]] int default_jobs();
+
+}  // namespace lmo

@@ -22,7 +22,7 @@
 
 namespace lmo::vmpi {
 
-class World;
+class SimSession;
 class Comm;
 
 /// Matches any tag in recv()/irecv().
@@ -56,7 +56,7 @@ class Request {
   [[nodiscard]] Bytes bytes() const { return state_ ? state_->bytes : 0; }
 
  private:
-  friend class World;
+  friend class SimSession;
   friend class Comm;
   friend struct WaitOp;
   explicit Request(std::shared_ptr<detail::OpState> s)
@@ -65,7 +65,7 @@ class Request {
 };
 
 struct SendOp {
-  World* world;
+  SimSession* sess;
   int src;
   int dst;
   int tag;
@@ -77,7 +77,7 @@ struct SendOp {
 };
 
 struct RecvOp {
-  World* world;
+  SimSession* sess;
   int dst;
   int src;
   int tag;
@@ -90,7 +90,7 @@ struct RecvOp {
 };
 
 struct WaitOp {
-  World* world;
+  SimSession* sess;
   int rank;
   std::shared_ptr<detail::OpState> state;
 
@@ -101,7 +101,7 @@ struct WaitOp {
 };
 
 struct SleepOp {
-  World* world;
+  SimSession* sess;
   int rank;
   SimTime duration;
 
@@ -111,7 +111,7 @@ struct SleepOp {
 };
 
 struct ComputeOp {
-  World* world;
+  SimSession* sess;
   int rank;
   Bytes bytes;
 
@@ -121,7 +121,7 @@ struct ComputeOp {
 };
 
 struct BarrierOp {
-  World* world;
+  SimSession* sess;
   int rank;
 
   bool await_ready() const noexcept { return false; }
@@ -155,16 +155,17 @@ class Comm {
   /// Local per-message processing of n bytes: C_i + n t_i (with noise) —
   /// the combine step of reductions.
   [[nodiscard]] ComputeOp compute(Bytes n);
-  /// Synchronize all active ranks of the world.
+  /// Synchronize all active ranks of the session.
   [[nodiscard]] BarrierOp barrier();
 
-  [[nodiscard]] World* world() const { return world_; }
+  /// The owning session (a World is one too).
+  [[nodiscard]] SimSession* session() const { return sess_; }
 
  private:
-  friend class World;
-  Comm(World* w, int r) : world_(w), rank_(r) {}
+  friend class SimSession;
+  Comm(SimSession* s, int r) : sess_(s), rank_(r) {}
 
-  World* world_ = nullptr;
+  SimSession* sess_ = nullptr;
   int rank_ = -1;
 };
 

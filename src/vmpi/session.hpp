@@ -1,0 +1,166 @@
+// SimSession: one self-contained simulation of a set of rank programs.
+//
+// A session owns everything one simulation needs — discrete-event engine,
+// fabric timelines, per-rank communicators and progress state — and shares
+// only an immutable ClusterConfig with other sessions. Construction is
+// cheap (O(ranks)), so independent experiments build one session each and
+// run concurrently on different threads; a session itself is strictly
+// single-threaded. Noise RNGs seed from an explicit per-session seed
+// (default: the config's), which is what makes a fleet of parallel
+// sessions reproduce a serial run bit-for-bit — see util/parallel.hpp and
+// the "Session & concurrency model" section of DESIGN.md.
+//
+// run() executes one "round": every rank gets a coroutine program
+// (possibly empty), all start at t = 0, and the engine drives them to
+// completion. Wire timelines reset between runs; the fabric's RNG state
+// persists across runs *within* a session, so repeated runs of the same
+// programs observe fresh noise — exactly what the repetition-based
+// measurement methodology needs.
+//
+// Message semantics: eager sends are fully scheduled at send time;
+// rendezvous sends synchronize with the matching receive. Blocking
+// receives serialize their processing in program order; nonblocking
+// receives (irecv) are processed on the node's background progress engine
+// (one per node, FIFO). MPI non-overtaking matching per (src, dst, tag).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simnet/cluster.hpp"
+#include "simnet/engine.hpp"
+#include "simnet/fabric.hpp"
+#include "simnet/timeline.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/task.hpp"
+
+namespace lmo::vmpi {
+
+/// A rank's program: invoked once per run with that rank's Comm.
+using RankProgram = std::function<Task(Comm&)>;
+
+/// Convenience: n empty slots to fill in.
+[[nodiscard]] std::vector<RankProgram> idle_programs(int n);
+
+/// One matched message, as recorded by session tracing: who sent what to
+/// whom, when it was posted, when the last byte arrived, and when the
+/// receiver finished processing it. Ordered by match time.
+struct MessageTrace {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  Bytes bytes = 0;
+  bool rendezvous = false;
+  SimTime send_post;
+  SimTime arrival;
+  SimTime recv_complete;
+};
+
+class SimSession {
+ public:
+  /// Noise seeds from cfg->seed.
+  explicit SimSession(std::shared_ptr<const sim::ClusterConfig> cfg);
+  /// Noise seeds from `seed` — deterministic per-session streams.
+  SimSession(std::shared_ptr<const sim::ClusterConfig> cfg,
+             std::uint64_t seed);
+
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  [[nodiscard]] int size() const { return cfg_->size(); }
+  [[nodiscard]] const sim::ClusterConfig& config() const { return *cfg_; }
+  /// The immutable cluster description, shareable with sibling sessions.
+  [[nodiscard]] const std::shared_ptr<const sim::ClusterConfig>&
+  shared_config() const {
+    return cfg_;
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] sim::Fabric& fabric() { return fabric_; }
+
+  /// Run one round. programs[r] may be null (idle rank). Returns the
+  /// simulated completion time of the whole round. Throws on rank-program
+  /// exceptions and on communication deadlock.
+  SimTime run(const std::vector<RankProgram>& programs);
+
+  [[nodiscard]] SimTime rank_time(int r) const;
+  [[nodiscard]] std::uint64_t total_runs() const { return total_runs_; }
+  /// Sum of completion times over all runs — the simulated cost of an
+  /// estimation procedure (Section IV of the paper).
+  [[nodiscard]] SimTime accumulated_time() const { return accumulated_; }
+  void reset_accumulated_time() { accumulated_ = SimTime::zero(); }
+
+  /// Enable per-message tracing; the trace resets at each run().
+  void set_tracing(bool on) { tracing_ = on; }
+  [[nodiscard]] const std::vector<MessageTrace>& trace() const {
+    return trace_;
+  }
+
+ private:
+  friend struct SendOp;
+  friend struct RecvOp;
+  friend struct WaitOp;
+  friend struct SleepOp;
+  friend struct ComputeOp;
+  friend struct BarrierOp;
+  friend class Comm;
+
+  using StatePtr = std::shared_ptr<detail::OpState>;
+
+  struct Announcement {
+    int src = -1;
+    int tag = 0;
+    Bytes bytes = 0;
+    bool rendezvous = false;
+    SimTime arrival;    // eager: precomputed arrival
+    SimTime post_time;  // rendezvous: when the send posted
+    StatePtr send_state;  // rendezvous: pending sender completion
+  };
+  struct PendingRecv {
+    int src = -1;
+    int tag = 0;
+    bool background = false;  ///< irecv: processed on the progress engine
+    SimTime post_time;
+    StatePtr state;
+  };
+
+  StatePtr exec_isend(int src, int dst, int tag, Bytes n);
+  StatePtr exec_irecv(int dst, int src, int tag, bool background);
+  void exec_wait(WaitOp& op, std::coroutine_handle<> h);
+  void exec_sleep(SleepOp& op, std::coroutine_handle<> h);
+  void exec_compute(ComputeOp& op, std::coroutine_handle<> h);
+  void exec_barrier(BarrierOp& op, std::coroutine_handle<> h);
+
+  void deliver(int dst, Announcement msg);
+  [[nodiscard]] static bool matches(const Announcement& m,
+                                    const PendingRecv& r);
+  void complete(int dst, Announcement msg, PendingRecv recv);
+  void finish(const StatePtr& state, SimTime completion, Bytes bytes);
+  void resume_at(int rank, SimTime t, std::coroutine_handle<> h);
+  void clear_round_state();
+
+  std::shared_ptr<const sim::ClusterConfig> cfg_;
+  std::uint64_t seed_ = 0;
+  sim::Engine engine_;
+  sim::Fabric fabric_;
+  std::vector<Comm> comms_;
+  std::vector<SimTime> rank_time_;
+  std::vector<std::deque<Announcement>> inbox_;       // per destination
+  std::vector<std::deque<PendingRecv>> pending_;      // per destination
+  std::vector<sim::Timeline> progress_;               // per node: irecv cpu
+
+  int barrier_arrived_ = 0;
+  SimTime barrier_max_;
+  std::vector<std::pair<int, std::coroutine_handle<>>> barrier_waiters_;
+  SimTime barrier_cost_;
+  int active_ranks_ = 0;  ///< ranks with a program this run (barrier quorum)
+
+  std::uint64_t total_runs_ = 0;
+  SimTime accumulated_;
+  bool tracing_ = false;
+  std::vector<MessageTrace> trace_;
+};
+
+}  // namespace lmo::vmpi

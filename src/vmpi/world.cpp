@@ -1,373 +1,16 @@
 #include "vmpi/world.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <string>
+#include <memory>
+#include <utility>
 
 namespace lmo::vmpi {
 
-std::vector<RankProgram> idle_programs(int n) {
-  LMO_CHECK(n >= 0);
-  return std::vector<RankProgram>(std::size_t(n));
-}
+World::World(sim::ClusterConfig cfg)
+    : SimSession(
+          std::make_shared<const sim::ClusterConfig>(std::move(cfg))) {}
 
-// ---------------------------------------------------------------- Comm ----
-
-int Comm::size() const {
-  LMO_CHECK(world_ != nullptr);
-  return world_->size();
-}
-
-SimTime Comm::now() const {
-  LMO_CHECK(world_ != nullptr);
-  return world_->rank_time(rank_);
-}
-
-SendOp Comm::send(int dst, Bytes n, int tag) {
-  LMO_CHECK(world_ != nullptr);
-  LMO_CHECK_MSG(dst != rank_, "send to self is not supported");
-  LMO_CHECK(dst >= 0 && dst < size());
-  LMO_CHECK(n >= 0);
-  LMO_CHECK(tag >= 0);
-  return SendOp{world_, rank_, dst, tag, n};
-}
-
-RecvOp Comm::recv(int src, int tag) {
-  LMO_CHECK(world_ != nullptr);
-  LMO_CHECK_MSG(src != rank_, "recv from self is not supported");
-  LMO_CHECK(src >= 0 && src < size());
-  LMO_CHECK(tag >= 0 || tag == kAnyTag);
-  return RecvOp{world_, rank_, src, tag, nullptr};
-}
-
-Request Comm::isend(int dst, Bytes n, int tag) {
-  LMO_CHECK(world_ != nullptr);
-  LMO_CHECK_MSG(dst != rank_, "send to self is not supported");
-  LMO_CHECK(dst >= 0 && dst < size());
-  LMO_CHECK(n >= 0);
-  LMO_CHECK(tag >= 0);
-  return Request(world_->exec_isend(rank_, dst, tag, n));
-}
-
-Request Comm::irecv(int src, int tag) {
-  LMO_CHECK(world_ != nullptr);
-  LMO_CHECK_MSG(src != rank_, "recv from self is not supported");
-  LMO_CHECK(src >= 0 && src < size());
-  LMO_CHECK(tag >= 0 || tag == kAnyTag);
-  return Request(world_->exec_irecv(rank_, src, tag, /*background=*/true));
-}
-
-WaitOp Comm::wait(const Request& r) {
-  LMO_CHECK(world_ != nullptr);
-  LMO_CHECK_MSG(r.valid(), "waiting on an invalid request");
-  return WaitOp{world_, rank_, r.state_};
-}
-
-SleepOp Comm::sleep(SimTime dt) {
-  LMO_CHECK(world_ != nullptr);
-  LMO_CHECK(dt >= SimTime::zero());
-  return SleepOp{world_, rank_, dt};
-}
-
-ComputeOp Comm::compute(Bytes n) {
-  LMO_CHECK(world_ != nullptr);
-  LMO_CHECK(n >= 0);
-  return ComputeOp{world_, rank_, n};
-}
-
-BarrierOp Comm::barrier() {
-  LMO_CHECK(world_ != nullptr);
-  return BarrierOp{world_, rank_};
-}
-
-void SendOp::await_suspend(std::coroutine_handle<> h) {
-  // A blocking send is isend + wait.
-  auto state = world->exec_isend(src, dst, tag, bytes);
-  WaitOp wait{world, src, std::move(state)};
-  world->exec_wait(wait, h);
-}
-void RecvOp::await_suspend(std::coroutine_handle<> h) {
-  state = world->exec_irecv(dst, src, tag, /*background=*/false);
-  WaitOp wait{world, dst, state};
-  world->exec_wait(wait, h);
-}
-void WaitOp::await_suspend(std::coroutine_handle<> h) {
-  world->exec_wait(*this, h);
-}
-void SleepOp::await_suspend(std::coroutine_handle<> h) {
-  world->exec_sleep(*this, h);
-}
-void ComputeOp::await_suspend(std::coroutine_handle<> h) {
-  world->exec_compute(*this, h);
-}
-void BarrierOp::await_suspend(std::coroutine_handle<> h) {
-  world->exec_barrier(*this, h);
-}
-
-// --------------------------------------------------------------- World ----
-
-World::World(sim::ClusterConfig cfg) : cfg_(std::move(cfg)), fabric_(cfg_) {
-  const int n = cfg_.size();
-  comms_.reserve(std::size_t(n));
-  for (int r = 0; r < n; ++r) comms_.push_back(Comm(this, r));
-  rank_time_.assign(std::size_t(n), SimTime::zero());
-  inbox_.resize(std::size_t(n));
-  pending_.resize(std::size_t(n));
-  progress_.resize(std::size_t(n));
-  // A tree barrier costs about 2 * ceil(log2 n) one-way latencies; this is
-  // only used to synchronize measurement rounds, never measured itself.
-  double max_lat = 0.0;
-  for (int i = 0; i < n; ++i)
-    for (int j = 0; j < n; ++j)
-      if (i != j) max_lat = std::max(max_lat, cfg_.latency(i, j));
-  const double hops = 2.0 * std::ceil(std::log2(double(std::max(2, n))));
-  barrier_cost_ = SimTime::from_seconds(hops * max_lat);
-}
-
-SimTime World::rank_time(int r) const {
-  LMO_CHECK(r >= 0 && r < size());
-  return rank_time_[std::size_t(r)];
-}
-
-void World::resume_at(int rank, SimTime t, std::coroutine_handle<> h) {
-  engine_.schedule_at(t, [this, rank, t, h] {
-    rank_time_[std::size_t(rank)] = t;
-    h.resume();
-  });
-}
-
-void World::clear_round_state() {
-  for (auto& q : inbox_) q.clear();
-  for (auto& p : pending_) p.clear();
-  for (auto& t : progress_) t.reset();
-  barrier_arrived_ = 0;
-  barrier_max_ = SimTime::zero();
-  barrier_waiters_.clear();
-  std::fill(rank_time_.begin(), rank_time_.end(), SimTime::zero());
-}
-
-SimTime World::run(const std::vector<RankProgram>& programs) {
-  LMO_CHECK_MSG(int(programs.size()) == size(),
-                "one program slot per rank required");
-  ++total_runs_;
-  engine_.reset();
-  fabric_.reset_timelines();
-  clear_round_state();
-  trace_.clear();
-
-  const auto nranks = std::size_t(size());
-  std::vector<Task> tasks(nranks);
-  active_ranks_ = 0;
-  for (int r = 0; r < size(); ++r)
-    if (programs[std::size_t(r)]) {
-      tasks[std::size_t(r)] = programs[std::size_t(r)](comms_[std::size_t(r)]);
-      ++active_ranks_;
-    }
-  for (int r = 0; r < size(); ++r)
-    if (tasks[std::size_t(r)].valid())
-      engine_.schedule_at(SimTime::zero(), [&tasks, r] {
-        tasks[std::size_t(r)].start();
-      });
-
-  engine_.run();
-
-  // Exceptions first (a failed rank usually strands its peers).
-  for (const auto& t : tasks) t.rethrow_if_failed();
-  std::string stuck;
-  for (int r = 0; r < size(); ++r)
-    if (tasks[std::size_t(r)].valid() && !tasks[std::size_t(r)].done())
-      stuck += (stuck.empty() ? "" : ", ") + std::to_string(r);
-  if (!stuck.empty()) {
-    // Drop stale suspended-coroutine references before the Tasks destroy
-    // their frames.
-    clear_round_state();
-    throw Error("communication deadlock: rank(s) " + stuck +
-                " never completed");
-  }
-
-  SimTime end = SimTime::zero();
-  for (int r = 0; r < size(); ++r)
-    if (tasks[std::size_t(r)].valid())
-      end = lmo::max(end, rank_time_[std::size_t(r)]);
-  accumulated_ += end;
-  return end;
-}
-
-bool World::matches(const Announcement& m, const PendingRecv& r) {
-  return m.src == r.src && (r.tag == kAnyTag || m.tag == r.tag);
-}
-
-void World::finish(const StatePtr& state, SimTime completion, Bytes bytes) {
-  LMO_CHECK(!state->has_completion);
-  state->has_completion = true;
-  state->completion = completion;
-  state->bytes = bytes;
-  if (state->waiter) {
-    const auto h = state->waiter;
-    const int rank = state->waiter_rank;
-    const SimTime at = lmo::max(state->waiter_post, completion);
-    state->waiter = {};
-    resume_at(rank, at, h);
-  }
-}
-
-World::StatePtr World::exec_isend(int src, int dst, int tag, Bytes n) {
-  const SimTime now = rank_time_[std::size_t(src)];
-  auto state = std::make_shared<detail::OpState>();
-  if (!fabric_.use_rendezvous(n)) {
-    // Eager path: the transfer is fully scheduled at send time.
-    const bool pipelined = fabric_.egress_busy(src, now);
-    const SimTime cpu = fabric_.send_cpu_cost(src, n, pipelined);
-    const SimTime cpu_done = now + cpu;
-    // Inflow registration comes after the transfer so the escalation quirk
-    // sees only *other* traffic converging on the destination.
-    const sim::WireTiming w = fabric_.transfer(src, dst, n, cpu_done);
-    fabric_.begin_inflow(dst);
-    // Blocking-eager return: the call returns once the remaining backlog
-    // fits the socket send buffer.
-    const SimTime resume = lmo::max(
-        cpu_done, w.egress_end - fabric_.send_buffer_time(src, dst));
-    finish(state, resume, n);
-
-    Announcement msg;
-    msg.src = src;
-    msg.tag = tag;
-    msg.bytes = n;
-    msg.rendezvous = false;
-    msg.arrival = w.arrival;
-    msg.post_time = now;
-    deliver(dst, std::move(msg));
-    return state;
-  }
-  // Rendezvous path: completion is determined when the receive matches.
-  Announcement msg;
-  msg.src = src;
-  msg.tag = tag;
-  msg.bytes = n;
-  msg.rendezvous = true;
-  msg.post_time = now;
-  msg.send_state = state;
-  deliver(dst, std::move(msg));
-  return state;
-}
-
-void World::deliver(int dst, Announcement msg) {
-  auto& pending = pending_[std::size_t(dst)];
-  const auto it = std::find_if(
-      pending.begin(), pending.end(),
-      [&](const PendingRecv& r) { return matches(msg, r); });
-  if (it != pending.end()) {
-    PendingRecv r = std::move(*it);
-    pending.erase(it);
-    complete(dst, std::move(msg), std::move(r));
-    return;
-  }
-  inbox_[std::size_t(dst)].push_back(std::move(msg));
-}
-
-World::StatePtr World::exec_irecv(int dst, int src, int tag,
-                                  bool background) {
-  const SimTime now = rank_time_[std::size_t(dst)];
-  PendingRecv r;
-  r.src = src;
-  r.tag = tag;
-  r.background = background;
-  r.post_time = now;
-  r.state = std::make_shared<detail::OpState>();
-  auto state = r.state;
-  auto& q = inbox_[std::size_t(dst)];
-  const auto it = std::find_if(q.begin(), q.end(), [&](const Announcement& m) {
-    return matches(m, r);
-  });
-  if (it != q.end()) {
-    Announcement msg = std::move(*it);
-    q.erase(it);
-    complete(dst, std::move(msg), std::move(r));
-  } else {
-    pending_[std::size_t(dst)].push_back(std::move(r));
-  }
-  return state;
-}
-
-void World::complete(int dst, Announcement msg, PendingRecv recv) {
-  SimTime arrival;
-  if (!msg.rendezvous) {
-    arrival = msg.arrival;
-  } else {
-    // Rendezvous: the clear-to-send reaches the sender one latency after
-    // both sides are ready; only then does the sender process and transmit.
-    const SimTime start = lmo::max(msg.post_time, recv.post_time) +
-                          fabric_.wire_latency(msg.src, dst);
-    const bool pipelined = fabric_.egress_busy(msg.src, start);
-    const SimTime cpu = fabric_.send_cpu_cost(msg.src, msg.bytes, pipelined);
-    const SimTime cpu_done = start + cpu;
-    const sim::WireTiming w =
-        fabric_.transfer(msg.src, dst, msg.bytes, cpu_done);
-    fabric_.begin_inflow(dst);
-    finish(msg.send_state, cpu_done, msg.bytes);
-    arrival = w.arrival;
-  }
-  const SimTime cost = fabric_.recv_cpu_cost(dst, msg.bytes);
-  SimTime done;
-  if (recv.background) {
-    // irecv: processing happens inside the MPI progress engine / kernel,
-    // serialized per node but overlapping the rank program.
-    const SimTime ready = lmo::max(recv.post_time, arrival);
-    done = progress_[std::size_t(dst)].reserve(ready, cost) + cost;
-  } else {
-    // Blocking recv: the rank itself processes the message.
-    done = lmo::max(recv.post_time, arrival) + cost;
-  }
-  engine_.schedule_at(done, [this, dst] { fabric_.end_inflow(dst); });
-  if (tracing_) {
-    MessageTrace t;
-    t.src = msg.src;
-    t.dst = dst;
-    t.tag = msg.tag;
-    t.bytes = msg.bytes;
-    t.rendezvous = msg.rendezvous;
-    t.send_post = msg.post_time;
-    t.arrival = arrival;
-    t.recv_complete = done;
-    trace_.push_back(t);
-  }
-  finish(recv.state, done, msg.bytes);
-}
-
-void World::exec_wait(WaitOp& op, std::coroutine_handle<> h) {
-  auto& state = *op.state;
-  const SimTime now = rank_time_[std::size_t(op.rank)];
-  if (state.has_completion) {
-    resume_at(op.rank, lmo::max(now, state.completion), h);
-    return;
-  }
-  LMO_CHECK_MSG(!state.waiter, "two waiters on one request");
-  state.waiter = h;
-  state.waiter_rank = op.rank;
-  state.waiter_post = now;
-}
-
-void World::exec_sleep(SleepOp& op, std::coroutine_handle<> h) {
-  const SimTime now = rank_time_[std::size_t(op.rank)];
-  resume_at(op.rank, now + op.duration, h);
-}
-
-void World::exec_compute(ComputeOp& op, std::coroutine_handle<> h) {
-  const SimTime now = rank_time_[std::size_t(op.rank)];
-  resume_at(op.rank, now + fabric_.recv_cpu_cost(op.rank, op.bytes), h);
-}
-
-void World::exec_barrier(BarrierOp& op, std::coroutine_handle<> h) {
-  const SimTime now = rank_time_[std::size_t(op.rank)];
-  barrier_max_ = lmo::max(barrier_max_, now);
-  barrier_waiters_.emplace_back(op.rank, h);
-  if (++barrier_arrived_ < active_ranks_) return;
-  const SimTime release = barrier_max_ + barrier_cost_;
-  auto waiters = std::move(barrier_waiters_);
-  barrier_waiters_.clear();
-  barrier_arrived_ = 0;
-  barrier_max_ = SimTime::zero();
-  for (auto& [rank, handle] : waiters) resume_at(rank, release, handle);
-}
+World::World(sim::ClusterConfig cfg, std::uint64_t seed)
+    : SimSession(std::make_shared<const sim::ClusterConfig>(std::move(cfg)),
+                 seed) {}
 
 }  // namespace lmo::vmpi

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "mpib/benchmark.hpp"
+#include "vmpi/world.hpp"
 #include "coll/collectives.hpp"
 #include "simnet/cluster.hpp"
 #include "util/error.hpp"

@@ -1,0 +1,179 @@
+// util/thread_pool + util/parallel: task execution, exception propagation,
+// shutdown, nested degradation, and the deterministic adaptive-repetition
+// stopping rule the parallel experiment runner is built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lmo;
+
+// ----------------------------------------------------------- ThreadPool ---
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 100; ++i)
+    done.push_back(pool.submit([&ran] { ++ran; }));
+  for (auto& f : done) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenIfAskedForZero) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  auto f = pool.submit([] {});
+  f.get();
+}
+
+TEST(ThreadPoolTest, FuturePropagatesTaskException) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw Error("task failed"); });
+  ok.get();
+  EXPECT_THROW(bad.get(), Error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueueBeforeJoining) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i)
+      (void)pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      });
+    // Destructor must wait for all 64, not drop the queued tail.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  auto f = pool.submit([] { EXPECT_TRUE(ThreadPool::on_worker_thread()); });
+  f.get();
+}
+
+// ---------------------------------------------------------- parallel_for ---
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::mutex mu;
+  std::multiset<int> seen;
+  parallel_for(4, 50, [&](int i) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(i);
+  });
+  EXPECT_EQ(seen.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(ParallelForTest, SerialRunsInlineInIndexOrder) {
+  std::vector<int> order;
+  const auto caller = std::this_thread::get_id();
+  parallel_for(1, 10, [&](int i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(ParallelForTest, RethrowsLowestIndexException) {
+  for (const int jobs : {1, 4}) {
+    try {
+      parallel_for(jobs, 8, [&](int i) {
+        if (i % 2 == 1) throw Error("boom " + std::to_string(i));
+      });
+      FAIL() << "expected a throw (jobs=" << jobs << ")";
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "boom 1");
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedParallelismDegradesInsteadOfDeadlocking) {
+  std::atomic<int> inner_runs{0};
+  parallel_for(4, 8, [&](int) {
+    // On a pool worker this must run inline, never re-enter the pool.
+    parallel_for(4, 8, [&](int) { ++inner_runs; });
+  });
+  EXPECT_EQ(inner_runs.load(), 64);
+}
+
+// ---------------------------------------------------------- adaptive_reps ---
+
+TEST(AdaptiveRepsTest, StopsAtMinRepsWhenImmediatelyConverged) {
+  for (const int jobs : {1, 4}) {
+    std::atomic<int> calls{0};
+    const auto s = adaptive_reps<int>(
+        jobs, 3, 100,
+        [&](int rep) {
+          ++calls;
+          return rep;
+        },
+        [](const std::vector<int>&, int) { return true; });
+    ASSERT_EQ(s.size(), 3u);
+    for (int r = 0; r < 3; ++r) EXPECT_EQ(s[std::size_t(r)], r);
+    // Speculative extras are bounded by wave rounding, never below min.
+    EXPECT_GE(calls.load(), 3);
+  }
+}
+
+TEST(AdaptiveRepsTest, RunsToMaxRepsWhenNeverConverged) {
+  const auto s = adaptive_reps<int>(
+      4, 2, 17, [](int rep) { return rep; },
+      [](const std::vector<int>&, int) { return false; });
+  ASSERT_EQ(s.size(), 17u);
+  for (int r = 0; r < 17; ++r) EXPECT_EQ(s[std::size_t(r)], r);
+}
+
+TEST(AdaptiveRepsTest, CommitsToSerialStoppingPointRegardlessOfJobs) {
+  // Converges exactly when the prefix contains rep 6 (k >= 7): every jobs
+  // value must return the same 7-sample prefix even though parallel waves
+  // may have computed more.
+  auto run = [](int jobs) {
+    return adaptive_reps<int>(
+        jobs, 2, 50, [](int rep) { return rep * rep; },
+        [](const std::vector<int>& s, int k) {
+          return s[std::size_t(k - 1)] >= 36;
+        });
+  };
+  const auto serial = run(1);
+  ASSERT_EQ(serial.size(), 7u);
+  for (const int jobs : {2, 3, 4, 8}) EXPECT_EQ(run(jobs), serial);
+}
+
+TEST(AdaptiveRepsTest, SamplesDependOnlyOnRepIndex) {
+  const auto a = adaptive_reps<int>(
+      1, 4, 12, [](int rep) { return rep * 3; },
+      [](const std::vector<int>&, int k) { return k >= 9; });
+  const auto b = adaptive_reps<int>(
+      4, 4, 12, [](int rep) { return rep * 3; },
+      [](const std::vector<int>&, int k) { return k >= 9; });
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 9u);
+}
+
+// ---------------------------------------------------------- default jobs ---
+
+TEST(DefaultJobsTest, OverrideAndReset) {
+  EXPECT_GE(hardware_jobs(), 1);
+  EXPECT_EQ(default_jobs(), hardware_jobs());
+  set_default_jobs(3);
+  EXPECT_EQ(default_jobs(), 3);
+  set_default_jobs(0);
+  EXPECT_EQ(default_jobs(), hardware_jobs());
+}
+
+}  // namespace

@@ -77,12 +77,27 @@ TEST(EngineTest, RejectsPast) {
   EXPECT_THROW(e.schedule_at(5_us, [] {}), Error);
 }
 
-TEST(EngineTest, ResetClears) {
+TEST(EngineTest, ResetRejectsPendingEvents) {
+  // Dropping pending events could strand suspended coroutines whose only
+  // resume path lives in those events — reset() refuses; an explicit
+  // discard_pending() destroys the events safely first.
   Engine e;
   e.schedule_at(10_us, [] {});
-  e.reset();
+  EXPECT_THROW(e.reset(), Error);
+  e.discard_pending();
   EXPECT_TRUE(e.empty());
+  e.reset();
   EXPECT_EQ(e.now(), SimTime::zero());
+}
+
+TEST(EngineTest, ResetAfterDrainedRunRestartsClock) {
+  Engine e;
+  e.schedule_at(10_us, [] {});
+  e.run();
+  EXPECT_EQ(e.now(), 10_us);
+  e.reset();
+  EXPECT_EQ(e.now(), SimTime::zero());
+  EXPECT_EQ(e.executed(), 0u);
 }
 
 // -------------------------------------------------------------- Cluster ---

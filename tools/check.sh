@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build and run the test suite, normally and under
+# ThreadSanitizer (the concurrency in util/thread_pool + the parallel
+# experiment runner must stay race-free).
+#
+#   tools/check.sh            # regular build + tests, then TSan build + tests
+#   tools/check.sh --no-tsan  # regular build + tests only
+#   tools/check.sh --tsan-filter 'Parallel|Determinism'
+#                             # restrict the (slow) TSan run to a ctest -R regex
+#
+# Jobs default to the machine's core count; override with JOBS=N.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+RUN_TSAN=1
+TSAN_FILTER=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --no-tsan) RUN_TSAN=0 ;;
+    --tsan-filter) TSAN_FILTER="$2"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+echo "== regular build =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== ThreadSanitizer build =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLMO_TSAN=ON
+  cmake --build build-tsan -j "$JOBS"
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  if [[ -n "$TSAN_FILTER" ]]; then
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$TSAN_FILTER"
+  else
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+  fi
+fi
+
+echo "all checks passed"
