@@ -18,26 +18,24 @@ int main(int argc, char** argv) {
   // --- Hockney: parallel vs serial -----------------------------------
   Table t({"procedure", "schedule", "experiments", "world runs",
            "simulated cost [s]"});
+  obs::Json cost_json = obs::Json::object();
   double alpha_par = 0, alpha_ser = 0;
-  {
+  for (const bool parallel : {true, false}) {
     bench::BenchEnv env(seed);
     estimate::HockneyOptions opts;
-    opts.parallel = true;
+    opts.parallel = parallel;
     const auto rep = estimate::estimate_hockney(env.ex, opts);
-    alpha_par = rep.hetero.alpha.off_diagonal_mean();
-    t.add_row({"hetero Hockney", "parallel (1-factorization)",
+    (parallel ? alpha_par : alpha_ser) =
+        rep.hetero.alpha.off_diagonal_mean();
+    t.add_row({"hetero Hockney",
+               parallel ? "parallel (1-factorization)" : "serial",
                std::to_string(2 * 120), std::to_string(rep.world_runs),
                format_fixed(rep.estimation_cost.seconds(), 3)});
-  }
-  {
-    bench::BenchEnv env(seed);
-    estimate::HockneyOptions opts;
-    opts.parallel = false;
-    const auto rep = estimate::estimate_hockney(env.ex, opts);
-    alpha_ser = rep.hetero.alpha.off_diagonal_mean();
-    t.add_row({"hetero Hockney", "serial",
-               std::to_string(2 * 120), std::to_string(rep.world_runs),
-               format_fixed(rep.estimation_cost.seconds(), 3)});
+    obs::Json& e =
+        cost_json[parallel ? "hockney_parallel" : "hockney_serial"] =
+            obs::Json::object();
+    e["world_runs"] = rep.world_runs;
+    e["cost_seconds"] = rep.estimation_cost.seconds();
   }
 
   // --- LMO: parallel vs serial ----------------------------------------
@@ -52,7 +50,14 @@ int main(int argc, char** argv) {
                    std::to_string(rep.one_to_two_experiments) + " o2t",
                std::to_string(rep.world_runs),
                format_fixed(rep.estimation_cost.seconds(), 3)});
+    obs::Json& e = cost_json[parallel ? "lmo_parallel" : "lmo_serial"] =
+        obs::Json::object();
+    e["roundtrip_experiments"] = rep.roundtrip_experiments;
+    e["one_to_two_experiments"] = rep.one_to_two_experiments;
+    e["world_runs"] = rep.world_runs;
+    e["cost_seconds"] = rep.estimation_cost.seconds();
   }
+  bench::report_set("estimation_cost", std::move(cost_json));
   bench::emit(t, cli, "Section IV — estimation cost (95% confidence, 2.5% error)");
 
   std::cout << "\nparallel vs serial Hockney alpha agreement: mean "
@@ -61,5 +66,6 @@ int main(int argc, char** argv) {
             << format_percent(std::abs(alpha_par - alpha_ser) /
                               alpha_ser)
             << " apart)\n";
+  bench::finish_run();
   return 0;
 }

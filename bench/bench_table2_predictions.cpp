@@ -3,10 +3,13 @@
 // simulated observation. Only LMO distinguishes scatter from gather and
 // carries the empirical two-regime gather.
 #include <iostream>
+#include <vector>
 
 #include "coll/collectives.hpp"
 #include "common.hpp"
+#include "core/params_io.hpp"
 #include "core/predictions.hpp"
+#include "obs/metrics.hpp"
 
 using namespace lmo;
 
@@ -35,6 +38,9 @@ int main(int argc, char** argv) {
                     "max branch for M < M1, sum branch for M > M2"});
   bench::emit(formulas, cli, "Table II — prediction formulas");
 
+  const char* model_names[] = {"Hetero-Hockney", "LogGP", "PLogP", "LMO"};
+  std::vector<double> obs_s, obs_g;
+  std::vector<std::vector<double>> pred_s(4), pred_g(4);
   for (const Bytes m : {Bytes(8) * 1024, Bytes(32) * 1024, Bytes(128) * 1024}) {
     const double obs_scatter = bench::observe_mean(
         env.ex,
@@ -42,6 +48,8 @@ int main(int argc, char** argv) {
     const double obs_gather = bench::observe_mean(
         env.ex,
         [m](vmpi::Comm& c) { return coll::linear_gather(c, 0, m); }, reps);
+    obs_s.push_back(obs_scatter);
+    obs_g.push_back(obs_gather);
     Table t({"model", "scatter [ms]", "gather [ms]"});
     t.add_row({"observed", bench::ms(obs_scatter), bench::ms(obs_gather)});
     const double hock = hockney.hetero.flat_collective(
@@ -51,12 +59,64 @@ int main(int argc, char** argv) {
     t.add_row({"LogGP", bench::ms(lg), bench::ms(lg)});
     const double pl = plogp.averaged.flat_collective(n, m);
     t.add_row({"PLogP", bench::ms(pl), bench::ms(pl)});
-    t.add_row({"LMO",
-               bench::ms(core::linear_scatter_time(lmo.params, root, m)),
-               bench::ms(core::linear_gather_time(lmo.params, emp.empirical,
-                                                  root, m)
-                             .expected())});
+    const double lmo_s = core::linear_scatter_time(lmo.params, root, m);
+    const double lmo_g =
+        core::linear_gather_time(lmo.params, emp.empirical, root, m)
+            .expected();
+    t.add_row({"LMO", bench::ms(lmo_s), bench::ms(lmo_g)});
+    const double preds_s[] = {hock, lg, pl, lmo_s};
+    const double preds_g[] = {hock, lg, pl, lmo_g};
+    for (int k = 0; k < 4; ++k) {
+      pred_s[std::size_t(k)].push_back(preds_s[k]);
+      pred_g[std::size_t(k)].push_back(preds_g[k]);
+    }
     bench::emit(t, cli, "Table II evaluated at M = " + format_bytes(m));
   }
+
+  Table err({"model", "scatter MRE", "gather MRE"});
+  obs::Json err_json = obs::Json::object();
+  for (int k = 0; k < 4; ++k) {
+    const double es = mean_relative_error(obs_s, pred_s[std::size_t(k)]);
+    const double eg = mean_relative_error(obs_g, pred_g[std::size_t(k)]);
+    err.add_row({model_names[k], format_fixed(es * 100, 1) + "%",
+                 format_fixed(eg * 100, 1) + "%"});
+    obs::Json& e = err_json[model_names[k]] = obs::Json::object();
+    e["scatter"] = es;
+    e["gather"] = eg;
+  }
+  bench::emit(err, cli, "Mean relative error vs simulated observation");
+
+  if (bench::reporting()) {
+    obs::Json est = obs::Json::object();
+    est["lmo"] = core::params_json(lmo.params);
+    est["gather_empirical"] = core::empirical_json(emp.empirical);
+    bench::report_set("estimated_parameters", std::move(est));
+    bench::report_set("mean_relative_error", std::move(err_json));
+    obs::Json cost = obs::Json::object();
+    auto model_cost = [&](const char* name, std::uint64_t world_runs,
+                          SimTime c) {
+      obs::Json& mj = cost[name] = obs::Json::object();
+      mj["world_runs"] = world_runs;
+      mj["cost_seconds"] = c.seconds();
+    };
+    model_cost("hockney", hockney.world_runs, hockney.estimation_cost);
+    model_cost("loggp", loggp.world_runs, loggp.estimation_cost);
+    model_cost("plogp", plogp.world_runs, plogp.estimation_cost);
+    model_cost("lmo", lmo.world_runs, lmo.estimation_cost);
+    bench::report_set("estimation_cost", std::move(cost));
+    obs::Json reps_json = obs::Json::object();
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    auto counter = [&](const char* key) {
+      const auto it = snap.counters.find(key);
+      return it == snap.counters.end() ? std::uint64_t(0) : it->second;
+    };
+    reps_json["rounds"] = counter("estimate.rounds");
+    reps_json["committed"] = counter("estimate.reps_committed");
+    reps_json["discarded"] = counter("estimate.reps_discarded");
+    reps_json["observe"] = counter("estimate.observe_reps");
+    bench::report_set("repetition_counts", std::move(reps_json));
+  }
+
+  bench::finish_run();
   return 0;
 }

@@ -2,13 +2,39 @@
 
 #include <cmath>
 #include <iostream>
+#include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lmo::bench {
+
+namespace {
+/// Per-process run state for the --report/--trace flags. Benches are
+/// single-run binaries, so one static slot (written once during CLI
+/// parsing, before any parallelism starts) is enough.
+struct RunState {
+  std::unique_ptr<obs::ReportBuilder> report;
+  std::string report_path;
+  std::string trace_path;
+};
+RunState& run_state() {
+  static RunState s;
+  return s;
+}
+
+std::string tool_name(const char* argv0) {
+  std::string name = argv0 ? argv0 : "bench";
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+}  // namespace
 
 double observe_mean(estimate::SimExperimenter& ex,
                     const std::function<vmpi::Task(vmpi::Comm&)>& body,
@@ -26,6 +52,31 @@ std::vector<double> observe_samples(
 
 std::string ms(double seconds) { return format_fixed(seconds * 1e3, 3); }
 
+BenchEnv::BenchEnv(std::uint64_t seed)
+    : cfg(sim::make_paper_cluster(seed)), world(cfg), ex(world) {
+  world.set_trace_sink(obs::global_sink());
+}
+
+BenchEnv::~BenchEnv() {
+  vmpi::publish_metrics(world.metrics(), obs::Registry::global());
+}
+
+obs::Json table_json(const Table& table, const std::string& title) {
+  obs::Json out = obs::Json::object();
+  out["title"] = title;
+  obs::Json columns = obs::Json::array();
+  for (const std::string& h : table.header()) columns.push_back(h);
+  out["columns"] = std::move(columns);
+  obs::Json rows = obs::Json::array();
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    obs::Json row = obs::Json::array();
+    for (const std::string& cell : table.row(i)) row.push_back(cell);
+    rows.push_back(std::move(row));
+  }
+  out["rows"] = std::move(rows);
+  return out;
+}
+
 void emit(const Table& table, const Cli& cli, const std::string& title) {
   std::cout << "\n== " << title << " ==\n";
   table.print(std::cout);
@@ -33,12 +84,50 @@ void emit(const Table& table, const Cli& cli, const std::string& title) {
     std::cout << "\n-- csv --\n";
     table.print_csv(std::cout);
   }
+  if (cli.get_flag("json")) {
+    std::cout << "\n-- json --\n";
+    std::cout << table_json(table, title).dump(2) << "\n";
+  }
+  if (run_state().report) run_state().report->add_table(table_json(table, title));
+}
+
+bool reporting() { return run_state().report != nullptr; }
+
+void report_set(const std::string& key, obs::Json value) {
+  if (run_state().report) run_state().report->set(key, std::move(value));
+}
+
+void finish_run() {
+  RunState& s = run_state();
+  if (s.report) {
+    s.report->write(s.report_path);
+    std::cout << "\nreport: " << s.report_path << "\n";
+  }
+  if (!s.trace_path.empty()) {
+    obs::TraceSink* sink = obs::global_sink();
+    if (sink) {
+      sink->save(s.trace_path);
+      std::cout << "trace: " << s.trace_path << "\n";
+    }
+  }
 }
 
 Cli parse_bench_cli(int argc, const char* const* argv) {
-  Cli cli(argc, argv, {"seed", "reps", "csv", "points", "jobs"});
+  Cli cli(argc, argv,
+          {"seed", "reps", "csv", "json", "points", "jobs", "report",
+           "trace"});
   // 0 = auto (hardware concurrency); results are jobs-independent.
   set_default_jobs(int(cli.get_int("jobs", 0)));
+  RunState& s = run_state();
+  s.trace_path = cli.get("trace", "");
+  if (!s.trace_path.empty()) obs::set_global_trace_enabled(true);
+  s.report_path = cli.get("report", "");
+  if (!s.report_path.empty()) {
+    s.report = std::make_unique<obs::ReportBuilder>(
+        tool_name(argc > 0 ? argv[0] : nullptr));
+    s.report->provenance("seed", cli.get_int("seed", 1));
+    s.report->provenance("jobs", cli.get_int("jobs", 0));
+  }
   return cli;
 }
 

@@ -16,6 +16,7 @@
 #include "estimate/lmo_estimator.hpp"
 #include "estimate/loggp_estimator.hpp"
 #include "estimate/plogp_estimator.hpp"
+#include "obs/json.hpp"
 #include "simnet/cluster.hpp"
 #include "util/cli.hpp"
 #include "util/sweep.hpp"
@@ -51,16 +52,35 @@ struct BenchEnv {
   vmpi::World world;
   estimate::SimExperimenter ex;
 
-  explicit BenchEnv(std::uint64_t seed = 1)
-      : cfg(sim::make_paper_cluster(seed)), world(cfg), ex(world) {}
+  /// Attaches the world to the global trace sink when --trace is active.
+  explicit BenchEnv(std::uint64_t seed = 1);
+  /// Publishes the world's session metrics into the global registry.
+  ~BenchEnv();
 };
 
-/// Print a table and, when --csv was passed, its CSV form.
+/// {"title": ..., "columns": [...], "rows": [[...], ...]} — the JSON shape
+/// of a bench table, shared by --json and the run report.
+[[nodiscard]] obs::Json table_json(const Table& table,
+                                   const std::string& title);
+
+/// Print a table; --csv appends its CSV form, --json its JSON form. When a
+/// run report is active the table is also recorded in it.
 void emit(const Table& table, const Cli& cli, const std::string& title);
 
-/// Standard bench CLI: --seed N --reps N --csv --jobs N. Parsing applies
-/// --jobs (default: hardware concurrency) as the process-wide default
-/// parallelism for session fan-out (util::set_default_jobs).
+/// True when --report made this run collect a report.
+[[nodiscard]] bool reporting();
+/// Record a top-level report section; no-op without --report.
+void report_set(const std::string& key, obs::Json value);
+
+/// Write the --report / --trace output files, if requested. Call once at
+/// the end of every bench main().
+void finish_run();
+
+/// Standard bench CLI: --seed N --reps N --csv --json --jobs N
+/// --report out.json --trace out.trace.json. Parsing applies --jobs
+/// (default: hardware concurrency) as the process-wide default parallelism
+/// for session fan-out (util::set_default_jobs), enables the global trace
+/// sink when --trace is given, and opens the run report when --report is.
 [[nodiscard]] Cli parse_bench_cli(int argc, const char* const* argv);
 
 }  // namespace lmo::bench

@@ -15,6 +15,9 @@
 
 #include "core/params_io.hpp"
 #include "core/tuner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "estimate/empirical_estimator.hpp"
 #include "estimate/experimenter.hpp"
 #include "estimate/lmo_estimator.hpp"
@@ -57,12 +60,33 @@ int cmd_estimate(const Cli& cli) {
   const auto cfg = sim::load_cluster(cli.get("cluster", "cluster.cfg"));
   const std::string out = cli.get("out", "model.cfg");
   vmpi::World world(cfg);
+  world.set_trace_sink(obs::global_sink());
   estimate::SimExperimenter ex(world);
   std::cout << "running estimation experiments on " << cfg.size()
             << " nodes...\n";
   const auto lmo = estimate::estimate_lmo(ex);
   const auto emp = estimate::estimate_gather_empirical(ex, lmo.params);
   core::save_params(lmo.params, emp.empirical, out);
+  vmpi::publish_metrics(world.metrics(), obs::Registry::global());
+  const std::string report_path = cli.get("report", "");
+  if (!report_path.empty()) {
+    obs::ReportBuilder report("lmo_tool");
+    report.provenance("seed", std::int64_t(cfg.seed));
+    report.provenance("jobs", cli.get_int("jobs", 0));
+    report.set("cluster", cli.get("cluster", "cluster.cfg"));
+    obs::Json est = obs::Json::object();
+    est["lmo"] = core::params_json(lmo.params);
+    est["gather_empirical"] = core::empirical_json(emp.empirical);
+    report.set("estimated_parameters", std::move(est));
+    obs::Json cost = obs::Json::object();
+    cost["roundtrip_experiments"] = lmo.roundtrip_experiments;
+    cost["one_to_two_experiments"] = lmo.one_to_two_experiments;
+    cost["world_runs"] = lmo.world_runs;
+    cost["cost_seconds"] = lmo.estimation_cost.seconds();
+    report.set("estimation_cost", std::move(cost));
+    report.write(report_path);
+    std::cout << "report: " << report_path << "\n";
+  }
   std::cout << "estimated from " << lmo.roundtrip_experiments
             << " round-trips + " << lmo.one_to_two_experiments
             << " one-to-two experiments (" << format_time(lmo.estimation_cost)
@@ -126,15 +150,30 @@ int main(int argc, char** argv) {
   try {
     const lmo::Cli cli(argc - 1, argv + 1,
                        {"out", "cluster", "model", "op", "size", "root",
-                        "nodes", "seed", "jobs"});
+                        "nodes", "seed", "jobs", "report", "trace"});
     // --jobs N: parallel experiment sessions (default: hardware
     // concurrency). Estimates are bit-identical for any value.
     lmo::set_default_jobs(int(cli.get_int("jobs", 0)));
-    if (command == "make-cluster") return cmd_make_cluster(cli);
-    if (command == "estimate") return cmd_estimate(cli);
-    if (command == "predict") return cmd_predict(cli);
-    if (command == "tune") return cmd_tune(cli);
-    return usage();
+    const std::string trace_path = cli.get("trace", "");
+    if (!trace_path.empty()) lmo::obs::set_global_trace_enabled(true);
+    int rc = 2;
+    if (command == "make-cluster")
+      rc = cmd_make_cluster(cli);
+    else if (command == "estimate")
+      rc = cmd_estimate(cli);
+    else if (command == "predict")
+      rc = cmd_predict(cli);
+    else if (command == "tune")
+      rc = cmd_tune(cli);
+    else
+      return usage();
+    if (!trace_path.empty()) {
+      if (lmo::obs::TraceSink* sink = lmo::obs::global_sink()) {
+        sink->save(trace_path);
+        std::cout << "trace: " << trace_path << "\n";
+      }
+    }
+    return rc;
   } catch (const lmo::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

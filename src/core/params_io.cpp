@@ -182,4 +182,47 @@ LoadedParams load_params(const std::string& path) {
   return out;
 }
 
+namespace {
+obs::Json table_json(const models::PairTable& t) {
+  obs::Json rows = obs::Json::array();
+  for (int i = 0; i < t.size(); ++i) {
+    obs::Json row = obs::Json::array();
+    for (int j = 0; j < t.size(); ++j) row.push_back(t(i, j));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+}  // namespace
+
+obs::Json params_json(const LmoParams& params) {
+  obs::Json out = obs::Json::object();
+  out["size"] = params.size();
+  obs::Json c = obs::Json::array(), t = obs::Json::array();
+  for (const double v : params.C) c.push_back(v);
+  for (const double v : params.t) t.push_back(v);
+  out["C"] = std::move(c);
+  out["t"] = std::move(t);
+  out["L"] = table_json(params.L);
+  out["inv_beta"] = table_json(params.inv_beta);
+  return out;
+}
+
+obs::Json empirical_json(const GatherEmpirical& emp) {
+  obs::Json out = obs::Json::object();
+  out["m1"] = emp.m1;
+  out["m2"] = emp.m2;
+  obs::Json modes = obs::Json::array();
+  for (const stats::Mode& m : emp.escalation_modes) {
+    obs::Json e = obs::Json::object();
+    e["value"] = m.value;
+    e["count"] = m.count;
+    e["frequency"] = m.frequency;
+    modes.push_back(std::move(e));
+  }
+  out["escalation_modes"] = std::move(modes);
+  out["linear_prob_at_m1"] = emp.linear_prob_at_m1;
+  out["linear_prob_at_m2"] = emp.linear_prob_at_m2;
+  return out;
+}
+
 }  // namespace lmo::core

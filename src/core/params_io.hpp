@@ -7,6 +7,7 @@
 
 #include "core/empirical.hpp"
 #include "core/lmo_model.hpp"
+#include "obs/json.hpp"
 
 namespace lmo::core {
 
@@ -24,5 +25,12 @@ struct LoadedParams {
   GatherEmpirical empirical;
 };
 [[nodiscard]] LoadedParams load_params(const std::string& path);
+
+/// JSON views of the estimated parameters for run reports:
+/// {"size": n, "C": [...], "t": [...], "L": [[...]], "inv_beta": [[...]]}.
+[[nodiscard]] obs::Json params_json(const LmoParams& params);
+/// {"m1": ..., "m2": ..., "escalation_modes": [{"value","count",
+///  "frequency"}], "linear_prob_at_m1": ..., "linear_prob_at_m2": ...}.
+[[nodiscard]] obs::Json empirical_json(const GatherEmpirical& emp);
 
 }  // namespace lmo::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/predictions.hpp"
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
 
@@ -41,6 +42,7 @@ std::pair<double, double> gather_branches(const core::LmoParams& p, int root,
 GatherEmpiricalReport estimate_gather_empirical(Experimenter& ex,
                                                 const core::LmoParams& params,
                                                 const EmpiricalOptions& opts) {
+  const obs::Span sp = obs::span("empirical.gather_sweep");
   LMO_CHECK(opts.observations_per_size >= 3);
   const int root = opts.root;
   const auto sizes = opts.sizes.empty() ? default_sizes() : opts.sizes;

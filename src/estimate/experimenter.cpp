@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "coll/collectives.hpp"
+#include "obs/trace.hpp"
 #include "stats/students_t.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
@@ -16,17 +17,27 @@ using vmpi::RankProgram;
 using vmpi::Task;
 
 namespace {
-/// One repetition of a measured round: the per-experiment elapsed times
-/// and the session's simulated completion time (for cost accounting).
+/// One repetition of a measured round: the per-experiment elapsed times,
+/// the session's simulated completion time (for cost accounting), and the
+/// session's observability counters (published only when committed).
 struct RepSample {
   std::vector<double> slots;
   SimTime end;
+  vmpi::SessionMetrics metrics;
 };
 }  // namespace
 
 SimExperimenter::SimExperimenter(vmpi::SimSession& session,
                                  mpib::MeasureOptions measure)
-    : session_(&session), measure_(measure) {}
+    : session_(&session), measure_(measure) {
+  obs::Registry& reg = obs::Registry::global();
+  rounds_ = reg.counter("estimate.rounds");
+  reps_committed_ = reg.counter("estimate.reps_committed");
+  reps_discarded_ = reg.counter("estimate.reps_discarded");
+  observe_reps_ = reg.counter("estimate.observe_reps");
+  ci_rel_err_ = reg.histogram("estimate.ci_rel_err",
+                              {0.005, 0.01, 0.025, 0.05, 0.1, 0.25});
+}
 
 int SimExperimenter::jobs() const {
   return measure_.jobs > 0 ? measure_.jobs : default_jobs();
@@ -42,6 +53,7 @@ std::vector<double> SimExperimenter::measure_round(
 
   // sample(rep) is pure in `rep`: a fresh session seeded from (base,
   // round, rep), so repetitions can run on any thread in any order.
+  const obs::Span sp = obs::span("measure_round", "measure");
   auto sample = [&](int rep) {
     RepSample s;
     s.slots.assign(n_experiments, 0.0);
@@ -49,6 +61,7 @@ std::vector<double> SimExperimenter::measure_round(
                           derive_seed(base, round, std::uint64_t(rep)));
     const auto programs = build(s.slots);
     s.end = sess.run(programs);
+    s.metrics = sess.metrics();
     return s;
   };
   auto converged = [&](const std::vector<RepSample>& samples, int k) {
@@ -60,17 +73,32 @@ std::vector<double> SimExperimenter::measure_round(
     }
     return true;
   };
+  AdaptiveRepsStats reps_stats;
   const auto used = adaptive_reps<RepSample>(jobs(), measure_.min_reps,
                                              measure_.max_reps, sample,
-                                             converged);
+                                             converged, &reps_stats);
 
   session_runs_ += used.size();
+  vmpi::SessionMetrics committed;
   std::vector<double> means(n_experiments, 0.0);
   for (const auto& s : used) {
     session_cost_ += s.end;
+    committed.merge(s.metrics);
     for (std::size_t e = 0; e < n_experiments; ++e) means[e] += s.slots[e];
   }
   for (auto& m : means) m /= double(used.size());
+
+  rounds_.inc();
+  reps_committed_.inc(std::uint64_t(reps_stats.committed));
+  reps_discarded_.inc(std::uint64_t(reps_stats.computed -
+                                    reps_stats.committed));
+  vmpi::publish_metrics(committed, obs::Registry::global());
+  for (std::size_t e = 0; e < n_experiments; ++e) {
+    stats::RunningStats acc;
+    for (const auto& s : used) acc.add(s.slots[e]);
+    ci_rel_err_.observe(
+        stats::confidence_interval(acc, measure_.confidence).relative_error());
+  }
   return means;
 }
 
@@ -216,20 +244,28 @@ double SimExperimenter::observe_global(
 std::vector<double> SimExperimenter::observe_global_samples(
     const std::function<Task(Comm&)>& body, int reps) {
   LMO_CHECK(reps >= 1);
+  const obs::Span sp = obs::span("observe_global_samples", "measure");
   const std::uint64_t round = next_round();
   const std::uint64_t base = session_->seed();
   std::vector<SimTime> ends(static_cast<std::size_t>(reps));
+  std::vector<vmpi::SessionMetrics> rep_metrics(
+      static_cast<std::size_t>(reps));
   parallel_for(jobs(), reps, [&](int rep) {
     vmpi::SimSession sess(session_->shared_config(),
                           derive_seed(base, round, std::uint64_t(rep)));
     ends[std::size_t(rep)] = sess.run(coll::spmd(sess.size(), body));
+    rep_metrics[std::size_t(rep)] = sess.metrics();
   });
   std::vector<double> out(static_cast<std::size_t>(reps));
+  vmpi::SessionMetrics merged;
   for (std::size_t r = 0; r < ends.size(); ++r) {
     session_cost_ += ends[r];
+    merged.merge(rep_metrics[r]);
     out[r] = ends[r].seconds();
   }
   session_runs_ += std::uint64_t(reps);
+  observe_reps_.inc(std::uint64_t(reps));
+  vmpi::publish_metrics(merged, obs::Registry::global());
   return out;
 }
 

@@ -23,6 +23,7 @@
 
 #include "estimate/schedule.hpp"
 #include "mpib/benchmark.hpp"
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "vmpi/world.hpp"
 
@@ -163,6 +164,15 @@ class SimExperimenter final : public Experimenter {
   /// totals match a serial run exactly).
   std::uint64_t session_runs_ = 0;
   SimTime session_cost_;
+
+  // Metric handles, resolved once at construction. Only *committed*
+  // repetitions publish session metrics, so everything except
+  // reps_discarded_ is independent of the --jobs level.
+  obs::Counter rounds_;
+  obs::Counter reps_committed_;
+  obs::Counter reps_discarded_;
+  obs::Counter observe_reps_;
+  obs::Histogram ci_rel_err_;
 };
 
 }  // namespace lmo::estimate

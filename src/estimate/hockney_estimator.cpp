@@ -1,5 +1,6 @@
 #include "estimate/hockney_estimator.hpp"
 
+#include "obs/trace.hpp"
 #include "stats/regression.hpp"
 #include "util/error.hpp"
 
@@ -14,6 +15,7 @@ std::vector<Bytes> regression_sizes(const HockneyOptions& opts) {
 
 HockneyReport estimate_hockney(Experimenter& ex,
                                const HockneyOptions& opts) {
+  const obs::Span sp = obs::span("hockney.estimate");
   const int n = ex.size();
   LMO_CHECK(opts.probe_size > 0);
   const std::uint64_t runs0 = ex.runs();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
 
@@ -48,15 +50,19 @@ LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
       ++report.roundtrip_experiments;
     }
   };
-  if (opts.parallel) {
-    for (const auto& round : pair_rounds(n))
-      record_pairs(round, ex.roundtrip_round(round, 0, 0),
-                   ex.roundtrip_round(round, m, m));
-  } else {
-    for (const auto& pair : all_pairs(n))
-      record_pairs({pair}, ex.roundtrip_round({pair}, 0, 0),
-                   ex.roundtrip_round({pair}, m, m));
+  {
+    const obs::Span sp = obs::span("lmo.roundtrips");
+    if (opts.parallel) {
+      for (const auto& round : pair_rounds(n))
+        record_pairs(round, ex.roundtrip_round(round, 0, 0),
+                     ex.roundtrip_round(round, m, m));
+    } else {
+      for (const auto& pair : all_pairs(n))
+        record_pairs({pair}, ex.roundtrip_round({pair}, 0, 0),
+                     ex.roundtrip_round({pair}, m, m));
+    }
   }
+  const SimTime cost_roundtrips = ex.cost() - cost0;
 
   // ---- Phase 2: one-to-two T_i(jk)(0), T_i(jk)(M), empty replies. ----
   // Orientation: the "far" child is sent last and received first, which
@@ -100,9 +106,15 @@ LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
         out[tr] = ex.one_to_two_round({tr}, size, 0)[0];
     }
   };
-  run_batch(oriented_0, 0, t_o2_0);
-  run_batch(oriented_m, m, t_o2_m);
+  {
+    const obs::Span sp = obs::span("lmo.one_to_two");
+    run_batch(oriented_0, 0, t_o2_0);
+    run_batch(oriented_m, m, t_o2_m);
+  }
+  const SimTime cost_one_to_two = ex.cost() - cost0 - cost_roundtrips;
   report.one_to_two_experiments = int(oriented_0.size());  // 3 C(n,3)
+
+  const obs::Span solve_sp = obs::span("lmo.solve");
 
   // ---- Phase 3: per-triplet systems (8) and (11), averaged per (12). ----
   std::vector<Averager> c_acc(std::size_t(n),
@@ -193,6 +205,11 @@ LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
 
   report.world_runs = ex.runs() - runs0;
   report.estimation_cost = ex.cost() - cost0;
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("lmo.cost_roundtrips_s").set(cost_roundtrips.seconds());
+  reg.gauge("lmo.cost_one_to_two_s").set(cost_one_to_two.seconds());
+  reg.gauge("lmo.cost_total_s").set(report.estimation_cost.seconds());
   return report;
 }
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace lmo::estimate {
 
 LogGPReport estimate_loggp(Experimenter& ex, const LogGPOptions& opts) {
+  const obs::Span sp = obs::span("loggp.estimate");
   const int n = ex.size();
   LMO_CHECK(opts.small_size >= 0);
   LMO_CHECK(opts.large_size > opts.small_size);

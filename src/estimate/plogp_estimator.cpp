@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace lmo::estimate {
@@ -62,6 +63,7 @@ models::PLogP estimate_plogp_pair(Experimenter& ex, int i, int j,
 }
 
 PLogPReport estimate_plogp(Experimenter& ex, const PLogPOptions& opts) {
+  const obs::Span sp = obs::span("plogp.estimate");
   const std::uint64_t runs0 = ex.runs();
   const SimTime cost0 = ex.cost();
 

@@ -1,0 +1,98 @@
+// Minimal JSON document model shared by every machine-readable output in
+// the repo: the Chrome/Perfetto trace sink, the run-report writer, and the
+// bench --json table emitter all serialize through this one type, so
+// escaping and number formatting are correct in exactly one place.
+//
+// Objects preserve insertion order (stable report schemas diff cleanly);
+// numbers are int64 or double; doubles print with the shortest
+// representation that round-trips. parse() is the matching
+// recursive-descent reader — tests use it to prove every emitted artifact
+// is well-formed, and tools read BENCH_*.json points back through it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace lmo::obs {
+
+/// Escape a string for inclusion inside JSON double quotes: `"`, `\`, and
+/// control characters (the latter as \uOOXX). Valid UTF-8 passes through.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value pairs (keys unique; operator[] updates).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(std::nullptr_t) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  /// Any integral type; unsigned values above int64 max throw lmo::Error.
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Json(T i) {
+    if constexpr (std::is_signed_v<T>)
+      v_ = std::int64_t(i);
+    else
+      v_ = checked_unsigned(std::uint64_t(i));
+  }
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+
+  [[nodiscard]] static Json array() { Json j; j.v_ = Array{}; return j; }
+  [[nodiscard]] static Json object() { Json j; j.v_ = Object{}; return j; }
+
+  [[nodiscard]] bool is_null() const;
+  [[nodiscard]] bool is_bool() const;
+  [[nodiscard]] bool is_number() const;
+  [[nodiscard]] bool is_string() const;
+  [[nodiscard]] bool is_array() const;
+  [[nodiscard]] bool is_object() const;
+
+  /// Object element access; a null value silently becomes an object.
+  Json& operator[](const std::string& key);
+  /// Null when absent (or not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Throws lmo::Error when absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+
+  /// Array append; a null value silently becomes an array.
+  void push_back(Json v);
+  [[nodiscard]] std::size_t size() const;  ///< array/object arity, else 0
+  [[nodiscard]] const Json& operator[](std::size_t i) const;
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;  ///< int64 converts
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& items() const;
+  [[nodiscard]] const Object& entries() const;
+
+  /// Serialize. indent = 0: compact single line; indent > 0: pretty-print
+  /// with that many spaces per level.
+  void dump(std::ostream& os, int indent = 0) const;
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; throws lmo::Error on malformed input
+  /// or trailing garbage.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  static std::int64_t checked_unsigned(std::uint64_t u);
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               Array, Object>
+      v_ = nullptr;
+};
+
+}  // namespace lmo::obs

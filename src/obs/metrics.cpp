@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lmo::obs {
+
+void Histogram::observe(double x) {
+  if (!h_) return;
+  const auto it = std::lower_bound(h_->bounds.begin(), h_->bounds.end(), x);
+  const auto idx = std::size_t(it - h_->bounds.begin());
+  h_->counts[idx].fetch_add(1, std::memory_order_relaxed);
+  h_->total.fetch_add(1, std::memory_order_relaxed);
+  double cur = h_->sum.load(std::memory_order_relaxed);
+  while (!h_->sum.compare_exchange_weak(cur, cur + x,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void Snapshot::merge(const Snapshot& o) {
+  for (const auto& [k, v] : o.counters) counters[k] += v;
+  for (const auto& [k, v] : o.gauges) {
+    const auto it = gauges.find(k);
+    if (it == gauges.end())
+      gauges[k] = v;
+    else
+      it->second = std::max(it->second, v);
+  }
+  for (const auto& [k, h] : o.histograms) {
+    const auto it = histograms.find(k);
+    if (it == histograms.end()) {
+      histograms[k] = h;
+      continue;
+    }
+    LMO_CHECK_MSG(it->second.bounds == h.bounds,
+                  "histogram bucket bounds mismatch merging '" + k + "'");
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      it->second.counts[i] += h.counts[i];
+    it->second.total += h.total;
+    it->second.sum += h.sum;
+  }
+}
+
+Json Snapshot::to_json() const {
+  Json out = Json::object();
+  Json& c = out["counters"] = Json::object();
+  for (const auto& [k, v] : counters) c[k] = v;
+  Json& g = out["gauges"] = Json::object();
+  for (const auto& [k, v] : gauges) g[k] = v;
+  Json& h = out["histograms"] = Json::object();
+  for (const auto& [k, hist] : histograms) {
+    Json& e = h[k] = Json::object();
+    Json bounds = Json::array();
+    for (const double b : hist.bounds) bounds.push_back(b);
+    e["bounds"] = std::move(bounds);
+    Json counts = Json::array();
+    for (const std::uint64_t n : hist.counts) counts.push_back(n);
+    e["counts"] = std::move(counts);
+    e["total"] = hist.total;
+    e["sum"] = hist.sum;
+  }
+  return out;
+}
+
+Counter Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = counters_[name];
+  if (!cell) cell = std::make_unique<detail::CounterCell>();
+  return Counter(cell.get());
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = gauges_[name];
+  if (!cell) cell = std::make_unique<detail::GaugeCell>();
+  return Gauge(cell.get());
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<double> bounds) {
+  LMO_CHECK_MSG(std::is_sorted(bounds.begin(), bounds.end()),
+                "histogram bounds must be ascending: " + name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = histograms_[name];
+  if (!cell) {
+    cell = std::make_unique<detail::HistogramCell>(std::move(bounds));
+  } else {
+    LMO_CHECK_MSG(cell->bounds == bounds,
+                  "histogram '" + name + "' re-registered with new bounds");
+  }
+  return Histogram(cell.get());
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [k, c] : counters_)
+    s.counters[k] = c->v.load(std::memory_order_relaxed);
+  for (const auto& [k, g] : gauges_)
+    s.gauges[k] = g->v.load(std::memory_order_relaxed);
+  for (const auto& [k, h] : histograms_) {
+    Snapshot::Hist out;
+    out.bounds = h->bounds;
+    out.counts.reserve(h->counts.size());
+    for (const auto& c : h->counts)
+      out.counts.push_back(c.load(std::memory_order_relaxed));
+    out.total = h->total.load(std::memory_order_relaxed);
+    out.sum = h->sum.load(std::memory_order_relaxed);
+    s.histograms[k] = std::move(out);
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, c] : counters_) c->v.store(0, std::memory_order_relaxed);
+  for (auto& [k, g] : gauges_) g->v.store(0.0, std::memory_order_relaxed);
+  for (auto& [k, h] : histograms_) {
+    for (auto& c : h->counts) c.store(0, std::memory_order_relaxed);
+    h->total.store(0, std::memory_order_relaxed);
+    h->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::global() {
+  // Intentionally leaked: worker threads and exit-time report writers may
+  // touch the registry during static teardown.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+}  // namespace lmo::obs

@@ -1,0 +1,79 @@
+#include "obs/report.hpp"
+
+#include <ctime>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lmo::obs {
+
+ReportBuilder::ReportBuilder(std::string tool)
+    : tool_(std::move(tool)),
+      t0_us_(wall_now_us()),
+      created_unix_((long long)std::time(nullptr)) {
+#if defined(__VERSION__)
+  provenance_["compiler"] = std::string(__VERSION__);
+#endif
+#if defined(NDEBUG)
+  provenance_["build"] = "release";
+#else
+  provenance_["build"] = "debug";
+#endif
+}
+
+void ReportBuilder::set(const std::string& key, Json value) {
+  for (auto& [k, v] : sections_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  sections_.emplace_back(key, std::move(value));
+}
+
+void ReportBuilder::add_table(Json table) {
+  tables_.push_back(std::move(table));
+}
+
+void ReportBuilder::provenance(const std::string& key, Json value) {
+  provenance_[key] = std::move(value);
+}
+
+Json ReportBuilder::build() const {
+  Json doc = Json::object();
+  doc["schema"] = kReportSchema;
+  doc["tool"] = tool_;
+  doc["created_unix"] = created_unix_;
+  doc["wall_seconds"] = (wall_now_us() - t0_us_) * 1e-6;
+  doc["provenance"] = provenance_;
+  if (tables_.size() > 0) doc["tables"] = tables_;
+  for (const auto& [k, v] : sections_) doc[k] = v;
+  doc["metrics"] = Registry::global().snapshot().to_json();
+  if (const ThreadPool* pool = ThreadPool::shared_if_started()) {
+    std::uint64_t tasks = 0, busy = 0, idle = 0;
+    for (const ThreadPool::WorkerStats& w : pool->worker_stats()) {
+      tasks += w.tasks;
+      busy += w.busy_ns;
+      idle += w.idle_ns;
+    }
+    Json& tp = doc["thread_pool"] = Json::object();
+    tp["workers"] = pool->size();
+    tp["tasks"] = tasks;
+    tp["busy_seconds"] = double(busy) * 1e-9;
+    tp["idle_seconds"] = double(idle) * 1e-9;
+  }
+  return doc;
+}
+
+void ReportBuilder::write(const std::string& path) const {
+  std::ofstream os(path);
+  LMO_CHECK_MSG(os.good(), "cannot open " + path + " for writing");
+  build().dump(os, 2);
+  os << "\n";
+  LMO_CHECK_MSG(os.good(), "write failed: " + path);
+}
+
+}  // namespace lmo::obs

@@ -1,0 +1,61 @@
+// Machine-readable run reports (the --report flag).
+//
+// A report is one JSON document with a stable schema id, capturing what a
+// tool run produced (estimated parameters, prediction tables, error
+// summaries), what it cost (wall clock, repetition counts, per-phase
+// estimation cost), and enough provenance to reproduce it (seed, jobs,
+// compiler, build flavor). The metrics snapshot from the global Registry
+// and thread-pool utilization are appended automatically at build() time.
+//
+// Schema (lmo.run_report/1):
+//   {
+//     "schema": "lmo.run_report/1",
+//     "tool": "<basename of the binary>",
+//     "created_unix": <seconds>,
+//     "wall_seconds": <float>,
+//     "provenance": {"compiler": ..., "build": ..., ...caller keys},
+//     "tables": [ {"title": ..., "columns": [...], "rows": [[...], ...]} ],
+//     ...caller sections (set()),
+//     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+//     "thread_pool": {"workers": N, "tasks": ..., "busy_seconds": ...,
+//                     "idle_seconds": ...}   // when the pool was used
+//   }
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lmo::obs {
+
+inline constexpr const char* kReportSchema = "lmo.run_report/1";
+
+class ReportBuilder {
+ public:
+  explicit ReportBuilder(std::string tool);
+
+  /// Set a top-level section (overwrites an earlier value for `key`).
+  void set(const std::string& key, Json value);
+  /// Add one {"title", "columns", "rows"} table to the "tables" array.
+  void add_table(Json table);
+  /// Record a provenance key (seed, jobs, ...).
+  void provenance(const std::string& key, Json value);
+
+  /// Assemble the full document: header, caller sections, metrics snapshot,
+  /// thread-pool utilization, wall clock since construction.
+  [[nodiscard]] Json build() const;
+  /// build() and write to `path` (pretty-printed, trailing newline).
+  void write(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  double t0_us_ = 0.0;
+  long long created_unix_ = 0;
+  Json provenance_ = Json::object();
+  std::vector<std::pair<std::string, Json>> sections_;
+  Json tables_ = Json::array();
+};
+
+}  // namespace lmo::obs

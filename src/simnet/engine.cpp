@@ -7,6 +7,7 @@ namespace lmo::sim {
 void Engine::schedule_at(SimTime t, Action fn) {
   LMO_CHECK_MSG(t >= now_, "cannot schedule into the past");
   queue_.push(Event{t, next_seq_++, std::move(fn)});
+  if (queue_.size() > max_pending_) max_pending_ = queue_.size();
 }
 
 bool Engine::step() {
@@ -33,6 +34,7 @@ void Engine::reset() {
                 "discard_pending() first");
   now_ = SimTime::zero();
   executed_ = 0;
+  max_pending_ = 0;
 }
 
 void Engine::discard_pending() {

@@ -36,6 +36,8 @@ class Engine {
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  /// Queue high-water mark since the last reset().
+  [[nodiscard]] std::size_t max_pending() const { return max_pending_; }
 
   /// Reset the clock between measurement repetitions. The queue must
   /// already be drained (run() ran to completion) — silently dropping
@@ -66,6 +68,7 @@ class Engine {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t max_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

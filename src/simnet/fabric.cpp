@@ -81,6 +81,7 @@ WireTiming Fabric::transfer(int src, int dst, Bytes n, SimTime ready) {
   ++counters_.transfers;
 
   const Bytes frame_bytes = n < kMinFrame ? kMinFrame : n;
+  counters_.bytes += std::uint64_t(frame_bytes);
   const double rate = cfg_->rate(src, dst);
   const SimTime wire_time =
       noised(double(frame_bytes) / rate, node_rng_[std::size_t(src)]);

@@ -89,6 +89,7 @@ class Fabric {
     std::uint64_t transfers = 0;
     std::uint64_t escalations = 0;
     std::uint64_t leaps = 0;
+    std::uint64_t bytes = 0;  ///< frame bytes on the wire (min-frame padded)
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 

@@ -46,6 +46,14 @@ void parallel_for(int jobs, int n, Fn&& fn) {
   if (first) std::rethrow_exception(first);
 }
 
+/// Side-channel accounting from one adaptive_reps call: how many samples
+/// were actually computed (committed + speculative waves) vs. committed.
+/// `computed` depends on `jobs`; `committed` never does.
+struct AdaptiveRepsStats {
+  int computed = 0;
+  int committed = 0;
+};
+
 /// Adaptive repetition with deterministic early stopping.
 ///
 /// sample(rep) produces the rep-th observation and must depend only on
@@ -55,11 +63,12 @@ void parallel_for(int jobs, int n, Fn&& fn) {
 /// converged(samples, k), or max_reps if none — exactly the count a
 /// one-at-a-time serial loop would commit to. Parallel waves may compute a
 /// few samples beyond S speculatively; those are discarded, which is what
-/// keeps the result independent of `jobs`.
+/// keeps the result independent of `jobs`. When `stats` is non-null it
+/// receives the computed/committed counts.
 template <class Sample, class SampleFn, class ConvergedFn>
 std::vector<Sample> adaptive_reps(int jobs, int min_reps, int max_reps,
-                                  SampleFn&& sample,
-                                  ConvergedFn&& converged) {
+                                  SampleFn&& sample, ConvergedFn&& converged,
+                                  AdaptiveRepsStats* stats = nullptr) {
   LMO_CHECK(min_reps >= 1);
   LMO_CHECK(max_reps >= min_reps);
   std::vector<Sample> samples;
@@ -85,11 +94,13 @@ std::vector<Sample> adaptive_reps(int jobs, int min_reps, int max_reps,
     for (int k = next_check; k <= done; ++k) {
       if (converged(std::as_const(samples), k)) {
         samples.resize(std::size_t(k));
+        if (stats) *stats = {done, k};
         return samples;
       }
     }
     next_check = done + 1;
   }
+  if (stats) *stats = {done, done};
   return samples;
 }
 

@@ -20,6 +20,9 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t cols() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
   [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
 
   /// Render with column alignment and a header rule.

@@ -9,13 +9,29 @@ namespace lmo {
 namespace {
 thread_local bool t_on_worker = false;
 std::atomic<int> g_default_jobs{0};  // 0 = hardware_jobs()
+std::atomic<ThreadPool*> g_shared{nullptr};
+
+// The task hook is called outside the queue lock; its own mutex guards
+// (un)installation against concurrent workers.
+std::mutex g_hook_mu;
+std::shared_ptr<const ThreadPool::TaskHook> g_hook;
+std::atomic<bool> g_hook_set{false};
+
+std::shared_ptr<const ThreadPool::TaskHook> current_hook() {
+  if (!g_hook_set.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  return g_hook;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   const int n = threads < 1 ? 1 : threads;
+  cells_.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i)
+    cells_.push_back(std::make_unique<WorkerCell>());
   workers_.reserve(std::size_t(n));
   for (int i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -39,26 +55,75 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   return fut;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
   t_on_worker = true;
+  using clock = std::chrono::steady_clock;
+  WorkerCell& cell = *cells_[std::size_t(index)];
+  auto ns_between = [](clock::time_point a, clock::time_point b) {
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
   for (;;) {
     std::packaged_task<void()> task;
+    const clock::time_point wait_start = clock::now();
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      if (queue_.empty()) {  // stopping_ and drained
+        cell.idle_ns.fetch_add(ns_between(wait_start, clock::now()),
+                               std::memory_order_relaxed);
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const clock::time_point begin = clock::now();
+    cell.idle_ns.fetch_add(ns_between(wait_start, begin),
+                           std::memory_order_relaxed);
     task();  // exceptions land in the task's future
+    const clock::time_point end = clock::now();
+    cell.tasks.fetch_add(1, std::memory_order_relaxed);
+    cell.busy_ns.fetch_add(ns_between(begin, end), std::memory_order_relaxed);
+    if (const auto hook = current_hook()) (*hook)(index, begin, end);
   }
 }
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
 
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(cells_.size());
+  for (const auto& cell : cells_) {
+    WorkerStats s;
+    s.tasks = cell->tasks.load(std::memory_order_relaxed);
+    s.busy_ns = cell->busy_ns.load(std::memory_order_relaxed);
+    s.idle_ns = cell->idle_ns.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void ThreadPool::set_task_hook(TaskHook hook) {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  if (hook) {
+    g_hook = std::make_shared<const TaskHook>(std::move(hook));
+    g_hook_set.store(true, std::memory_order_release);
+  } else {
+    g_hook_set.store(false, std::memory_order_release);
+    g_hook.reset();
+  }
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(hardware_jobs());
+  static const bool registered =
+      (g_shared.store(&pool, std::memory_order_release), true);
+  (void)registered;
   return pool;
+}
+
+ThreadPool* ThreadPool::shared_if_started() {
+  return g_shared.load(std::memory_order_acquire);
 }
 
 int hardware_jobs() {

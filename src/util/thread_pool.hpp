@@ -9,11 +9,14 @@
 // determinism never depends on how many workers actually run.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -22,6 +25,21 @@ namespace lmo {
 
 class ThreadPool {
  public:
+  /// Per-worker utilization counters, sampled by worker_stats().
+  struct WorkerStats {
+    std::uint64_t tasks = 0;    ///< tasks executed
+    std::uint64_t busy_ns = 0;  ///< wall time inside task bodies
+    std::uint64_t idle_ns = 0;  ///< wall time waiting for work
+  };
+
+  /// Observer invoked after every task with the worker index and the
+  /// task's wall-clock bounds. Process-wide; installed by the obs trace
+  /// layer to put pool task spans on the shared timeline. Pass nullptr to
+  /// uninstall.
+  using TaskHook =
+      std::function<void(int worker, std::chrono::steady_clock::time_point,
+                         std::chrono::steady_clock::time_point)>;
+
   /// Spawns `threads` workers (at least 1).
   explicit ThreadPool(int threads);
 
@@ -43,16 +61,32 @@ class ThreadPool {
   /// deadlocking on their own pool.
   [[nodiscard]] static bool on_worker_thread();
 
+  /// Per-worker utilization since construction (relaxed-atomic sampling;
+  /// values are monotone but need not be mutually consistent).
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
+  static void set_task_hook(TaskHook hook);
+
   /// Process-wide pool, lazily constructed with hardware_jobs() workers.
   [[nodiscard]] static ThreadPool& shared();
+  /// The shared pool if shared() has ever been called, else nullptr —
+  /// lets reporting read utilization without spawning workers.
+  [[nodiscard]] static ThreadPool* shared_if_started();
 
  private:
-  void worker_loop();
+  struct WorkerCell {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+
+  void worker_loop(int index);
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::packaged_task<void()>> queue_;
   bool stopping_ = false;
+  std::vector<std::unique_ptr<WorkerCell>> cells_;
   std::vector<std::thread> workers_;
 };
 

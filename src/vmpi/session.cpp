@@ -1,14 +1,47 @@
 #include "vmpi/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "vmpi/trace_json.hpp"
 
 namespace lmo::vmpi {
 
 std::vector<RankProgram> idle_programs(int n) {
   LMO_CHECK(n >= 0);
   return std::vector<RankProgram>(std::size_t(n));
+}
+
+void SessionMetrics::merge(const SessionMetrics& o) {
+  runs += o.runs;
+  events += o.events;
+  queue_high_water = std::max(queue_high_water, o.queue_high_water);
+  msgs_eager += o.msgs_eager;
+  msgs_rendezvous += o.msgs_rendezvous;
+  transfers += o.transfers;
+  bytes_on_wire += o.bytes_on_wire;
+  escalations += o.escalations;
+  frag_leaps += o.frag_leaps;
+  host_ns += o.host_ns;
+  sim_ns += o.sim_ns;
+}
+
+void publish_metrics(const SessionMetrics& m, obs::Registry& reg) {
+  reg.counter("sim.runs").inc(m.runs);
+  reg.counter("sim.events").inc(m.events);
+  reg.counter("sim.msgs_eager").inc(m.msgs_eager);
+  reg.counter("sim.msgs_rendezvous").inc(m.msgs_rendezvous);
+  reg.counter("sim.transfers").inc(m.transfers);
+  reg.counter("sim.bytes_on_wire").inc(m.bytes_on_wire);
+  reg.counter("sim.escalations").inc(m.escalations);
+  reg.counter("sim.frag_leaps").inc(m.frag_leaps);
+  reg.counter("sim.host_ns").inc(m.host_ns);
+  reg.counter("sim.time_ns").inc(m.sim_ns);
+  reg.gauge("sim.queue_high_water").update_max(double(m.queue_high_water));
 }
 
 // ---------------------------------------------------------------- Comm ----
@@ -182,6 +215,7 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
         tasks[std::size_t(r)].start();
       });
 
+  const auto host_begin = std::chrono::steady_clock::now();
   try {
     engine_.run();
   } catch (...) {
@@ -191,6 +225,13 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
     clear_round_state();
     throw;
   }
+  base_.host_ns += std::uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_begin)
+          .count());
+  base_.events += engine_.executed();
+  base_.queue_high_water =
+      std::max(base_.queue_high_water, std::uint64_t(engine_.max_pending()));
 
   // Exceptions first (a failed rank usually strands its peers).
   for (const auto& t : tasks) t.rethrow_if_failed();
@@ -211,7 +252,26 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
     if (tasks[std::size_t(r)].valid())
       end = lmo::max(end, rank_time_[std::size_t(r)]);
   accumulated_ += end;
+  if (trace_sink_ && !trace_.empty())
+    append_chrome_trace(*trace_sink_, trace_);
   return end;
+}
+
+void SimSession::set_trace_sink(obs::TraceSink* sink) {
+  trace_sink_ = sink;
+  if (sink) tracing_ = true;
+}
+
+SessionMetrics SimSession::metrics() const {
+  SessionMetrics m = base_;
+  m.runs = total_runs_;
+  const sim::Fabric::Counters& c = fabric_.counters();
+  m.transfers = c.transfers;
+  m.bytes_on_wire = c.bytes;
+  m.escalations = c.escalations;
+  m.frag_leaps = c.leaps;
+  m.sim_ns = std::uint64_t(accumulated_.ns());
+  return m;
 }
 
 bool SimSession::matches(const Announcement& m, const PendingRecv& r) {
@@ -238,6 +298,7 @@ SimSession::StatePtr SimSession::exec_isend(int src, int dst, int tag,
   const SimTime now = rank_time_[std::size_t(src)];
   auto state = std::make_shared<detail::OpState>();
   if (!fabric_.use_rendezvous(n)) {
+    ++base_.msgs_eager;
     // Eager path: the transfer is fully scheduled at send time.
     const bool pipelined = fabric_.egress_busy(src, now);
     const SimTime cpu = fabric_.send_cpu_cost(src, n, pipelined);
@@ -263,6 +324,7 @@ SimSession::StatePtr SimSession::exec_isend(int src, int dst, int tag,
     return state;
   }
   // Rendezvous path: completion is determined when the receive matches.
+  ++base_.msgs_rendezvous;
   Announcement msg;
   msg.src = src;
   msg.tag = tag;

@@ -37,10 +37,39 @@
 #include "vmpi/comm.hpp"
 #include "vmpi/task.hpp"
 
+namespace lmo::obs {
+class Registry;
+class TraceSink;
+}  // namespace lmo::obs
+
 namespace lmo::vmpi {
 
 /// A rank's program: invoked once per run with that rank's Comm.
 using RankProgram = std::function<Task(Comm&)>;
+
+/// Plain per-session observability counters: cheap to copy, fold, and
+/// compare. Deliberately not atomic — a session is single-threaded, and the
+/// estimation layer publishes metrics into the global obs registry only for
+/// *committed* repetitions, which keeps the published totals independent of
+/// the --jobs level (wall-clock host_ns excepted).
+struct SessionMetrics {
+  std::uint64_t runs = 0;              ///< completed run() rounds
+  std::uint64_t events = 0;            ///< engine events executed
+  std::uint64_t queue_high_water = 0;  ///< max event-queue depth (max-merge)
+  std::uint64_t msgs_eager = 0;        ///< eager sends posted
+  std::uint64_t msgs_rendezvous = 0;   ///< rendezvous sends posted
+  std::uint64_t transfers = 0;         ///< wire transfers
+  std::uint64_t bytes_on_wire = 0;     ///< frame bytes on the wire
+  std::uint64_t escalations = 0;       ///< escalation-quirk hits
+  std::uint64_t frag_leaps = 0;        ///< fragmentation-leap hits
+  std::uint64_t host_ns = 0;           ///< host wall time inside engine runs
+  std::uint64_t sim_ns = 0;            ///< accumulated simulated time
+
+  void merge(const SessionMetrics& o);
+};
+
+/// Add `m` into `reg` under the sim.* metric names.
+void publish_metrics(const SessionMetrics& m, obs::Registry& reg);
 
 /// Convenience: n empty slots to fill in.
 [[nodiscard]] std::vector<RankProgram> idle_programs(int n);
@@ -97,6 +126,14 @@ class SimSession {
   [[nodiscard]] const std::vector<MessageTrace>& trace() const {
     return trace_;
   }
+
+  /// Stream each run's message trace onto a shared Chrome-trace sink (sim
+  /// pid, one track per rank). Non-null implies tracing; nullptr detaches
+  /// (per-run tracing stays on until set_tracing(false)).
+  void set_trace_sink(obs::TraceSink* sink);
+
+  /// Observability counters accumulated over this session's lifetime.
+  [[nodiscard]] SessionMetrics metrics() const;
 
  private:
   friend struct SendOp;
@@ -161,6 +198,8 @@ class SimSession {
   SimTime accumulated_;
   bool tracing_ = false;
   std::vector<MessageTrace> trace_;
+  obs::TraceSink* trace_sink_ = nullptr;
+  SessionMetrics base_;  ///< engine/isend counters harvested per run
 };
 
 }  // namespace lmo::vmpi

@@ -1,40 +1,38 @@
 #include "vmpi/trace_json.hpp"
 
-#include <fstream>
 #include <ostream>
 #include <sstream>
 
-#include "util/error.hpp"
-
 namespace lmo::vmpi {
 
-namespace {
-void emit_event(std::ostream& os, bool& first, const std::string& name,
-                int track, double ts_us, double dur_us,
-                const MessageTrace& m) {
-  if (!first) os << ",\n";
-  first = false;
-  os << "  {\"name\": \"" << name << "\", \"cat\": \"msg\", \"ph\": \"X\""
-     << ", \"pid\": 1, \"tid\": " << track << ", \"ts\": " << ts_us
-     << ", \"dur\": " << dur_us << ", \"args\": {\"bytes\": " << m.bytes
-     << ", \"tag\": " << m.tag
-     << ", \"rendezvous\": " << (m.rendezvous ? "true" : "false") << "}}";
+void append_chrome_trace(obs::TraceSink& sink,
+                         const std::vector<MessageTrace>& trace) {
+  sink.set_process_name(obs::kSimPid, "simulated cluster (sim time)");
+  auto event = [&](std::string name, int rank, double ts_us, double dur_us,
+                   const MessageTrace& m) {
+    sink.set_thread_name(obs::kSimPid, rank, "rank " + std::to_string(rank));
+    obs::Json args = obs::Json::object();
+    args["bytes"] = m.bytes;
+    args["tag"] = m.tag;
+    args["rendezvous"] = m.rendezvous;
+    sink.complete(std::move(name), "msg", obs::kSimPid, rank, ts_us, dur_us,
+                  std::move(args));
+  };
+  for (const MessageTrace& m : trace) {
+    const std::string label =
+        std::to_string(m.src) + "->" + std::to_string(m.dst);
+    event("transfer " + label, m.src, m.send_post.micros(),
+          (m.arrival - m.send_post).micros(), m);
+    event("recv " + label, m.dst, m.arrival.micros(),
+          (m.recv_complete - m.arrival).micros(), m);
+  }
 }
-}  // namespace
 
 void write_chrome_trace(std::ostream& os,
                         const std::vector<MessageTrace>& trace) {
-  os << "[\n";
-  bool first = true;
-  for (const auto& m : trace) {
-    const std::string label =
-        std::to_string(m.src) + "->" + std::to_string(m.dst);
-    emit_event(os, first, "transfer " + label, m.src, m.send_post.micros(),
-               (m.arrival - m.send_post).micros(), m);
-    emit_event(os, first, "recv " + label, m.dst, m.arrival.micros(),
-               (m.recv_complete - m.arrival).micros(), m);
-  }
-  os << "\n]\n";
+  obs::TraceSink sink;
+  append_chrome_trace(sink, trace);
+  sink.write(os);
 }
 
 std::string chrome_trace_json(const std::vector<MessageTrace>& trace) {
@@ -45,10 +43,9 @@ std::string chrome_trace_json(const std::vector<MessageTrace>& trace) {
 
 void save_chrome_trace(const std::vector<MessageTrace>& trace,
                        const std::string& path) {
-  std::ofstream os(path);
-  LMO_CHECK_MSG(os.good(), "cannot open " + path + " for writing");
-  write_chrome_trace(os, trace);
-  LMO_CHECK_MSG(os.good(), "write failed: " + path);
+  obs::TraceSink sink;
+  append_chrome_trace(sink, trace);
+  sink.save(path);
 }
 
 }  // namespace lmo::vmpi

@@ -1,0 +1,221 @@
+// Tests for the obs subsystem: JSON model, escaping, metrics registry,
+// snapshot merging, and the trace sink.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace lmo::obs {
+namespace {
+
+// ------------------------------------------------------------- escaping ----
+
+TEST(JsonEscape, QuotesBackslashesAndControlChars) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(json_escape("utf8 β ok"), "utf8 β ok");
+}
+
+TEST(JsonEscape, EscapedStringsParseBack) {
+  const std::string nasty = "he said \"hi\"\n\tslash: \\ bell: \x07";
+  Json doc = Json::object();
+  doc["s"] = nasty;
+  const Json parsed = Json::parse(doc.dump());
+  EXPECT_EQ(parsed.at("s").as_string(), nasty);
+}
+
+// ----------------------------------------------------------- Json model ----
+
+TEST(Json, RoundTripsScalarsArraysObjects) {
+  Json doc = Json::object();
+  doc["null"] = Json();
+  doc["bool"] = true;
+  doc["int"] = std::int64_t(-42);
+  doc["big"] = std::int64_t(1) << 60;
+  doc["pi"] = 3.141592653589793;
+  doc["tiny"] = 1.5e-9;
+  doc["str"] = "hello";
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(3.5);
+  doc["arr"] = std::move(arr);
+
+  for (const int indent : {0, 2}) {
+    const Json p = Json::parse(doc.dump(indent));
+    EXPECT_TRUE(p.at("null").is_null());
+    EXPECT_TRUE(p.at("bool").as_bool());
+    EXPECT_EQ(p.at("int").as_int(), -42);
+    EXPECT_EQ(p.at("big").as_int(), std::int64_t(1) << 60);
+    EXPECT_EQ(p.at("pi").as_double(), 3.141592653589793);
+    EXPECT_EQ(p.at("tiny").as_double(), 1.5e-9);
+    EXPECT_EQ(p.at("str").as_string(), "hello");
+    ASSERT_EQ(p.at("arr").size(), 3u);
+    EXPECT_EQ(p.at("arr")[0].as_int(), 1);
+    EXPECT_EQ(p.at("arr")[1].as_string(), "two");
+    EXPECT_EQ(p.at("arr")[2].as_double(), 3.5);
+  }
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json doc = Json::object();
+  doc["zebra"] = 1;
+  doc["alpha"] = 2;
+  doc["mid"] = 3;
+  const Json parsed = Json::parse(doc.dump());
+  const auto& entries = parsed.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "zebra");
+  EXPECT_EQ(entries[1].first, "alpha");
+  EXPECT_EQ(entries[2].first, "mid");
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW((void)Json::parse("{"), Error);
+  EXPECT_THROW((void)Json::parse("[1,]"), Error);
+  EXPECT_THROW((void)Json::parse("{} trailing"), Error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), Error);
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  Registry reg;
+  Counter c = reg.counter("c");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(reg.counter("c").value(), 42u);  // same cell by name
+
+  Gauge g = reg.gauge("g");
+  g.set(2.0);
+  g.update_max(1.0);
+  EXPECT_EQ(g.value(), 2.0);
+  g.update_max(5.0);
+  EXPECT_EQ(g.value(), 5.0);
+
+  // Bucket i counts bounds[i-1] < x <= bounds[i]; last bucket overflows.
+  Histogram h = reg.histogram("h", {1.0, 2.0});
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // bucket 0 (inclusive upper bound)
+  h.observe(1.5);  // bucket 1
+  h.observe(9.0);  // overflow
+  const Snapshot s = reg.snapshot();
+  const auto& hist = s.histograms.at("h");
+  ASSERT_EQ(hist.counts.size(), 3u);
+  EXPECT_EQ(hist.counts[0], 2u);
+  EXPECT_EQ(hist.counts[1], 1u);
+  EXPECT_EQ(hist.counts[2], 1u);
+  EXPECT_EQ(hist.total, 4u);
+  EXPECT_DOUBLE_EQ(hist.sum, 12.0);
+}
+
+TEST(Metrics, HistogramReregistrationWithNewBoundsThrows) {
+  Registry reg;
+  (void)reg.histogram("h", {1.0, 2.0});
+  EXPECT_NO_THROW((void)reg.histogram("h", {1.0, 2.0}));
+  EXPECT_THROW((void)reg.histogram("h", {3.0}), Error);
+}
+
+TEST(Metrics, ConcurrentIncrementsDontLoseCounts) {
+  Registry reg;
+  Counter c = reg.counter("hits");
+  Histogram h = reg.histogram("obs", {0.5});
+  const int n = 64, per_task = 250;
+  parallel_for(8, n, [&](int) {
+    for (int k = 0; k < per_task; ++k) {
+      c.inc();
+      h.observe(0.25);
+    }
+  });
+  EXPECT_EQ(c.value(), std::uint64_t(n) * per_task);
+  EXPECT_EQ(h.total(), std::uint64_t(n) * per_task);
+}
+
+TEST(Metrics, SnapshotMergeAddsCountersAndMaxesGauges) {
+  Registry a, b;
+  a.counter("c").inc(10);
+  b.counter("c").inc(5);
+  b.counter("only_b").inc(1);
+  a.gauge("g").set(3.0);
+  b.gauge("g").set(7.0);
+  a.histogram("h", {1.0}).observe(0.5);
+  b.histogram("h", {1.0}).observe(2.0);
+
+  Snapshot s = a.snapshot();
+  s.merge(b.snapshot());
+  EXPECT_EQ(s.counters.at("c"), 15u);
+  EXPECT_EQ(s.counters.at("only_b"), 1u);
+  EXPECT_EQ(s.gauges.at("g"), 7.0);
+  EXPECT_EQ(s.histograms.at("h").counts[0], 1u);
+  EXPECT_EQ(s.histograms.at("h").counts[1], 1u);
+
+  Registry c;
+  c.histogram("h", {9.0}).observe(1.0);
+  Snapshot other = c.snapshot();
+  EXPECT_THROW(s.merge(other), Error);  // bounds mismatch
+}
+
+TEST(Metrics, SnapshotJsonParsesBack) {
+  Registry reg;
+  reg.counter("runs").inc(3);
+  reg.gauge("depth").set(1.5);
+  reg.histogram("err", {0.1, 0.2}).observe(0.15);
+  const Json j = Json::parse(reg.snapshot().to_json().dump(2));
+  EXPECT_EQ(j.at("counters").at("runs").as_int(), 3);
+  EXPECT_EQ(j.at("gauges").at("depth").as_double(), 1.5);
+  EXPECT_EQ(j.at("histograms").at("err").at("total").as_int(), 1);
+}
+
+// ------------------------------------------------------------ trace sink ----
+
+TEST(Trace, SinkSerializesWellFormedObjectForm) {
+  TraceSink sink;
+  sink.set_process_name(kHostPid, "host \"quoted\"");
+  sink.set_thread_name(kHostPid, 7, "worker\n7");
+  Json args = Json::object();
+  args["note"] = "payload with \\ and \"";
+  sink.complete("phase \"a\"", "test", kHostPid, 7, 1.0, 2.5,
+                std::move(args));
+  const Json doc = Json::parse(sink.json());
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_EQ(events.size(), 3u);  // 2 metadata + 1 complete
+  EXPECT_EQ(events[0].at("ph").as_string(), "M");
+  EXPECT_EQ(events[2].at("name").as_string(), "phase \"a\"");
+  EXPECT_EQ(events[2].at("dur").as_double(), 2.5);
+  EXPECT_EQ(events[2].at("args").at("note").as_string(),
+            "payload with \\ and \"");
+}
+
+TEST(Trace, SpanRecordsCompleteEventOnSink) {
+  TraceSink sink;
+  { const Span sp(&sink, "work", "phase"); }
+  ASSERT_EQ(sink.size(), 1u);
+  const Json doc = Json::parse(sink.json());
+  bool found = false;
+  for (const Json& e : doc.at("traceEvents").items())
+    if (e.at("ph").as_string() == "X") {
+      EXPECT_EQ(e.at("name").as_string(), "work");
+      EXPECT_GE(e.at("dur").as_double(), 0.0);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, GlobalSinkDisabledByDefault) {
+  EXPECT_FALSE(global_trace_enabled());
+  EXPECT_EQ(global_sink(), nullptr);
+  { const Span sp = span("noop"); }  // must be a no-op, not a crash
+}
+
+}  // namespace
+}  // namespace lmo::obs

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "coll/collectives.hpp"
+#include "obs/json.hpp"
 #include "simnet/cluster.hpp"
 #include "vmpi/trace_json.hpp"
 #include "vmpi/world.hpp"
@@ -25,31 +26,57 @@ std::vector<MessageTrace> sample_trace() {
   return w.trace();
 }
 
-TEST(TraceJson, StructurallyValidJsonArray) {
-  const auto trace = sample_trace();
-  const std::string json = chrome_trace_json(trace);
-  // Crude but effective structural checks: balanced brackets/braces,
-  // one transfer and one recv event per message.
-  EXPECT_EQ(json.front(), '[');
-  EXPECT_EQ(json[json.size() - 2], ']');
-  std::size_t events = 0, braces = 0;
-  for (const char ch : json) {
-    if (ch == '{') ++braces;
-    if (ch == '}') --braces;  // net zero at the end
-    events += (ch == 'X');
-  }
-  EXPECT_EQ(braces, 0u);
-  EXPECT_EQ(events, 2 * trace.size());
-  EXPECT_NE(json.find("\"transfer 0->1\""), std::string::npos);
-  EXPECT_NE(json.find("\"recv 0->15\""), std::string::npos);
-  EXPECT_NE(json.find("\"bytes\": 2048"), std::string::npos);
-  EXPECT_NE(json.find("\"rendezvous\": false"), std::string::npos);
+/// Events of one phase ("X", "M", ...) from a parsed trace document.
+std::vector<const obs::Json*> events_of(const obs::Json& doc,
+                                        const std::string& ph) {
+  std::vector<const obs::Json*> out;
+  for (const obs::Json& e : doc.at("traceEvents").items())
+    if (e.at("ph").as_string() == ph) out.push_back(&e);
+  return out;
 }
 
-TEST(TraceJson, EmptyTraceIsEmptyArray) {
-  const std::string json = chrome_trace_json({});
-  EXPECT_NE(json.find('['), std::string::npos);
-  EXPECT_EQ(json.find('{'), std::string::npos);
+TEST(TraceJson, ObjectFormParsesBack) {
+  const auto trace = sample_trace();
+  const std::string json = chrome_trace_json(trace);
+  const obs::Json doc = obs::Json::parse(json);
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+
+  const auto complete = events_of(doc, "X");
+  EXPECT_EQ(complete.size(), 2 * trace.size());
+  bool saw_transfer = false, saw_recv = false;
+  for (const obs::Json* e : complete) {
+    const std::string& name = e->at("name").as_string();
+    saw_transfer |= name.rfind("transfer ", 0) == 0;
+    saw_recv |= name.rfind("recv ", 0) == 0;
+    EXPECT_EQ(e->at("pid").as_int(), obs::kSimPid);
+    EXPECT_GE(e->at("dur").as_double(), 0.0);
+    EXPECT_EQ(e->at("args").at("bytes").as_int(), 2048);
+    EXPECT_FALSE(e->at("args").at("rendezvous").as_bool());
+  }
+  EXPECT_TRUE(saw_transfer);
+  EXPECT_TRUE(saw_recv);
+}
+
+TEST(TraceJson, MetadataLabelsRankTracks) {
+  const auto trace = sample_trace();
+  const obs::Json doc = obs::Json::parse(chrome_trace_json(trace));
+  bool process_named = false, rank0_named = false;
+  for (const obs::Json* e : events_of(doc, "M")) {
+    const std::string& kind = e->at("name").as_string();
+    const std::string& label = e->at("args").at("name").as_string();
+    if (kind == "process_name" && e->at("pid").as_int() == obs::kSimPid)
+      process_named = true;
+    if (kind == "thread_name" && e->at("tid").as_int() == 0)
+      rank0_named = label == "rank 0";
+  }
+  EXPECT_TRUE(process_named);
+  EXPECT_TRUE(rank0_named);
+}
+
+TEST(TraceJson, EmptyTraceIsValidEmptyDocument) {
+  const obs::Json doc = obs::Json::parse(chrome_trace_json({}));
+  EXPECT_EQ(events_of(doc, "X").size(), 0u);
 }
 
 TEST(TraceJson, DurationsNonNegativeAndOrdered) {
@@ -70,6 +97,25 @@ TEST(TraceJson, FileRoundTrip) {
   buffer << is.rdbuf();
   EXPECT_EQ(buffer.str(), chrome_trace_json(trace));
   std::remove(path.c_str());
+}
+
+TEST(TraceJson, SessionSinkStreamsRuns) {
+  auto cfg = sim::make_paper_cluster();
+  cfg.noise_rel = 0.0;
+  cfg.quirks.enabled = false;
+  World w(cfg);
+  obs::TraceSink sink;
+  w.set_trace_sink(&sink);
+  const auto program = coll::spmd(w.size(), [](Comm& c) {
+    return coll::linear_scatter(c, 0, 2048);
+  });
+  w.run(program);
+  const std::size_t after_one = sink.size();
+  EXPECT_EQ(after_one, 2 * w.trace().size());
+  w.run(program);
+  EXPECT_EQ(sink.size(), 2 * after_one);  // sink accumulates across runs
+  const obs::Json doc = obs::Json::parse(sink.json());
+  EXPECT_TRUE(doc.at("traceEvents").is_array());
 }
 
 }  // namespace

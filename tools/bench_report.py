@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Run a bench binary with --report and diff its key metrics against the
+previously saved point.
+
+    tools/bench_report.py bench_table2_predictions
+    tools/bench_report.py bench_sec4_estimation_cost -- --reps 4
+    tools/bench_report.py bench_table2_predictions --threshold 0.25 --update
+
+The report (schema lmo.run_report/1) is flattened to numeric leaves;
+wall-clock and host-dependent values (created_unix, wall_seconds,
+thread_pool, sim.host_ns, estimate.reps_discarded) are excluded because
+they vary run to run. Everything else in the report is a deterministic
+function of the seed, so any drift is a real behavior change.
+
+The previous point lives at <history>/BENCH_<name>.json (default
+bench/reports/). With no previous point the run just saves one. A relative
+change above --threshold on any shared key is a regression: it is printed
+and the script exits 1 without overwriting the baseline (pass --update to
+accept the new values).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Keys whose values depend on the host, wall clock, or jobs count rather
+# than on the simulated behavior under test.
+VOLATILE = {
+    "created_unix",
+    "wall_seconds",
+    "thread_pool",
+    "provenance",
+    "sim.host_ns",
+    "estimate.reps_discarded",
+}
+
+
+def flatten(value, prefix=""):
+    """Numeric leaves of a JSON document as {dotted.path: float}."""
+    out = {}
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            if key in VOLATILE:
+                continue
+            out.update(flatten(sub, f"{prefix}{key}."))
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            out.update(flatten(sub, f"{prefix}{i}."))
+    elif isinstance(value, bool):
+        pass
+    elif isinstance(value, (int, float)):
+        out[prefix[:-1]] = float(value)
+    return out
+
+
+def rel_change(old, new):
+    if old == new:
+        return 0.0
+    denom = max(abs(old), abs(new))
+    return abs(new - old) / denom
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("bench", help="bench binary name, e.g. bench_table2_predictions")
+    parser.add_argument("--build-dir", default="build", help="CMake build directory")
+    parser.add_argument(
+        "--history", default="bench/reports", help="directory holding BENCH_*.json points"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change that counts as a regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="save the new point even on regressions"
+    )
+    parser.add_argument(
+        "extra", nargs="*", help="arguments after -- are passed to the bench binary"
+    )
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "bench", args.bench)
+    if not os.path.exists(binary):
+        sys.exit(f"error: {binary} not found (build the repo first)")
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        report_path = tmp.name
+    try:
+        cmd = [binary, "--report", report_path] + args.extra
+        print(f"running: {' '.join(cmd)}")
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(report_path) as f:
+            report = json.load(f)
+    finally:
+        os.unlink(report_path)
+
+    if report.get("schema") != "lmo.run_report/1":
+        sys.exit(f"error: unexpected report schema {report.get('schema')!r}")
+    new = flatten(report)
+    print(f"{len(new)} numeric metrics in the new report")
+
+    os.makedirs(args.history, exist_ok=True)
+    point_path = os.path.join(args.history, f"BENCH_{args.bench}.json")
+    if not os.path.exists(point_path):
+        with open(point_path, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"no previous point; saved baseline to {point_path}")
+        return
+
+    with open(point_path) as f:
+        old = flatten(json.load(f))
+
+    shared = sorted(set(old) & set(new))
+    regressions = []
+    for key in shared:
+        change = rel_change(old[key], new[key])
+        if change > args.threshold:
+            regressions.append((change, key))
+    for key in sorted(set(new) - set(old)):
+        print(f"  new metric: {key} = {new[key]:g}")
+    for key in sorted(set(old) - set(new)):
+        print(f"  dropped metric: {key} (was {old[key]:g})")
+
+    if regressions:
+        regressions.sort(reverse=True)
+        print(f"\n{len(regressions)} metric(s) moved more than "
+              f"{args.threshold:.0%} vs {point_path}:")
+        for change, key in regressions:
+            print(f"  {key}: {old[key]:g} -> {new[key]:g}  ({change:+.1%})")
+    else:
+        print(f"all {len(shared)} shared metrics within "
+              f"{args.threshold:.0%} of {point_path}")
+
+    if not regressions or args.update:
+        with open(point_path, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"saved new point to {point_path}")
+    if regressions and not args.update:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
