@@ -60,6 +60,64 @@ int main(int argc, char** argv) {
   bench::report_set("estimation_cost", std::move(cost_json));
   bench::emit(t, cli, "Section IV — estimation cost (95% confidence, 2.5% error)");
 
+  // --- All five models: independent campaigns vs one shared store -----
+  // Independent: each estimator measures everything it needs from scratch
+  // (the empirical extraction pays for its own LMO estimate — standalone,
+  // it has no other source of LMO parameters). Shared: one merged plan,
+  // deduplicated across estimators, through one MeasurementStore.
+  Table t5({"campaign", "world runs", "measured", "cached",
+            "simulated cost [s]"});
+  const estimate::SuiteOptions sopts;
+  std::uint64_t indep_runs = 0;
+  double indep_cost = 0;
+  {
+    bench::BenchEnv env(seed);
+    const auto h = estimate::estimate_hockney(env.ex, sopts.hockney);
+    const auto lg = estimate::estimate_loggp(env.ex, sopts.loggp);
+    const auto pl = estimate::estimate_plogp(env.ex, sopts.plogp);
+    const auto lm = estimate::estimate_lmo(env.ex, sopts.lmo);
+    const std::uint64_t runs0 = env.ex.runs();
+    const SimTime cost0 = env.ex.cost();
+    const auto lm_emp = estimate::estimate_lmo(env.ex, sopts.lmo);
+    (void)estimate::estimate_gather_empirical(env.ex, lm_emp.params,
+                                              sopts.empirical);
+    (void)estimate::estimate_scatter_empirical(env.ex, lm_emp.params,
+                                               sopts.empirical);
+    const std::uint64_t emp_runs = env.ex.runs() - runs0;
+    const double emp_cost = (env.ex.cost() - cost0).seconds();
+    indep_runs = h.world_runs + lg.world_runs + pl.world_runs +
+                 lm.world_runs + emp_runs;
+    indep_cost = h.estimation_cost.seconds() + lg.estimation_cost.seconds() +
+                 pl.estimation_cost.seconds() + lm.estimation_cost.seconds() +
+                 emp_cost;
+    t5.add_row({"five independent", std::to_string(indep_runs), "-", "-",
+                format_fixed(indep_cost, 3)});
+  }
+  bench::BenchEnv env(seed);
+  estimate::MeasurementStore store =
+      bench::open_measurements(cli, env.ex.size(), seed);
+  const auto suite = estimate::estimate_model_suite(env.ex, store, sopts);
+  bench::save_measurements(cli, store);
+  t5.add_row({"shared store (suite)", std::to_string(suite.world_runs),
+              std::to_string(suite.measured), std::to_string(suite.cached),
+              format_fixed(suite.estimation_cost.seconds(), 3)});
+  obs::Json reuse = obs::Json::object();
+  reuse["independent_runs"] = indep_runs;
+  reuse["shared_runs"] = suite.world_runs;
+  reuse["requested"] = suite.requested;
+  reuse["deduplicated"] = suite.deduplicated;
+  reuse["measured"] = suite.measured;
+  reuse["cached"] = suite.cached;
+  const double savings =
+      indep_runs > 0
+          ? 1.0 - double(suite.world_runs) / double(indep_runs)
+          : 0.0;
+  reuse["savings"] = savings;
+  bench::report_set("suite_reuse", std::move(reuse));
+  bench::emit(t5, cli, "Section IV — all five models, shared vs independent");
+  std::cout << "\nshared-store campaign saves " << format_percent(savings)
+            << " of the experiment runs\n";
+
   std::cout << "\nparallel vs serial Hockney alpha agreement: mean "
             << format_seconds(alpha_par) << " vs " << format_seconds(alpha_ser)
             << " ("

@@ -115,7 +115,7 @@ void finish_run() {
 Cli parse_bench_cli(int argc, const char* const* argv) {
   Cli cli(argc, argv,
           {"seed", "reps", "csv", "json", "points", "jobs", "report",
-           "trace"});
+           "trace", "measurements-load", "measurements-save"});
   // 0 = auto (hardware concurrency); results are jobs-independent.
   set_default_jobs(int(cli.get_int("jobs", 0)));
   RunState& s = run_state();
@@ -129,6 +129,38 @@ Cli parse_bench_cli(int argc, const char* const* argv) {
     s.report->provenance("jobs", cli.get_int("jobs", 0));
   }
   return cli;
+}
+
+estimate::MeasurementStore open_measurements(const Cli& cli, int cluster_size,
+                                             std::uint64_t seed) {
+  const std::string path = cli.get("measurements-load", "");
+  if (path.empty()) {
+    estimate::MeasurementStore store;
+    store.set_cluster(cluster_size, seed);
+    return store;
+  }
+  estimate::MeasurementStore store = estimate::MeasurementStore::load(path);
+  LMO_CHECK_MSG(
+      store.cluster_size() == 0 || store.cluster_size() == cluster_size,
+      "--measurements-load: store was measured on a " +
+          std::to_string(store.cluster_size()) + "-node cluster, not " +
+          std::to_string(cluster_size));
+  LMO_CHECK_MSG(store.cluster_seed() == 0 || store.cluster_seed() == seed,
+                "--measurements-load: store was measured with cluster seed " +
+                    std::to_string(store.cluster_seed()) + ", not " +
+                    std::to_string(seed));
+  std::cout << "measurements: loaded " << store.size() << " entries from "
+            << path << "\n";
+  return store;
+}
+
+void save_measurements(const Cli& cli,
+                       const estimate::MeasurementStore& store) {
+  const std::string path = cli.get("measurements-save", "");
+  if (path.empty()) return;
+  store.save(path);
+  std::cout << "measurements: saved " << store.size() << " entries to " << path
+            << "\n";
 }
 
 }  // namespace lmo::bench

@@ -10,12 +10,9 @@
 #include <string>
 #include <vector>
 
-#include "estimate/empirical_estimator.hpp"
 #include "estimate/experimenter.hpp"
-#include "estimate/hockney_estimator.hpp"
-#include "estimate/lmo_estimator.hpp"
-#include "estimate/loggp_estimator.hpp"
-#include "estimate/plogp_estimator.hpp"
+#include "estimate/measurement_store.hpp"
+#include "estimate/suite.hpp"
 #include "obs/json.hpp"
 #include "simnet/cluster.hpp"
 #include "util/cli.hpp"
@@ -77,10 +74,23 @@ void report_set(const std::string& key, obs::Json value);
 void finish_run();
 
 /// Standard bench CLI: --seed N --reps N --csv --json --jobs N
-/// --report out.json --trace out.trace.json. Parsing applies --jobs
-/// (default: hardware concurrency) as the process-wide default parallelism
-/// for session fan-out (util::set_default_jobs), enables the global trace
-/// sink when --trace is given, and opens the run report when --report is.
+/// --report out.json --trace out.trace.json
+/// --measurements-load in.json --measurements-save out.json. Parsing
+/// applies --jobs (default: hardware concurrency) as the process-wide
+/// default parallelism for session fan-out (util::set_default_jobs),
+/// enables the global trace sink when --trace is given, and opens the run
+/// report when --report is.
 [[nodiscard]] Cli parse_bench_cli(int argc, const char* const* argv);
+
+/// The measurement store this run estimates through: a fresh store stamped
+/// with the cluster's provenance, or — with --measurements-load — a warm
+/// store reloaded from disk (its recorded cluster size/seed must match;
+/// estimating against a different world would silently mix platforms).
+[[nodiscard]] estimate::MeasurementStore open_measurements(
+    const Cli& cli, int cluster_size, std::uint64_t seed);
+
+/// Honor --measurements-save: persist the store (bit-exact doubles) for
+/// later warm runs or offline refits. No-op without the flag.
+void save_measurements(const Cli& cli, const estimate::MeasurementStore& store);
 
 }  // namespace lmo::bench

@@ -21,8 +21,10 @@
 #include "estimate/empirical_estimator.hpp"
 #include "estimate/experimenter.hpp"
 #include "estimate/lmo_estimator.hpp"
+#include "estimate/measurement_store.hpp"
 #include "simnet/config_io.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/format.hpp"
 #include "util/thread_pool.hpp"
 #include "vmpi/world.hpp"
@@ -62,11 +64,35 @@ int cmd_estimate(const Cli& cli) {
   vmpi::World world(cfg);
   world.set_trace_sink(obs::global_sink());
   estimate::SimExperimenter ex(world);
+
+  // A warm store (--measurements-load) skips every experiment it already
+  // holds; --measurements-save persists the campaign for later refits.
+  const std::string load_path = cli.get("measurements-load", "");
+  estimate::MeasurementStore store;
+  if (!load_path.empty()) {
+    store = estimate::MeasurementStore::load(load_path);
+    LMO_CHECK_MSG(
+        store.cluster_size() == 0 || store.cluster_size() == cfg.size(),
+        "--measurements-load: store was measured on a " +
+            std::to_string(store.cluster_size()) + "-node cluster, not " +
+            std::to_string(cfg.size()));
+    std::cout << "loaded " << store.size() << " measurements from "
+              << load_path << "\n";
+  } else {
+    store.set_cluster(cfg.size(), cfg.seed);
+  }
+
   std::cout << "running estimation experiments on " << cfg.size()
             << " nodes...\n";
-  const auto lmo = estimate::estimate_lmo(ex);
-  const auto emp = estimate::estimate_gather_empirical(ex, lmo.params);
+  const auto lmo = estimate::estimate_lmo(ex, store);
+  const auto emp = estimate::estimate_gather_empirical(ex, store, lmo.params);
   core::save_params(lmo.params, emp.empirical, out);
+  const std::string save_path = cli.get("measurements-save", "");
+  if (!save_path.empty()) {
+    store.save(save_path);
+    std::cout << "saved " << store.size() << " measurements to " << save_path
+              << "\n";
+  }
   vmpi::publish_metrics(world.metrics(), obs::Registry::global());
   const std::string report_path = cli.get("report", "");
   if (!report_path.empty()) {
@@ -83,6 +109,8 @@ int cmd_estimate(const Cli& cli) {
     cost["one_to_two_experiments"] = lmo.one_to_two_experiments;
     cost["world_runs"] = lmo.world_runs;
     cost["cost_seconds"] = lmo.estimation_cost.seconds();
+    cost["store_entries"] = store.size();
+    cost["store_hits"] = store.hits();
     report.set("estimation_cost", std::move(cost));
     report.write(report_path);
     std::cout << "report: " << report_path << "\n";
@@ -150,7 +178,8 @@ int main(int argc, char** argv) {
   try {
     const lmo::Cli cli(argc - 1, argv + 1,
                        {"out", "cluster", "model", "op", "size", "root",
-                        "nodes", "seed", "jobs", "report", "trace"});
+                        "nodes", "seed", "jobs", "report", "trace",
+                        "measurements-load", "measurements-save"});
     // --jobs N: parallel experiment sessions (default: hardware
     // concurrency). Estimates are bit-identical for any value.
     lmo::set_default_jobs(int(cli.get_int("jobs", 0)));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/predictions.hpp"
+#include "estimate/measurement_store.hpp"
 #include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
@@ -37,13 +38,34 @@ std::pair<double, double> gather_branches(const core::LmoParams& p, int root,
       m >= 1 ? core::linear_gather_time(p, force_large, root, m).base : small;
   return {small, large};
 }
+
+void check_sweep_options(const EmpiricalOptions& opts) {
+  LMO_CHECK(opts.observations_per_size >= 3);
+  LMO_CHECK(opts.root >= 0);
+}
 }  // namespace
 
-GatherEmpiricalReport estimate_gather_empirical(Experimenter& ex,
-                                                const core::LmoParams& params,
-                                                const EmpiricalOptions& opts) {
-  const obs::Span sp = obs::span("empirical.gather_sweep");
-  LMO_CHECK(opts.observations_per_size >= 3);
+void plan_gather_sweep(PlanBuilder& plan, const EmpiricalOptions& opts) {
+  check_sweep_options(opts);
+  const auto sizes = opts.sizes.empty() ? default_sizes() : opts.sizes;
+  for (const Bytes m : sizes)
+    for (int rep = 0; rep < opts.observations_per_size; ++rep)
+      plan.require(ExperimentKey::gather_observation(opts.root, m, rep));
+}
+
+void plan_scatter_sweep(PlanBuilder& plan, const EmpiricalOptions& opts) {
+  check_sweep_options(opts);
+  const auto sizes = opts.sizes.empty() ? default_sizes() : opts.sizes;
+  for (const Bytes m : sizes)
+    for (int rep = 0; rep < opts.observations_per_size; ++rep)
+      plan.require(ExperimentKey::scatter_observation(opts.root, m, rep));
+}
+
+GatherEmpiricalReport fit_gather_empirical(const MeasurementStore& store,
+                                           const core::LmoParams& params,
+                                           const EmpiricalOptions& opts) {
+  const obs::Span sp = obs::span("empirical.gather_fit", "fit");
+  check_sweep_options(opts);
   const int root = opts.root;
   const auto sizes = opts.sizes.empty() ? default_sizes() : opts.sizes;
 
@@ -57,7 +79,8 @@ GatherEmpiricalReport estimate_gather_empirical(Experimenter& ex,
     point.predicted_small = small;
     point.predicted_large = large;
     for (int rep = 0; rep < opts.observations_per_size; ++rep)
-      point.samples.push_back(ex.observe_gather(root, m));
+      point.samples.push_back(
+          store.at(ExperimentKey::gather_observation(root, m, rep)));
     report.sweep.push_back(std::move(point));
   }
 
@@ -139,9 +162,29 @@ GatherEmpiricalReport estimate_gather_empirical(Experimenter& ex,
   return report;
 }
 
-ScatterEmpiricalReport estimate_scatter_empirical(
-    Experimenter& ex, const core::LmoParams& params,
-    const EmpiricalOptions& opts) {
+GatherEmpiricalReport estimate_gather_empirical(Experimenter& ex,
+                                                MeasurementStore& store,
+                                                const core::LmoParams& params,
+                                                const EmpiricalOptions& opts) {
+  const obs::Span sp = obs::span("empirical.gather_sweep");
+  PlanBuilder plan;
+  plan_gather_sweep(plan, opts);
+  (void)execute_plan(plan.build(true), ex, store);
+  return fit_gather_empirical(store, params, opts);
+}
+
+GatherEmpiricalReport estimate_gather_empirical(Experimenter& ex,
+                                                const core::LmoParams& params,
+                                                const EmpiricalOptions& opts) {
+  MeasurementStore local;
+  return estimate_gather_empirical(ex, local, params, opts);
+}
+
+ScatterEmpiricalReport fit_scatter_empirical(const MeasurementStore& store,
+                                             const core::LmoParams& params,
+                                             const EmpiricalOptions& opts) {
+  const obs::Span sp = obs::span("empirical.scatter_fit", "fit");
+  check_sweep_options(opts);
   const int root = opts.root;
   const auto sizes = opts.sizes.empty() ? default_sizes() : opts.sizes;
 
@@ -149,7 +192,8 @@ ScatterEmpiricalReport estimate_scatter_empirical(
   for (const Bytes m : sizes) {
     std::vector<double> samples;
     for (int rep = 0; rep < opts.observations_per_size; ++rep)
-      samples.push_back(ex.observe_scatter(root, m));
+      samples.push_back(
+          store.at(ExperimentKey::scatter_observation(root, m, rep)));
     report.sizes.push_back(m);
     report.observed.push_back(stats::median_of(samples));
     report.predicted.push_back(core::linear_scatter_time(params, root, m));
@@ -168,6 +212,23 @@ ScatterEmpiricalReport estimate_scatter_empirical(
     }
   }
   return report;
+}
+
+ScatterEmpiricalReport estimate_scatter_empirical(
+    Experimenter& ex, MeasurementStore& store, const core::LmoParams& params,
+    const EmpiricalOptions& opts) {
+  const obs::Span sp = obs::span("empirical.scatter_sweep");
+  PlanBuilder plan;
+  plan_scatter_sweep(plan, opts);
+  (void)execute_plan(plan.build(true), ex, store);
+  return fit_scatter_empirical(store, params, opts);
+}
+
+ScatterEmpiricalReport estimate_scatter_empirical(
+    Experimenter& ex, const core::LmoParams& params,
+    const EmpiricalOptions& opts) {
+  MeasurementStore local;
+  return estimate_scatter_empirical(ex, local, params, opts);
 }
 
 }  // namespace lmo::estimate

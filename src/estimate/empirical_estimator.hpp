@@ -18,8 +18,11 @@
 #include "core/empirical.hpp"
 #include "core/lmo_model.hpp"
 #include "estimate/experimenter.hpp"
+#include "estimate/plan.hpp"
 
 namespace lmo::estimate {
+
+class MeasurementStore;
 
 struct EmpiricalOptions {
   int root = 0;
@@ -48,6 +51,23 @@ struct GatherEmpiricalReport {
   std::vector<GatherSweepPoint> sweep;
 };
 
+/// Declare the gather sweep: `observations_per_size` keyed raw samples per
+/// size (rep index in the key keeps every repetition distinct).
+void plan_gather_sweep(PlanBuilder& plan, const EmpiricalOptions& opts = {});
+
+/// Classify the stored sweep samples against the analytical branches of
+/// eq. (5) and extract M1/M2, escalation modes and linear-fit
+/// probabilities. Reads only the store — offline refits are bit-identical.
+[[nodiscard]] GatherEmpiricalReport fit_gather_empirical(
+    const MeasurementStore& store, const core::LmoParams& params,
+    const EmpiricalOptions& opts = {});
+
+/// Plan → execute (skipping samples the store already holds) → fit.
+[[nodiscard]] GatherEmpiricalReport estimate_gather_empirical(
+    Experimenter& ex, MeasurementStore& store, const core::LmoParams& params,
+    const EmpiricalOptions& opts = {});
+
+/// Same, against a throwaway store.
 [[nodiscard]] GatherEmpiricalReport estimate_gather_empirical(
     Experimenter& ex, const core::LmoParams& params,
     const EmpiricalOptions& opts = {});
@@ -59,6 +79,20 @@ struct ScatterEmpiricalReport {
   std::vector<double> predicted;  ///< eq. (4) per size
 };
 
+/// Declare the scatter sweep (keyed raw samples, as for the gather).
+void plan_scatter_sweep(PlanBuilder& plan, const EmpiricalOptions& opts = {});
+
+/// Detect the scatter leap against eq. (4) from the stored sweep.
+[[nodiscard]] ScatterEmpiricalReport fit_scatter_empirical(
+    const MeasurementStore& store, const core::LmoParams& params,
+    const EmpiricalOptions& opts = {});
+
+/// Plan → execute → fit.
+[[nodiscard]] ScatterEmpiricalReport estimate_scatter_empirical(
+    Experimenter& ex, MeasurementStore& store, const core::LmoParams& params,
+    const EmpiricalOptions& opts = {});
+
+/// Same, against a throwaway store.
 [[nodiscard]] ScatterEmpiricalReport estimate_scatter_empirical(
     Experimenter& ex, const core::LmoParams& params,
     const EmpiricalOptions& opts = {});

@@ -27,9 +27,32 @@ struct RepSample {
 };
 }  // namespace
 
+std::vector<double> Experimenter::send_overhead_round(
+    const std::vector<Pair>& pairs, Bytes m) {
+  std::vector<double> out;
+  for (const auto& [i, j] : pairs) out.push_back(send_overhead(i, j, m));
+  return out;
+}
+
+std::vector<double> Experimenter::recv_overhead_round(
+    const std::vector<Pair>& pairs, Bytes m) {
+  std::vector<double> out;
+  for (const auto& [i, j] : pairs) out.push_back(recv_overhead(i, j, m));
+  return out;
+}
+
+std::vector<double> Experimenter::saturation_gap_round(
+    const std::vector<Pair>& pairs, Bytes m, int count) {
+  std::vector<double> out;
+  for (const auto& [i, j] : pairs)
+    out.push_back(saturation_gap(i, j, m, count));
+  return out;
+}
+
 SimExperimenter::SimExperimenter(vmpi::SimSession& session,
                                  mpib::MeasureOptions measure)
     : session_(&session), measure_(measure) {
+  measure_.validate();
   obs::Registry& reg = obs::Registry::global();
   rounds_ = reg.counter("estimate.rounds");
   reps_committed_ = reg.counter("estimate.reps_committed");
@@ -158,65 +181,93 @@ std::vector<double> SimExperimenter::one_to_two_round(
 }
 
 double SimExperimenter::send_overhead(int i, int j, Bytes m) {
-  auto build = [this, i, j, m](std::vector<double>& slots) {
-    auto programs = vmpi::idle_programs(size());
-    double* slot = &slots[0];
-    programs[std::size_t(i)] = [j, m, slot](Comm& c) -> Task {
-      const SimTime t0 = c.now();
-      co_await c.send(j, m);
-      *slot = (c.now() - t0).seconds();
-      co_await c.recv(j);
-    };
-    programs[std::size_t(j)] = [i](Comm& c) -> Task {
-      co_await c.recv(i);
-      co_await c.send(i, 0);
-    };
-    return programs;
-  };
-  return measure_round(build, 1)[0];
+  return send_overhead_round({{i, j}}, m)[0];
 }
 
 double SimExperimenter::recv_overhead(int i, int j, Bytes m) {
+  return recv_overhead_round({{i, j}}, m)[0];
+}
+
+double SimExperimenter::saturation_gap(int i, int j, Bytes m, int count) {
+  return saturation_gap_round({{i, j}}, m, count)[0];
+}
+
+std::vector<double> SimExperimenter::send_overhead_round(
+    const std::vector<Pair>& pairs, Bytes m) {
+  LMO_CHECK(!pairs.empty());
+  auto build = [this, &pairs, m](std::vector<double>& slots) {
+    auto programs = vmpi::idle_programs(size());
+    for (std::size_t e = 0; e < pairs.size(); ++e) {
+      const auto [i, j] = pairs[e];
+      double* slot = &slots[e];
+      programs[std::size_t(i)] = [j, m, slot](Comm& c) -> Task {
+        const SimTime t0 = c.now();
+        co_await c.send(j, m);
+        *slot = (c.now() - t0).seconds();
+        co_await c.recv(j);
+      };
+      programs[std::size_t(j)] = [i](Comm& c) -> Task {
+        co_await c.recv(i);
+        co_await c.send(i, 0);
+      };
+    }
+    return programs;
+  };
+  return measure_round(build, pairs.size());
+}
+
+std::vector<double> SimExperimenter::recv_overhead_round(
+    const std::vector<Pair>& pairs, Bytes m) {
+  LMO_CHECK(!pairs.empty());
   // Wait long enough that the m-byte reply has certainly arrived before the
   // receive is posted; the receive's duration then approximates o_r(m).
   const SimTime wait =
       SimTime::from_seconds(0.1 + double(m) * 1e-6);  // >= 1 us/B cushion
-  auto build = [this, i, j, m, wait](std::vector<double>& slots) {
+  auto build = [this, &pairs, m, wait](std::vector<double>& slots) {
     auto programs = vmpi::idle_programs(size());
-    double* slot = &slots[0];
-    programs[std::size_t(i)] = [j, m, wait, slot](Comm& c) -> Task {
-      co_await c.send(j, 0);
-      co_await c.sleep(wait);
-      const SimTime t0 = c.now();
-      co_await c.recv(j);
-      *slot = (c.now() - t0).seconds();
-      (void)m;
-    };
-    programs[std::size_t(j)] = [i, m](Comm& c) -> Task {
-      co_await c.recv(i);
-      co_await c.send(i, m);
-    };
+    for (std::size_t e = 0; e < pairs.size(); ++e) {
+      const auto [i, j] = pairs[e];
+      double* slot = &slots[e];
+      programs[std::size_t(i)] = [j, wait, slot](Comm& c) -> Task {
+        co_await c.send(j, 0);
+        co_await c.sleep(wait);
+        const SimTime t0 = c.now();
+        co_await c.recv(j);
+        *slot = (c.now() - t0).seconds();
+      };
+      programs[std::size_t(j)] = [i, m](Comm& c) -> Task {
+        co_await c.recv(i);
+        co_await c.send(i, m);
+      };
+    }
     return programs;
   };
-  return measure_round(build, 1)[0];
+  return measure_round(build, pairs.size());
 }
 
-double SimExperimenter::saturation_gap(int i, int j, Bytes m, int count) {
+std::vector<double> SimExperimenter::saturation_gap_round(
+    const std::vector<Pair>& pairs, Bytes m, int count) {
+  LMO_CHECK(!pairs.empty());
   LMO_CHECK(count >= 1);
-  auto build = [this, i, j, m, count](std::vector<double>& slots) {
+  auto build = [this, &pairs, m, count](std::vector<double>& slots) {
     auto programs = vmpi::idle_programs(size());
-    double* slot = &slots[0];
-    programs[std::size_t(i)] = [j, m, count, slot](Comm& c) -> Task {
-      const SimTime t0 = c.now();
-      for (int s = 0; s < count; ++s) co_await c.send(j, m);
-      *slot = (c.now() - t0).seconds();
-    };
-    programs[std::size_t(j)] = [i, count](Comm& c) -> Task {
-      for (int s = 0; s < count; ++s) co_await c.recv(i);
-    };
+    for (std::size_t e = 0; e < pairs.size(); ++e) {
+      const auto [i, j] = pairs[e];
+      double* slot = &slots[e];
+      programs[std::size_t(i)] = [j, m, count, slot](Comm& c) -> Task {
+        const SimTime t0 = c.now();
+        for (int s = 0; s < count; ++s) co_await c.send(j, m);
+        *slot = (c.now() - t0).seconds();
+      };
+      programs[std::size_t(j)] = [i, count](Comm& c) -> Task {
+        for (int s = 0; s < count; ++s) co_await c.recv(i);
+      };
+    }
     return programs;
   };
-  return measure_round(build, 1)[0] / double(count);
+  auto means = measure_round(build, pairs.size());
+  for (double& g : means) g /= double(count);
+  return means;
 }
 
 double SimExperimenter::observe_scatter(int root, Bytes m) {

@@ -64,6 +64,17 @@ class Experimenter {
   [[nodiscard]] virtual double saturation_gap(int i, int j, Bytes m,
                                               int count = 48) = 0;
 
+  /// Batched variants of the overhead/gap primitives over disjoint sender
+  /// -> receiver pairs (single-switch property), means in input order. The
+  /// defaults fall back to one scalar measurement per pair, so platform
+  /// implementations only need the scalar primitives.
+  [[nodiscard]] virtual std::vector<double> send_overhead_round(
+      const std::vector<Pair>& pairs, Bytes m);
+  [[nodiscard]] virtual std::vector<double> recv_overhead_round(
+      const std::vector<Pair>& pairs, Bytes m);
+  [[nodiscard]] virtual std::vector<double> saturation_gap_round(
+      const std::vector<Pair>& pairs, Bytes m, int count = 48);
+
   /// One observation (no repetition) of the native linear scatter/gather
   /// — the preliminary irregularity sweeps of Section IV need raw
   /// samples, not means.
@@ -109,6 +120,13 @@ class SimExperimenter final : public Experimenter {
   [[nodiscard]] double recv_overhead(int i, int j, Bytes m) override;
   [[nodiscard]] double saturation_gap(int i, int j, Bytes m,
                                       int count = 48) override;
+
+  [[nodiscard]] std::vector<double> send_overhead_round(
+      const std::vector<Pair>& pairs, Bytes m) override;
+  [[nodiscard]] std::vector<double> recv_overhead_round(
+      const std::vector<Pair>& pairs, Bytes m) override;
+  [[nodiscard]] std::vector<double> saturation_gap_round(
+      const std::vector<Pair>& pairs, Bytes m, int count = 48) override;
 
   [[nodiscard]] double observe_scatter(int root, Bytes m) override;
   [[nodiscard]] double observe_gather(int root, Bytes m) override;

@@ -1,5 +1,6 @@
 #include "estimate/hockney_estimator.hpp"
 
+#include "estimate/measurement_store.hpp"
 #include "obs/trace.hpp"
 #include "stats/regression.hpp"
 #include "util/error.hpp"
@@ -7,76 +8,81 @@
 namespace lmo::estimate {
 
 namespace {
-std::vector<Bytes> regression_sizes(const HockneyOptions& opts) {
+std::vector<Bytes> series_sizes(const HockneyOptions& opts) {
+  if (opts.method == HockneyMethod::kTwoPoint) return {0, opts.probe_size};
   if (!opts.regression_sizes.empty()) return opts.regression_sizes;
   return {0, opts.probe_size / 4, opts.probe_size / 2, opts.probe_size};
 }
 }  // namespace
 
-HockneyReport estimate_hockney(Experimenter& ex,
-                               const HockneyOptions& opts) {
-  const obs::Span sp = obs::span("hockney.estimate");
-  const int n = ex.size();
+void plan_hockney(PlanBuilder& plan, int n, const HockneyOptions& opts) {
   LMO_CHECK(opts.probe_size > 0);
-  const std::uint64_t runs0 = ex.runs();
-  const SimTime cost0 = ex.cost();
+  const auto sizes = series_sizes(opts);
+  LMO_CHECK_MSG(sizes.size() >= 2, "regression needs >= 2 sizes");
+  for (const auto& [i, j] : all_pairs(n))
+    for (const Bytes m : sizes)
+      plan.require(ExperimentKey::roundtrip(i, j, m, m));
+}
 
+HockneyReport fit_hockney(const MeasurementStore& store, int n,
+                          const HockneyOptions& opts) {
+  const obs::Span sp = obs::span("hockney.fit", "fit");
+  LMO_CHECK(opts.probe_size > 0);
   HockneyReport report;
   report.hetero.alpha = models::PairTable(n);
   report.hetero.beta = models::PairTable(n);
 
-  // Round batches: parallel mode measures each disjoint round at once.
-  const std::vector<std::vector<Pair>> batches =
-      opts.parallel ? pair_rounds(n) : [&] {
-        std::vector<std::vector<Pair>> singles;
-        for (const auto& pair : all_pairs(n)) singles.push_back({pair});
-        return singles;
-      }();
-
   if (opts.method == HockneyMethod::kTwoPoint) {
     // Two round-trip series: empty messages give the latency, the probe
     // size gives the bandwidth.
-    for (const auto& round : batches) {
-      const auto t0 = ex.roundtrip_round(round, 0, 0);
-      const auto tm =
-          ex.roundtrip_round(round, opts.probe_size, opts.probe_size);
-      for (std::size_t e = 0; e < round.size(); ++e) {
-        const auto [i, j] = round[e];
-        const double alpha = t0[e] / 2.0;
-        const double beta =
-            (tm[e] / 2.0 - alpha) / double(opts.probe_size);
-        report.hetero.alpha(i, j) = report.hetero.alpha(j, i) = alpha;
-        report.hetero.beta(i, j) = report.hetero.beta(j, i) = beta;
-      }
+    for (const auto& [i, j] : all_pairs(n)) {
+      const double t0 = store.at(ExperimentKey::roundtrip(i, j, 0, 0));
+      const double tm = store.at(
+          ExperimentKey::roundtrip(i, j, opts.probe_size, opts.probe_size));
+      const double alpha = t0 / 2.0;
+      const double beta = (tm / 2.0 - alpha) / double(opts.probe_size);
+      report.hetero.alpha(i, j) = report.hetero.alpha(j, i) = alpha;
+      report.hetero.beta(i, j) = report.hetero.beta(j, i) = beta;
     }
   } else {
     // Regression over a series of sizes {i -M_k-> j}: ordinary least
     // squares on the one-way times.
-    const auto sizes = regression_sizes(opts);
+    const auto sizes = series_sizes(opts);
     LMO_CHECK_MSG(sizes.size() >= 2, "regression needs >= 2 sizes");
-    for (const auto& round : batches) {
-      std::vector<std::vector<double>> times;  // per size, per pair
-      for (const Bytes m : sizes)
-        times.push_back(ex.roundtrip_round(round, m, m));
-      for (std::size_t e = 0; e < round.size(); ++e) {
-        const auto [i, j] = round[e];
-        std::vector<double> xs, ys;
-        for (std::size_t s = 0; s < sizes.size(); ++s) {
-          xs.push_back(double(sizes[s]));
-          ys.push_back(times[s][e] / 2.0);  // one way
-        }
-        const auto fit = stats::fit_linear(xs, ys);
-        report.hetero.alpha(i, j) = report.hetero.alpha(j, i) =
-            fit.intercept;
-        report.hetero.beta(i, j) = report.hetero.beta(j, i) = fit.slope;
+    for (const auto& [i, j] : all_pairs(n)) {
+      std::vector<double> xs, ys;
+      for (const Bytes m : sizes) {
+        xs.push_back(double(m));
+        ys.push_back(store.at(ExperimentKey::roundtrip(i, j, m, m)) / 2.0);
       }
+      const auto fit = stats::fit_linear(xs, ys);
+      report.hetero.alpha(i, j) = report.hetero.alpha(j, i) = fit.intercept;
+      report.hetero.beta(i, j) = report.hetero.beta(j, i) = fit.slope;
     }
   }
 
   report.homogeneous = report.hetero.averaged();
+  return report;
+}
+
+HockneyReport estimate_hockney(Experimenter& ex, MeasurementStore& store,
+                               const HockneyOptions& opts) {
+  const obs::Span sp = obs::span("hockney.estimate");
+  const std::uint64_t runs0 = ex.runs();
+  const SimTime cost0 = ex.cost();
+
+  PlanBuilder plan;
+  plan_hockney(plan, ex.size(), opts);
+  (void)execute_plan(plan.build(opts.parallel), ex, store);
+  HockneyReport report = fit_hockney(store, ex.size(), opts);
   report.world_runs = ex.runs() - runs0;
   report.estimation_cost = ex.cost() - cost0;
   return report;
+}
+
+HockneyReport estimate_hockney(Experimenter& ex, const HockneyOptions& opts) {
+  MeasurementStore local;
+  return estimate_hockney(ex, local, opts);
 }
 
 }  // namespace lmo::estimate

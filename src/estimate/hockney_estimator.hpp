@@ -8,9 +8,12 @@
 #pragma once
 
 #include "estimate/experimenter.hpp"
+#include "estimate/plan.hpp"
 #include "models/hockney.hpp"
 
 namespace lmo::estimate {
+
+class MeasurementStore;
 
 /// The paper lists two point-to-point estimation methods for Hockney:
 /// two round-trip series (empty + one probe size), or a regression over a
@@ -32,6 +35,23 @@ struct HockneyReport {
   SimTime estimation_cost;  ///< simulated wall time spent estimating
 };
 
+/// Declare the experiments Hockney estimation needs on an n-node cluster.
+void plan_hockney(PlanBuilder& plan, int n, const HockneyOptions& opts = {});
+
+/// Fit Hockney parameters from a store holding every planned experiment
+/// (throws lmo::Error naming any missing one). Pure: reads only the store,
+/// so refitting — offline, reordered, or from a reloaded file — is
+/// bit-identical.
+[[nodiscard]] HockneyReport fit_hockney(const MeasurementStore& store, int n,
+                                        const HockneyOptions& opts = {});
+
+/// Plan → execute (measuring only what `store` lacks) → fit. world_runs /
+/// estimation_cost report what this call actually spent on the platform.
+[[nodiscard]] HockneyReport estimate_hockney(Experimenter& ex,
+                                             MeasurementStore& store,
+                                             const HockneyOptions& opts = {});
+
+/// Same, against a throwaway store (the classic imperative entry point).
 [[nodiscard]] HockneyReport estimate_hockney(Experimenter& ex,
                                              const HockneyOptions& opts = {});
 

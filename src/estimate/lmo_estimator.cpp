@@ -1,8 +1,9 @@
 #include "estimate/lmo_estimator.hpp"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
+#include "estimate/measurement_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "stats/summary.hpp"
@@ -26,97 +27,95 @@ class Averager {
   bool average_;
   stats::RunningStats s_;
 };
-}  // namespace
 
-LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
-  const int n = ex.size();
+void check_options(int n, const LmoOptions& opts) {
   LMO_CHECK_MSG(n >= 3, "LMO estimation needs at least three processors");
   LMO_CHECK(opts.probe_size > 0);
-  const Bytes m = opts.probe_size;
-  const std::uint64_t runs0 = ex.runs();
-  const SimTime cost0 = ex.cost();
+}
 
-  LmoReport report;
+/// The measured round-trip tables T_ij(0), T_ij(M), read back by key.
+struct PairTables {
+  models::PairTable t0, tm;
+};
 
-  // ---- Phase 1: round-trips T_ij(0), T_ij(M) for all pairs. ----
-  models::PairTable t_pair_0(n), t_pair_m(n);
-  auto record_pairs = [&](const std::vector<Pair>& pairs,
-                          const std::vector<double>& v0,
-                          const std::vector<double>& vm) {
-    for (std::size_t e = 0; e < pairs.size(); ++e) {
-      const auto [i, j] = pairs[e];
-      t_pair_0(i, j) = t_pair_0(j, i) = v0[e];
-      t_pair_m(i, j) = t_pair_m(j, i) = vm[e];
-      ++report.roundtrip_experiments;
-    }
-  };
-  {
-    const obs::Span sp = obs::span("lmo.roundtrips");
-    if (opts.parallel) {
-      for (const auto& round : pair_rounds(n))
-        record_pairs(round, ex.roundtrip_round(round, 0, 0),
-                     ex.roundtrip_round(round, m, m));
-    } else {
-      for (const auto& pair : all_pairs(n))
-        record_pairs({pair}, ex.roundtrip_round({pair}, 0, 0),
-                     ex.roundtrip_round({pair}, m, m));
-    }
+PairTables read_pair_tables(const MeasurementStore& store, int n, Bytes m) {
+  PairTables t{models::PairTable(n), models::PairTable(n)};
+  for (const auto& [i, j] : all_pairs(n)) {
+    t.t0(i, j) = t.t0(j, i) = store.at(ExperimentKey::roundtrip(i, j, 0, 0));
+    t.tm(i, j) = t.tm(j, i) = store.at(ExperimentKey::roundtrip(i, j, m, m));
   }
-  const SimTime cost_roundtrips = ex.cost() - cost0;
+  return t;
+}
 
-  // ---- Phase 2: one-to-two T_i(jk)(0), T_i(jk)(M), empty replies. ----
-  // Orientation: the "far" child is sent last and received first, which
-  // puts the root's serialized processing on the critical path exactly as
-  // eqs. (8)/(11) assume. "Far" must agree with the max in the equation
-  // being solved: argmax T_ix(0) for the empty experiment (eq. 8) and
-  // argmax (T_ix(0) + T_ix(M)) for the probe experiment (eq. 11) — the two
-  // can disagree when a processor pairs a slow CPU with a fast link.
-  auto orient_0 = [&](int root, int x, int y) -> Triplet {
-    if (x > y) std::swap(x, y);  // canonical: ties resolve identically
-    return t_pair_0(root, x) >= t_pair_0(root, y) ? Triplet{root, y, x}
-                                                  : Triplet{root, x, y};
-  };
-  auto orient_m = [&](int root, int x, int y) -> Triplet {
-    if (x > y) std::swap(x, y);
-    const double sx = t_pair_0(root, x) + t_pair_m(root, x);
-    const double sy = t_pair_0(root, y) + t_pair_m(root, y);
-    return sx >= sy ? Triplet{root, y, x} : Triplet{root, x, y};
-  };
-  std::map<Triplet, double> t_o2_0, t_o2_m;
-  std::vector<Triplet> oriented_0, oriented_m;
+// Orientation: the "far" child is sent last and received first, which
+// puts the root's serialized processing on the critical path exactly as
+// eqs. (8)/(11) assume. "Far" must agree with the max in the equation
+// being solved: argmax T_ix(0) for the empty experiment (eq. 8) and
+// argmax (T_ix(0) + T_ix(M)) for the probe experiment (eq. 11) — the two
+// can disagree when a processor pairs a slow CPU with a fast link.
+// Derived from *stored* round-trips, the orientation is a pure function of
+// the store — refits orient identically.
+Triplet orient_0(const PairTables& t, int root, int x, int y) {
+  if (x > y) std::swap(x, y);  // canonical: ties resolve identically
+  return t.t0(root, x) >= t.t0(root, y) ? Triplet{root, y, x}
+                                        : Triplet{root, x, y};
+}
+
+Triplet orient_m(const PairTables& t, int root, int x, int y) {
+  if (x > y) std::swap(x, y);
+  const double sx = t.t0(root, x) + t.tm(root, x);
+  const double sy = t.t0(root, y) + t.tm(root, y);
+  return sx >= sy ? Triplet{root, y, x} : Triplet{root, x, y};
+}
+}  // namespace
+
+void plan_lmo_roundtrips(PlanBuilder& plan, int n, const LmoOptions& opts) {
+  check_options(n, opts);
+  for (const auto& [i, j] : all_pairs(n)) {
+    plan.require(ExperimentKey::roundtrip(i, j, 0, 0));
+    plan.require(
+        ExperimentKey::roundtrip(i, j, opts.probe_size, opts.probe_size));
+  }
+}
+
+void plan_lmo_one_to_two(PlanBuilder& plan, const MeasurementStore& store,
+                         int n, const LmoOptions& opts) {
+  check_options(n, opts);
+  const PairTables t = read_pair_tables(store, n, opts.probe_size);
   for (int i = 0; i < n; ++i)
     for (int j = i + 1; j < n; ++j)
-      for (int k = j + 1; k < n; ++k) {
-        oriented_0.push_back(orient_0(i, j, k));
-        oriented_0.push_back(orient_0(j, i, k));
-        oriented_0.push_back(orient_0(k, i, j));
-        oriented_m.push_back(orient_m(i, j, k));
-        oriented_m.push_back(orient_m(j, i, k));
-        oriented_m.push_back(orient_m(k, i, j));
-      }
-  auto run_batch = [&](const std::vector<Triplet>& trs, Bytes size,
-                       std::map<Triplet, double>& out) {
-    if (opts.parallel) {
-      for (const auto& round : triplet_rounds(trs)) {
-        const auto v = ex.one_to_two_round(round, size, 0);
-        for (std::size_t e = 0; e < round.size(); ++e) out[round[e]] = v[e];
-      }
-    } else {
-      for (const auto& tr : trs)
-        out[tr] = ex.one_to_two_round({tr}, size, 0)[0];
-    }
+      for (int k = j + 1; k < n; ++k)
+        for (const int root : {i, j, k}) {
+          const int x = root == i ? j : i;
+          const int y = root == k ? j : k;
+          plan.require(
+              ExperimentKey::one_to_two(orient_0(t, root, x, y), 0, 0));
+          plan.require(ExperimentKey::one_to_two(orient_m(t, root, x, y),
+                                                 opts.probe_size, 0));
+        }
+}
+
+LmoReport fit_lmo(const MeasurementStore& store, int n,
+                  const LmoOptions& opts) {
+  const obs::Span solve_sp = obs::span("lmo.solve", "fit");
+  check_options(n, opts);
+  const Bytes m = opts.probe_size;
+
+  LmoReport report;
+  report.roundtrip_experiments = n * (n - 1) / 2;
+  report.one_to_two_experiments = 3 * (n * (n - 1) * (n - 2) / 6);
+
+  const PairTables t = read_pair_tables(store, n, m);
+  const models::PairTable& t_pair_0 = t.t0;
+  const models::PairTable& t_pair_m = t.tm;
+  auto o2_0 = [&](int root, int x, int y) {
+    return store.at(ExperimentKey::one_to_two(orient_0(t, root, x, y), 0, 0));
   };
-  {
-    const obs::Span sp = obs::span("lmo.one_to_two");
-    run_batch(oriented_0, 0, t_o2_0);
-    run_batch(oriented_m, m, t_o2_m);
-  }
-  const SimTime cost_one_to_two = ex.cost() - cost0 - cost_roundtrips;
-  report.one_to_two_experiments = int(oriented_0.size());  // 3 C(n,3)
+  auto o2_m = [&](int root, int x, int y) {
+    return store.at(ExperimentKey::one_to_two(orient_m(t, root, x, y), m, 0));
+  };
 
-  const obs::Span solve_sp = obs::span("lmo.solve");
-
-  // ---- Phase 3: per-triplet systems (8) and (11), averaged per (12). ----
+  // ---- Per-triplet systems (8) and (11), averaged per (12). ----
   std::vector<Averager> c_acc(std::size_t(n),
                               Averager(opts.redundancy_averaging));
   std::vector<Averager> t_acc(std::size_t(n),
@@ -136,7 +135,7 @@ LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
           const int root = nodes[std::size_t(a)];
           const int x1 = nodes[std::size_t((a + 1) % 3)];
           const int x2 = nodes[std::size_t((a + 2) % 3)];
-          const double o2 = t_o2_0.at(orient_0(root, x1, x2));
+          const double o2 = o2_0(root, x1, x2);
           const double mx = std::max(t_pair_0(root, x1), t_pair_0(root, x2));
           c_of[a] = (o2 - mx) / 2.0;
           c_acc[std::size_t(root)].add(c_of[a]);
@@ -164,7 +163,7 @@ LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
           const int root = nodes[std::size_t(a)];
           const int x1 = nodes[std::size_t((a + 1) % 3)];
           const int x2 = nodes[std::size_t((a + 2) % 3)];
-          const double o2m = t_o2_m.at(orient_m(root, x1, x2));
+          const double o2m = o2_m(root, x1, x2);
           const double mx =
               std::max(t_pair_0(root, x1) + t_pair_m(root, x1),
                        t_pair_0(root, x2) + t_pair_m(root, x2)) /
@@ -202,7 +201,33 @@ LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
       p.inv_beta(i, j) =
           std::max(0.0, ib_acc[std::size_t(i)][std::size_t(j)].value());
     }
+  return report;
+}
 
+LmoReport estimate_lmo(Experimenter& ex, MeasurementStore& store,
+                       const LmoOptions& opts) {
+  const int n = ex.size();
+  check_options(n, opts);
+  const std::uint64_t runs0 = ex.runs();
+  const SimTime cost0 = ex.cost();
+
+  {
+    const obs::Span sp = obs::span("lmo.roundtrips");
+    PlanBuilder stage1;
+    plan_lmo_roundtrips(stage1, n, opts);
+    (void)execute_plan(stage1.build(opts.parallel), ex, store);
+  }
+  const SimTime cost_roundtrips = ex.cost() - cost0;
+
+  {
+    const obs::Span sp = obs::span("lmo.one_to_two");
+    PlanBuilder stage2;
+    plan_lmo_one_to_two(stage2, store, n, opts);
+    (void)execute_plan(stage2.build(opts.parallel), ex, store);
+  }
+  const SimTime cost_one_to_two = ex.cost() - cost0 - cost_roundtrips;
+
+  LmoReport report = fit_lmo(store, n, opts);
   report.world_runs = ex.runs() - runs0;
   report.estimation_cost = ex.cost() - cost0;
 
@@ -211,6 +236,11 @@ LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
   reg.gauge("lmo.cost_one_to_two_s").set(cost_one_to_two.seconds());
   reg.gauge("lmo.cost_total_s").set(report.estimation_cost.seconds());
   return report;
+}
+
+LmoReport estimate_lmo(Experimenter& ex, const LmoOptions& opts) {
+  MeasurementStore local;
+  return estimate_lmo(ex, local, opts);
 }
 
 }  // namespace lmo::estimate

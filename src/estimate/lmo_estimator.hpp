@@ -19,9 +19,12 @@
 
 #include "core/lmo_model.hpp"
 #include "estimate/experimenter.hpp"
+#include "estimate/plan.hpp"
 #include "models/pair_table.hpp"
 
 namespace lmo::estimate {
+
+class MeasurementStore;
 
 struct LmoOptions {
   Bytes probe_size = 32 * 1024;  ///< medium: below leap/rendezvous regions
@@ -37,6 +40,27 @@ struct LmoReport {
   SimTime estimation_cost;
 };
 
+/// Stage 1 requirements: all round-trips T_ij(0), T_ij(M).
+void plan_lmo_roundtrips(PlanBuilder& plan, int n, const LmoOptions& opts = {});
+
+/// Stage 2 requirements: the oriented one-to-two experiments. Orientation
+/// (which child is "far") is data-dependent — it derives from the measured
+/// round-trips — so the store must already hold every stage-1 experiment.
+void plan_lmo_one_to_two(PlanBuilder& plan, const MeasurementStore& store,
+                         int n, const LmoOptions& opts = {});
+
+/// Solve eqs. (8)/(11) per triplet and average per (12), reading both
+/// experiment stages from the store. Pure and bit-stable: orientations are
+/// recomputed from the stored round-trips, so the same store always yields
+/// the same parameters.
+[[nodiscard]] LmoReport fit_lmo(const MeasurementStore& store, int n,
+                                const LmoOptions& opts = {});
+
+/// Plan stage 1 → execute → plan stage 2 → execute → fit.
+[[nodiscard]] LmoReport estimate_lmo(Experimenter& ex, MeasurementStore& store,
+                                     const LmoOptions& opts = {});
+
+/// Same, against a throwaway store.
 [[nodiscard]] LmoReport estimate_lmo(Experimenter& ex,
                                      const LmoOptions& opts = {});
 

@@ -2,19 +2,38 @@
 
 #include <algorithm>
 
+#include "estimate/measurement_store.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace lmo::estimate {
 
-LogGPReport estimate_loggp(Experimenter& ex, const LogGPOptions& opts) {
-  const obs::Span sp = obs::span("loggp.estimate");
-  const int n = ex.size();
+namespace {
+void check_options(const LogGPOptions& opts) {
   LMO_CHECK(opts.small_size >= 0);
   LMO_CHECK(opts.large_size > opts.small_size);
-  const std::uint64_t runs0 = ex.runs();
-  const SimTime cost0 = ex.cost();
+  LMO_CHECK(opts.saturation_count >= 1);
+}
+}  // namespace
 
+void plan_loggp(PlanBuilder& plan, int n, const LogGPOptions& opts) {
+  check_options(opts);
+  for (const auto& [i, j] : all_pairs(n)) {
+    plan.require(ExperimentKey::send_overhead(i, j, opts.small_size));
+    plan.require(ExperimentKey::recv_overhead(i, j, opts.small_size));
+    plan.require(
+        ExperimentKey::roundtrip(i, j, opts.small_size, opts.small_size));
+    plan.require(ExperimentKey::saturation_gap(i, j, opts.small_size,
+                                               opts.saturation_count));
+    plan.require(ExperimentKey::saturation_gap(i, j, opts.large_size,
+                                               opts.saturation_count));
+  }
+}
+
+LogGPReport fit_loggp(const MeasurementStore& store, int n,
+                      const LogGPOptions& opts) {
+  const obs::Span sp = obs::span("loggp.fit", "fit");
+  check_options(opts);
   LogGPReport report;
   report.hetero.L = models::PairTable(n);
   report.hetero.o = models::PairTable(n);
@@ -22,15 +41,17 @@ LogGPReport estimate_loggp(Experimenter& ex, const LogGPOptions& opts) {
   report.hetero.G = models::PairTable(n);
 
   for (const auto& [i, j] : all_pairs(n)) {
-    const double os = ex.send_overhead(i, j, opts.small_size);
-    const double orr = ex.recv_overhead(i, j, opts.small_size);
-    const double rtt =
-        ex.roundtrip(i, j, opts.small_size, opts.small_size);
+    const double os =
+        store.at(ExperimentKey::send_overhead(i, j, opts.small_size));
+    const double orr =
+        store.at(ExperimentKey::recv_overhead(i, j, opts.small_size));
+    const double rtt = store.at(
+        ExperimentKey::roundtrip(i, j, opts.small_size, opts.small_size));
     const double latency = std::max(0.0, rtt / 2.0 - os - orr);
-    const double g = ex.saturation_gap(i, j, opts.small_size,
-                                       opts.saturation_count);
-    const double g_large = ex.saturation_gap(i, j, opts.large_size,
-                                             opts.saturation_count);
+    const double g = store.at(ExperimentKey::saturation_gap(
+        i, j, opts.small_size, opts.saturation_count));
+    const double g_large = store.at(ExperimentKey::saturation_gap(
+        i, j, opts.large_size, opts.saturation_count));
     const double big_g = g_large / double(opts.large_size);
 
     const double o = 0.5 * (os + orr);
@@ -43,9 +64,27 @@ LogGPReport estimate_loggp(Experimenter& ex, const LogGPOptions& opts) {
   report.averaged = report.hetero.averaged();
   report.logp = models::LogP{report.averaged.L, report.averaged.o,
                              report.averaged.g};
+  return report;
+}
+
+LogGPReport estimate_loggp(Experimenter& ex, MeasurementStore& store,
+                           const LogGPOptions& opts) {
+  const obs::Span sp = obs::span("loggp.estimate");
+  const std::uint64_t runs0 = ex.runs();
+  const SimTime cost0 = ex.cost();
+
+  PlanBuilder plan;
+  plan_loggp(plan, ex.size(), opts);
+  (void)execute_plan(plan.build(opts.parallel), ex, store);
+  LogGPReport report = fit_loggp(store, ex.size(), opts);
   report.world_runs = ex.runs() - runs0;
   report.estimation_cost = ex.cost() - cost0;
   return report;
+}
+
+LogGPReport estimate_loggp(Experimenter& ex, const LogGPOptions& opts) {
+  MeasurementStore local;
+  return estimate_loggp(ex, local, opts);
 }
 
 }  // namespace lmo::estimate

@@ -9,14 +9,18 @@
 #pragma once
 
 #include "estimate/experimenter.hpp"
+#include "estimate/plan.hpp"
 #include "models/logp.hpp"
 
 namespace lmo::estimate {
+
+class MeasurementStore;
 
 struct LogGPOptions {
   Bytes small_size = 256;         ///< "short message" for o/L/g
   Bytes large_size = 128 * 1024;  ///< saturation size for G
   int saturation_count = 48;
+  bool parallel = true;  ///< batch disjoint pairs per round
 };
 
 struct LogGPReport {
@@ -27,6 +31,19 @@ struct LogGPReport {
   SimTime estimation_cost;
 };
 
+/// Declare the experiments LogP/LogGP estimation needs.
+void plan_loggp(PlanBuilder& plan, int n, const LogGPOptions& opts = {});
+
+/// Fit from a store holding every planned experiment (pure, bit-stable).
+[[nodiscard]] LogGPReport fit_loggp(const MeasurementStore& store, int n,
+                                    const LogGPOptions& opts = {});
+
+/// Plan → execute (measuring only what `store` lacks) → fit.
+[[nodiscard]] LogGPReport estimate_loggp(Experimenter& ex,
+                                         MeasurementStore& store,
+                                         const LogGPOptions& opts = {});
+
+/// Same, against a throwaway store.
 [[nodiscard]] LogGPReport estimate_loggp(Experimenter& ex,
                                          const LogGPOptions& opts = {});
 

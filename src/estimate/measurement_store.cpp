@@ -1,0 +1,233 @@
+#include "estimate/measurement_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace lmo::estimate {
+
+MeasurementStore::MeasurementStore(MeasurementStore&& other) noexcept {
+  std::lock_guard<std::mutex> lk(other.mu_);
+  values_ = std::move(other.values_);
+  hits_.store(other.hits_.load());
+  misses_.store(other.misses_.load());
+  cluster_size_ = other.cluster_size_;
+  cluster_seed_ = other.cluster_seed_;
+}
+
+MeasurementStore& MeasurementStore::operator=(
+    MeasurementStore&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lk(mu_, other.mu_);
+  values_ = std::move(other.values_);
+  hits_.store(other.hits_.load());
+  misses_.store(other.misses_.load());
+  cluster_size_ = other.cluster_size_;
+  cluster_seed_ = other.cluster_seed_;
+  return *this;
+}
+
+void MeasurementStore::insert(const ExperimentKey& key, double seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  values_.emplace(key, seconds);  // first write wins
+}
+
+std::optional<double> MeasurementStore::lookup(
+    const ExperimentKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+bool MeasurementStore::contains(const ExperimentKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return values_.count(key) != 0;
+}
+
+double MeasurementStore::at(const ExperimentKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = values_.find(key);
+  LMO_CHECK_MSG(it != values_.end(),
+                "measurement store is missing: " + key.describe());
+  return it->second;
+}
+
+std::size_t MeasurementStore::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return values_.size();
+}
+
+void MeasurementStore::set_cluster(int size, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cluster_size_ = size;
+  cluster_seed_ = seed;
+}
+
+obs::Json MeasurementStore::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  obs::Json j = obs::Json::object();
+  j["schema"] = kMeasurementsSchema;
+  if (cluster_size_ > 0) {
+    obs::Json cluster = obs::Json::object();
+    cluster["size"] = cluster_size_;
+    cluster["seed"] = cluster_seed_;
+    j["cluster"] = std::move(cluster);
+  }
+  obs::Json entries = obs::Json::array();
+  for (const auto& [key, value] : values_) {  // map order: deterministic
+    obs::Json e = key.to_json();
+    e["value"] = value;
+    entries.push_back(std::move(e));
+  }
+  j["entries"] = std::move(entries);
+  return j;
+}
+
+MeasurementStore MeasurementStore::from_json(const obs::Json& j) {
+  LMO_CHECK_MSG(j.at("schema").as_string() == kMeasurementsSchema,
+                "unexpected measurements schema '" +
+                    j.at("schema").as_string() + "'");
+  MeasurementStore store;
+  if (const obs::Json* cluster = j.find("cluster"))
+    store.set_cluster(int(cluster->at("size").as_int()),
+                      std::uint64_t(cluster->at("seed").as_int()));
+  for (const obs::Json& e : j.at("entries").items())
+    store.insert(ExperimentKey::from_json(e), e.at("value").as_double());
+  return store;
+}
+
+void MeasurementStore::save(const std::string& path) const {
+  std::ofstream out(path);
+  LMO_CHECK_MSG(out.good(), "cannot write measurements to " + path);
+  to_json().dump(out, 2);
+  out << "\n";
+  LMO_CHECK_MSG(out.good(), "failed writing measurements to " + path);
+}
+
+MeasurementStore MeasurementStore::load(const std::string& path) {
+  std::ifstream in(path);
+  LMO_CHECK_MSG(in.good(), "cannot read measurements from " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(obs::Json::parse(text.str()));
+}
+
+// ---------------------------------------------------------------------------
+
+CachingExperimenter::CachingExperimenter(Experimenter& inner,
+                                         MeasurementStore& store)
+    : inner_(&inner), read_(&store), write_(&store), size_(inner.size()) {}
+
+CachingExperimenter::CachingExperimenter(const MeasurementStore& store,
+                                         int size)
+    : read_(&store), size_(size > 0 ? size : store.cluster_size()) {
+  LMO_CHECK_MSG(size_ >= 2,
+                "offline CachingExperimenter needs a cluster size (store "
+                "has no provenance)");
+}
+
+double CachingExperimenter::cached_scalar(
+    const ExperimentKey& key, const std::function<double()>& measure) {
+  if (const auto v = read_->lookup(key)) {
+    ++cache_hits_;
+    obs::Registry::global().counter("store.served").inc();
+    return *v;
+  }
+  LMO_CHECK_MSG(inner_ != nullptr,
+                "measurement store is missing (offline): " + key.describe());
+  const double v = measure();
+  if (write_) write_->insert(key, v);
+  return v;
+}
+
+std::vector<double> CachingExperimenter::roundtrip_round(
+    const std::vector<Pair>& pairs, Bytes m_fwd, Bytes m_back) {
+  std::vector<ExperimentKey> keys;
+  for (const auto& [i, j] : pairs)
+    keys.push_back(ExperimentKey::roundtrip(i, j, m_fwd, m_back));
+  // Measure all misses as one concurrent round (subset of a disjoint pair
+  // set stays disjoint), then answer everything from the store.
+  std::vector<Pair> missing;
+  for (const ExperimentKey& k : keys)
+    if (!read_->lookup(k).has_value())
+      missing.emplace_back(k.a, k.b);
+    else
+      ++cache_hits_;
+  if (!missing.empty()) {
+    LMO_CHECK_MSG(inner_ != nullptr, "measurement store is missing "
+                                     "(offline) roundtrip experiments");
+    const auto values = inner_->roundtrip_round(missing, m_fwd, m_back);
+    for (std::size_t e = 0; e < missing.size(); ++e)
+      if (write_)
+        write_->insert(ExperimentKey::roundtrip(missing[e].first,
+                                                missing[e].second, m_fwd,
+                                                m_back),
+                       values[e]);
+  }
+  std::vector<double> out;
+  for (const ExperimentKey& k : keys) out.push_back(read_->at(k));
+  return out;
+}
+
+std::vector<double> CachingExperimenter::one_to_two_round(
+    const std::vector<Triplet>& triplets, Bytes m, Bytes reply) {
+  std::vector<ExperimentKey> keys;
+  for (const Triplet& t : triplets)
+    keys.push_back(ExperimentKey::one_to_two(t, m, reply));
+  std::vector<Triplet> missing;
+  for (const ExperimentKey& k : keys)
+    if (!read_->lookup(k).has_value())
+      missing.push_back({k.a, k.b, k.c});
+    else
+      ++cache_hits_;
+  if (!missing.empty()) {
+    LMO_CHECK_MSG(inner_ != nullptr, "measurement store is missing "
+                                     "(offline) one-to-two experiments");
+    const auto values = inner_->one_to_two_round(missing, m, reply);
+    for (std::size_t e = 0; e < missing.size(); ++e)
+      if (write_)
+        write_->insert(ExperimentKey::one_to_two(missing[e], m, reply),
+                       values[e]);
+  }
+  std::vector<double> out;
+  for (const ExperimentKey& k : keys) out.push_back(read_->at(k));
+  return out;
+}
+
+double CachingExperimenter::send_overhead(int i, int j, Bytes m) {
+  return cached_scalar(ExperimentKey::send_overhead(i, j, m),
+                       [&] { return inner_->send_overhead(i, j, m); });
+}
+
+double CachingExperimenter::recv_overhead(int i, int j, Bytes m) {
+  return cached_scalar(ExperimentKey::recv_overhead(i, j, m),
+                       [&] { return inner_->recv_overhead(i, j, m); });
+}
+
+double CachingExperimenter::saturation_gap(int i, int j, Bytes m, int count) {
+  return cached_scalar(
+      ExperimentKey::saturation_gap(i, j, m, count),
+      [&] { return inner_->saturation_gap(i, j, m, count); });
+}
+
+double CachingExperimenter::observe_scatter(int root, Bytes m) {
+  LMO_CHECK_MSG(inner_ != nullptr,
+                "raw scatter observations need a live experimenter");
+  return inner_->observe_scatter(root, m);
+}
+
+double CachingExperimenter::observe_gather(int root, Bytes m) {
+  LMO_CHECK_MSG(inner_ != nullptr,
+                "raw gather observations need a live experimenter");
+  return inner_->observe_gather(root, m);
+}
+
+}  // namespace lmo::estimate

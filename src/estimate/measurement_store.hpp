@@ -1,0 +1,131 @@
+// Shared measurement cache: ExperimentKey -> measured mean [s].
+//
+// One store backs every estimator in a run: plan execution inserts the
+// measured summaries, fits read them back by key, and an imperative
+// estimator wrapped in a CachingExperimenter consults/populates the same
+// cache. Serializes through obs::Json (doubles round-trip bit-exactly),
+// so a store saved with --measurements-save can be reloaded later and
+// re-fit offline with bit-identical model parameters.
+//
+// Thread-safe: sessions never touch the store, but plan execution and the
+// caching wrapper may be called from instrumented host threads; a mutex
+// guards the map and the hit/miss tallies are atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "estimate/experimenter.hpp"
+#include "estimate/plan.hpp"
+#include "obs/json.hpp"
+
+namespace lmo::estimate {
+
+inline constexpr const char* kMeasurementsSchema = "lmo.measurements/1";
+
+class MeasurementStore {
+ public:
+  MeasurementStore() = default;
+  MeasurementStore(MeasurementStore&& other) noexcept;
+  MeasurementStore& operator=(MeasurementStore&& other) noexcept;
+  MeasurementStore(const MeasurementStore&) = delete;
+  MeasurementStore& operator=(const MeasurementStore&) = delete;
+
+  /// Insert a measured mean. First write wins: re-measuring a key a store
+  /// already holds must not perturb fits that already consumed it.
+  void insert(const ExperimentKey& key, double seconds);
+
+  /// Counted lookup: tallies a hit or a miss.
+  [[nodiscard]] std::optional<double> lookup(const ExperimentKey& key) const;
+  /// Uncounted containment check.
+  [[nodiscard]] bool contains(const ExperimentKey& key) const;
+  /// Throws lmo::Error naming the missing experiment.
+  [[nodiscard]] double at(const ExperimentKey& key) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.load(); }
+
+  /// Cluster provenance, recorded so a reloaded store can be checked
+  /// against the world it is applied to. 0 = unknown.
+  void set_cluster(int size, std::uint64_t seed);
+  [[nodiscard]] int cluster_size() const { return cluster_size_; }
+  [[nodiscard]] std::uint64_t cluster_seed() const { return cluster_seed_; }
+
+  /// Entries sorted by key (deterministic), values bit-exact.
+  [[nodiscard]] obs::Json to_json() const;
+  [[nodiscard]] static MeasurementStore from_json(const obs::Json& j);
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static MeasurementStore load(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ExperimentKey, double> values_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  int cluster_size_ = 0;
+  std::uint64_t cluster_seed_ = 0;
+};
+
+/// Experimenter adapter over a MeasurementStore: measured primitives are
+/// served from the cache when present and measured through the inner
+/// experimenter (then cached) when not. This preserves the imperative
+/// interface for adaptive probes — PLogP's incremental saturation-gap
+/// sweep runs unchanged, hitting the cache for every planned ladder point
+/// and measuring only its data-dependent bisection midpoints.
+///
+/// Without an inner experimenter (offline mode over a loaded store) any
+/// cache miss throws lmo::Error naming the missing experiment; raw
+/// observations (observe_scatter/gather) are unavailable.
+class CachingExperimenter final : public Experimenter {
+ public:
+  CachingExperimenter(Experimenter& inner, MeasurementStore& store);
+  /// Offline: fit from `store` only. `size` is the cluster size the keys
+  /// refer to (defaults to the store's recorded provenance).
+  explicit CachingExperimenter(const MeasurementStore& store, int size = 0);
+
+  [[nodiscard]] int size() const override { return size_; }
+
+  [[nodiscard]] std::vector<double> roundtrip_round(
+      const std::vector<Pair>& pairs, Bytes m_fwd, Bytes m_back) override;
+  [[nodiscard]] std::vector<double> one_to_two_round(
+      const std::vector<Triplet>& triplets, Bytes m, Bytes reply) override;
+  [[nodiscard]] double send_overhead(int i, int j, Bytes m) override;
+  [[nodiscard]] double recv_overhead(int i, int j, Bytes m) override;
+  [[nodiscard]] double saturation_gap(int i, int j, Bytes m,
+                                      int count = 48) override;
+
+  /// Raw noise samples are never cached — they go straight to the inner
+  /// experimenter (offline mode throws).
+  [[nodiscard]] double observe_scatter(int root, Bytes m) override;
+  [[nodiscard]] double observe_gather(int root, Bytes m) override;
+
+  [[nodiscard]] std::uint64_t runs() const override {
+    return inner_ ? inner_->runs() : 0;
+  }
+  [[nodiscard]] SimTime cost() const override {
+    return inner_ ? inner_->cost() : SimTime::zero();
+  }
+
+  /// Primitive calls answered entirely from the store.
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  [[nodiscard]] double cached_scalar(const ExperimentKey& key,
+                                     const std::function<double()>& measure);
+
+  Experimenter* inner_ = nullptr;
+  const MeasurementStore* read_ = nullptr;
+  MeasurementStore* write_ = nullptr;
+  int size_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace lmo::estimate

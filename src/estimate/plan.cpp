@@ -1,0 +1,339 @@
+#include "estimate/plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "estimate/experimenter.hpp"
+#include "estimate/measurement_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace lmo::estimate {
+
+const char* kind_name(ExperimentKind k) {
+  switch (k) {
+    case ExperimentKind::kRoundtrip: return "roundtrip";
+    case ExperimentKind::kOneToTwo: return "one_to_two";
+    case ExperimentKind::kSendOverhead: return "send_overhead";
+    case ExperimentKind::kRecvOverhead: return "recv_overhead";
+    case ExperimentKind::kSaturationGap: return "saturation_gap";
+    case ExperimentKind::kScatterObservation: return "scatter_observation";
+    case ExperimentKind::kGatherObservation: return "gather_observation";
+  }
+  LMO_CHECK_MSG(false, "unknown experiment kind");
+  return "?";
+}
+
+namespace {
+ExperimentKind kind_from_name(const std::string& name) {
+  for (const auto k :
+       {ExperimentKind::kRoundtrip, ExperimentKind::kOneToTwo,
+        ExperimentKind::kSendOverhead, ExperimentKind::kRecvOverhead,
+        ExperimentKind::kSaturationGap, ExperimentKind::kScatterObservation,
+        ExperimentKind::kGatherObservation})
+    if (name == kind_name(k)) return k;
+  throw Error("unknown experiment kind '" + name + "'");
+}
+}  // namespace
+
+ExperimentKey ExperimentKey::roundtrip(int i, int j, Bytes fwd, Bytes back) {
+  LMO_CHECK(i != j && i >= 0 && j >= 0);
+  // A symmetric round-trip T_ij(m, m) measures the same quantity from
+  // either end; canonicalize so Hockney's, LMO's, and PLogP's requests for
+  // the same pair collapse onto one experiment.
+  if (fwd == back && i > j) std::swap(i, j);
+  ExperimentKey k;
+  k.kind = ExperimentKind::kRoundtrip;
+  k.a = i;
+  k.b = j;
+  k.m_fwd = fwd;
+  k.m_back = back;
+  return k;
+}
+
+ExperimentKey ExperimentKey::one_to_two(const Triplet& t, Bytes m,
+                                        Bytes reply) {
+  LMO_CHECK(t[0] != t[1] && t[0] != t[2] && t[1] != t[2]);
+  ExperimentKey k;
+  k.kind = ExperimentKind::kOneToTwo;
+  k.a = t[0];
+  k.b = t[1];
+  k.c = t[2];
+  k.m_fwd = m;
+  k.m_back = reply;
+  return k;
+}
+
+ExperimentKey ExperimentKey::send_overhead(int i, int j, Bytes m) {
+  LMO_CHECK(i != j && i >= 0 && j >= 0);
+  ExperimentKey k;
+  k.kind = ExperimentKind::kSendOverhead;
+  k.a = i;
+  k.b = j;
+  k.m_fwd = m;
+  return k;
+}
+
+ExperimentKey ExperimentKey::recv_overhead(int i, int j, Bytes m) {
+  ExperimentKey k = send_overhead(i, j, m);
+  k.kind = ExperimentKind::kRecvOverhead;
+  return k;
+}
+
+ExperimentKey ExperimentKey::saturation_gap(int i, int j, Bytes m,
+                                            int count) {
+  LMO_CHECK(count >= 1);
+  ExperimentKey k = send_overhead(i, j, m);
+  k.kind = ExperimentKind::kSaturationGap;
+  k.count = count;
+  return k;
+}
+
+ExperimentKey ExperimentKey::scatter_observation(int root, Bytes m, int rep) {
+  LMO_CHECK(root >= 0 && rep >= 0);
+  ExperimentKey k;
+  k.kind = ExperimentKind::kScatterObservation;
+  k.a = root;
+  k.b = -1;
+  k.m_fwd = m;
+  k.count = rep;
+  return k;
+}
+
+ExperimentKey ExperimentKey::gather_observation(int root, Bytes m, int rep) {
+  ExperimentKey k = scatter_observation(root, m, rep);
+  k.kind = ExperimentKind::kGatherObservation;
+  return k;
+}
+
+std::string ExperimentKey::describe() const {
+  std::string s = kind_name(kind);
+  switch (kind) {
+    case ExperimentKind::kRoundtrip:
+      s += " " + std::to_string(a) + "<->" + std::to_string(b) + " m=" +
+           std::to_string(m_fwd) + "/" + std::to_string(m_back);
+      break;
+    case ExperimentKind::kOneToTwo:
+      s += " " + std::to_string(a) + "->(" + std::to_string(b) + "," +
+           std::to_string(c) + ") m=" + std::to_string(m_fwd) +
+           " reply=" + std::to_string(m_back);
+      break;
+    case ExperimentKind::kSendOverhead:
+    case ExperimentKind::kRecvOverhead:
+      s += " " + std::to_string(a) + "->" + std::to_string(b) + " m=" +
+           std::to_string(m_fwd);
+      break;
+    case ExperimentKind::kSaturationGap:
+      s += " " + std::to_string(a) + "->" + std::to_string(b) + " m=" +
+           std::to_string(m_fwd) + " x" + std::to_string(count);
+      break;
+    case ExperimentKind::kScatterObservation:
+    case ExperimentKind::kGatherObservation:
+      s += " root=" + std::to_string(a) + " m=" + std::to_string(m_fwd) +
+           " rep=" + std::to_string(count);
+      break;
+  }
+  return s;
+}
+
+obs::Json ExperimentKey::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["kind"] = kind_name(kind);
+  j["a"] = a;
+  if (b >= 0) j["b"] = b;
+  if (c >= 0) j["c"] = c;
+  j["m"] = m_fwd;
+  if (kind == ExperimentKind::kRoundtrip ||
+      kind == ExperimentKind::kOneToTwo)
+    j["reply"] = m_back;
+  if (kind == ExperimentKind::kSaturationGap ||
+      kind == ExperimentKind::kScatterObservation ||
+      kind == ExperimentKind::kGatherObservation)
+    j["count"] = count;
+  return j;
+}
+
+ExperimentKey ExperimentKey::from_json(const obs::Json& j) {
+  ExperimentKey k;
+  k.kind = kind_from_name(j.at("kind").as_string());
+  k.a = int(j.at("a").as_int());
+  if (const obs::Json* b = j.find("b")) k.b = int(b->as_int());
+  else k.b = -1;
+  if (const obs::Json* c = j.find("c")) k.c = int(c->as_int());
+  else k.c = -1;
+  k.m_fwd = j.at("m").as_int();
+  if (const obs::Json* r = j.find("reply")) k.m_back = r->as_int();
+  if (const obs::Json* n = j.find("count")) k.count = int(n->as_int());
+  return k;
+}
+
+std::vector<int> ExperimentKey::participants() const {
+  switch (kind) {
+    case ExperimentKind::kOneToTwo:
+      return {a, b, c};
+    case ExperimentKind::kScatterObservation:
+    case ExperimentKind::kGatherObservation:
+      return {a};  // occupies the whole cluster in truth; packed alone
+    default:
+      return {a, b};
+  }
+}
+
+std::size_t ExperimentPlan::experiments() const {
+  std::size_t n = 0;
+  for (const auto& r : rounds) n += r.keys.size();
+  return n;
+}
+
+PlanBuilder::PlanBuilder() = default;
+
+void PlanBuilder::require(const ExperimentKey& key) {
+  ++requests_;
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it != keys_.end() && *it == key) return;
+  keys_.insert(it, key);
+}
+
+ExperimentPlan PlanBuilder::build(bool parallel) const {
+  // Group by (kind, sizes, count): experiments in one measured round must
+  // be homogeneous because the round's CI stopping rule repeats them
+  // together. Groups come out in deterministic (kind, m, reply, count)
+  // order regardless of request order.
+  using GroupKey = std::tuple<ExperimentKind, Bytes, Bytes, int>;
+  std::map<GroupKey, std::vector<ExperimentKey>> groups;
+  for (const ExperimentKey& k : keys_)
+    groups[{k.kind, k.m_fwd, k.m_back, k.count}].push_back(k);
+
+  ExperimentPlan plan;
+  plan.requested = requests_;
+  plan.deduplicated = requests_ - keys_.size();
+  for (const auto& [gk, keys] : groups) {
+    const auto [kind, m_fwd, m_back, count] = gk;
+    auto add_round = [&](std::vector<ExperimentKey> round_keys) {
+      PlannedRound r;
+      r.kind = kind;
+      r.m_fwd = m_fwd;
+      r.m_back = m_back;
+      r.count = count;
+      r.keys = std::move(round_keys);
+      plan.rounds.push_back(std::move(r));
+    };
+    const bool observation = kind == ExperimentKind::kScatterObservation ||
+                             kind == ExperimentKind::kGatherObservation;
+    if (!parallel || observation) {
+      // Observations sample the anchor session's live noise stream one at
+      // a time; serial mode is the Section-IV baseline.
+      for (const ExperimentKey& k : keys) add_round({k});
+    } else if (kind == ExperimentKind::kOneToTwo) {
+      std::map<Triplet, ExperimentKey> by_triplet;
+      std::vector<Triplet> triplets;
+      for (const ExperimentKey& k : keys) {
+        const Triplet t{k.a, k.b, k.c};
+        triplets.push_back(t);
+        by_triplet.emplace(t, k);
+      }
+      for (const auto& round : triplet_rounds(triplets)) {
+        std::vector<ExperimentKey> round_keys;
+        for (const Triplet& t : round) round_keys.push_back(by_triplet.at(t));
+        add_round(std::move(round_keys));
+      }
+    } else {
+      std::map<Pair, ExperimentKey> by_pair;
+      std::vector<Pair> pairs;
+      for (const ExperimentKey& k : keys) {
+        const Pair p{k.a, k.b};
+        pairs.push_back(p);
+        by_pair.emplace(p, k);
+      }
+      for (const auto& round : pack_pairs(pairs)) {
+        std::vector<ExperimentKey> round_keys;
+        for (const Pair& p : round) round_keys.push_back(by_pair.at(p));
+        add_round(std::move(round_keys));
+      }
+    }
+  }
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("plan.requests").inc(plan.requested);
+  reg.counter("plan.deduplicated").inc(plan.deduplicated);
+  return plan;
+}
+
+ExecuteStats execute_plan(const ExperimentPlan& plan, Experimenter& ex,
+                          MeasurementStore& store) {
+  const obs::Span sp = obs::span("plan.execute");
+  ExecuteStats stats;
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter measured_ctr = reg.counter("plan.experiments_measured");
+  obs::Counter cached_ctr = reg.counter("plan.cache_hits");
+
+  for (const PlannedRound& round : plan.rounds) {
+    // A key the store already holds is authoritative — skip it. The
+    // survivors of a partially cached round are a subset of a
+    // node-disjoint set, hence still node-disjoint.
+    std::vector<ExperimentKey> missing;
+    for (const ExperimentKey& k : round.keys) {
+      if (store.lookup(k).has_value())
+        ++stats.cached;
+      else
+        missing.push_back(k);
+    }
+    if (missing.empty()) continue;
+
+    std::vector<double> values;
+    switch (round.kind) {
+      case ExperimentKind::kRoundtrip: {
+        std::vector<Pair> pairs;
+        for (const ExperimentKey& k : missing) pairs.emplace_back(k.a, k.b);
+        values = ex.roundtrip_round(pairs, round.m_fwd, round.m_back);
+        break;
+      }
+      case ExperimentKind::kOneToTwo: {
+        std::vector<Triplet> triplets;
+        for (const ExperimentKey& k : missing)
+          triplets.push_back({k.a, k.b, k.c});
+        values = ex.one_to_two_round(triplets, round.m_fwd, round.m_back);
+        break;
+      }
+      case ExperimentKind::kSendOverhead: {
+        std::vector<Pair> pairs;
+        for (const ExperimentKey& k : missing) pairs.emplace_back(k.a, k.b);
+        values = ex.send_overhead_round(pairs, round.m_fwd);
+        break;
+      }
+      case ExperimentKind::kRecvOverhead: {
+        std::vector<Pair> pairs;
+        for (const ExperimentKey& k : missing) pairs.emplace_back(k.a, k.b);
+        values = ex.recv_overhead_round(pairs, round.m_fwd);
+        break;
+      }
+      case ExperimentKind::kSaturationGap: {
+        std::vector<Pair> pairs;
+        for (const ExperimentKey& k : missing) pairs.emplace_back(k.a, k.b);
+        values = ex.saturation_gap_round(pairs, round.m_fwd, round.count);
+        break;
+      }
+      case ExperimentKind::kScatterObservation:
+        LMO_CHECK(missing.size() == 1);
+        values = {ex.observe_scatter(missing[0].a, round.m_fwd)};
+        break;
+      case ExperimentKind::kGatherObservation:
+        LMO_CHECK(missing.size() == 1);
+        values = {ex.observe_gather(missing[0].a, round.m_fwd)};
+        break;
+    }
+    LMO_CHECK(values.size() == missing.size());
+    for (std::size_t e = 0; e < missing.size(); ++e)
+      store.insert(missing[e], values[e]);
+    stats.measured += missing.size();
+    ++stats.rounds;
+  }
+
+  measured_ctr.inc(stats.measured);
+  cached_ctr.inc(stats.cached);
+  return stats;
+}
+
+}  // namespace lmo::estimate

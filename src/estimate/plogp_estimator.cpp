@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "estimate/measurement_store.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -62,11 +63,10 @@ models::PLogP estimate_plogp_pair(Experimenter& ex, int i, int j,
   return p;
 }
 
-PLogPReport estimate_plogp(Experimenter& ex, const PLogPOptions& opts) {
-  const obs::Span sp = obs::span("plogp.estimate");
-  const std::uint64_t runs0 = ex.runs();
-  const SimTime cost0 = ex.cost();
-
+namespace {
+/// Per-pair sweep over every directed pair, then the homogeneous average
+/// on the union of all breakpoints.
+PLogPReport fit_all_pairs(Experimenter& ex, const PLogPOptions& opts) {
   PLogPReport report;
   for (int i = 0; i < ex.size(); ++i)
     for (int j = 0; j < ex.size(); ++j)
@@ -95,10 +95,62 @@ PLogPReport estimate_plogp(Experimenter& ex, const PLogPOptions& opts) {
     report.averaged.os.add_point(x, os / k);
     report.averaged.orr.add_point(x, orr / k);
   }
+  return report;
+}
+}  // namespace
 
+void plan_plogp(PlanBuilder& plan, int n, const PLogPOptions& opts) {
+  LMO_CHECK(opts.max_size >= 2048);
+  LMO_CHECK(n >= 2);
+  // Only the ladder prefix the adaptive sweep can actually visit (the
+  // max_points cap applies before any bisection).
+  auto ladder = base_ladder(opts.max_size);
+  if (int(ladder.size()) > opts.max_points)
+    ladder.resize(std::size_t(opts.max_points));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      for (const Bytes m : ladder) {
+        plan.require(
+            ExperimentKey::saturation_gap(i, j, m, opts.saturation_count));
+        plan.require(ExperimentKey::send_overhead(i, j, m));
+        plan.require(ExperimentKey::recv_overhead(i, j, m));
+      }
+      plan.require(ExperimentKey::roundtrip(i, j, 0, 0));
+    }
+}
+
+PLogPReport estimate_plogp(Experimenter& ex, MeasurementStore& store,
+                           const PLogPOptions& opts) {
+  const obs::Span sp = obs::span("plogp.estimate");
+  const std::uint64_t runs0 = ex.runs();
+  const SimTime cost0 = ex.cost();
+
+  {
+    const obs::Span exec_sp = obs::span("plogp.ladder");
+    PlanBuilder plan;
+    plan_plogp(plan, ex.size(), opts);
+    (void)execute_plan(plan.build(true), ex, store);
+  }
+  // The adaptive tail: bisection midpoints are chosen from the measured
+  // ladder, measured through the cache, and recorded in the same store.
+  CachingExperimenter cache(ex, store);
+  PLogPReport report = fit_all_pairs(cache, opts);
   report.world_runs = ex.runs() - runs0;
   report.estimation_cost = ex.cost() - cost0;
   return report;
+}
+
+PLogPReport fit_plogp(const MeasurementStore& store, int n,
+                      const PLogPOptions& opts) {
+  const obs::Span sp = obs::span("plogp.fit", "fit");
+  CachingExperimenter offline(store, n);
+  return fit_all_pairs(offline, opts);
+}
+
+PLogPReport estimate_plogp(Experimenter& ex, const PLogPOptions& opts) {
+  MeasurementStore local;
+  return estimate_plogp(ex, local, opts);
 }
 
 models::HeteroPLogP hetero_plogp(const PLogPReport& report, int n) {

@@ -12,9 +12,12 @@
 #pragma once
 
 #include "estimate/experimenter.hpp"
+#include "estimate/plan.hpp"
 #include "models/plogp.hpp"
 
 namespace lmo::estimate {
+
+class MeasurementStore;
 
 struct PLogPOptions {
   Bytes max_size = 256 * 1024;
@@ -39,7 +42,25 @@ struct PLogPReport {
                                                 int j,
                                                 const PLogPOptions& opts = {});
 
-/// Estimate all pairs and average.
+/// Declare the deterministic part of the PLogP campaign: the doubling
+/// ladder of gap/overhead measurements for every directed pair, plus the
+/// empty round-trips. The data-dependent bisection midpoints cannot be
+/// planned ahead — they are measured through a CachingExperimenter during
+/// the fit (and land in the same store, so a warm refit measures nothing).
+void plan_plogp(PlanBuilder& plan, int n, const PLogPOptions& opts = {});
+
+/// Fit from the store only (offline). Bisection midpoints are read from
+/// the store too; a store produced by estimate_plogp holds them all, so
+/// the refit is bit-identical and measures nothing.
+[[nodiscard]] PLogPReport fit_plogp(const MeasurementStore& store, int n,
+                                    const PLogPOptions& opts = {});
+
+/// Plan → execute (ladder) → adaptive fit through the caching wrapper.
+[[nodiscard]] PLogPReport estimate_plogp(Experimenter& ex,
+                                         MeasurementStore& store,
+                                         const PLogPOptions& opts = {});
+
+/// Same, against a throwaway store.
 [[nodiscard]] PLogPReport estimate_plogp(Experimenter& ex,
                                          const PLogPOptions& opts = {});
 

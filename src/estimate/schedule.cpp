@@ -53,6 +53,33 @@ std::vector<std::vector<Pair>> pair_rounds(int n) {
   return rounds;
 }
 
+std::vector<std::vector<Pair>> pack_pairs(const std::vector<Pair>& pairs) {
+  std::vector<std::vector<Pair>> rounds;
+  std::vector<std::vector<bool>> used;  // per round: node occupancy
+  for (const Pair& p : pairs) {
+    LMO_CHECK(p.first >= 0 && p.second >= 0 && p.first != p.second);
+    const std::size_t need =
+        std::size_t(std::max(p.first, p.second)) + 1;
+    bool placed = false;
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+      auto& occ = used[r];
+      if (occ.size() < need) occ.resize(need, false);
+      if (occ[std::size_t(p.first)] || occ[std::size_t(p.second)]) continue;
+      occ[std::size_t(p.first)] = occ[std::size_t(p.second)] = true;
+      rounds[r].push_back(p);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      rounds.push_back({p});
+      std::vector<bool> occ(need, false);
+      occ[std::size_t(p.first)] = occ[std::size_t(p.second)] = true;
+      used.push_back(std::move(occ));
+    }
+  }
+  return rounds;
+}
+
 std::vector<std::vector<Triplet>> triplet_rounds(
     const std::vector<Triplet>& triplets) {
   std::vector<std::vector<Triplet>> rounds;

@@ -34,4 +34,11 @@ using Triplet = std::array<int, 3>;
 [[nodiscard]] std::vector<std::vector<Triplet>> triplet_rounds(
     const std::vector<Triplet>& triplets);
 
+/// Greedy packing of an arbitrary pair list into rounds of node-disjoint
+/// pairs (first-fit, input order). Unlike pair_rounds this handles any
+/// subset — the experiment planner uses it after cache filtering leaves
+/// holes in the full K_n pair set.
+[[nodiscard]] std::vector<std::vector<Pair>> pack_pairs(
+    const std::vector<Pair>& pairs);
+
 }  // namespace lmo::estimate

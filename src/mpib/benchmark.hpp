@@ -32,6 +32,13 @@ struct MeasureOptions {
   /// default (util::default_jobs(), i.e. --jobs / hardware concurrency).
   /// Results are bit-identical for every value — only wall-clock changes.
   int jobs = 0;
+
+  /// Throws lmo::Error on nonsensical settings: confidence outside (0, 1),
+  /// non-positive rel_err, min_reps < 2 (no CI from one sample),
+  /// max_reps < min_reps, or negative jobs (0 means auto). Called by
+  /// measure() and by SimExperimenter on construction, so bad options fail
+  /// loudly instead of silently misbehaving mid-estimation.
+  void validate() const;
 };
 
 struct Measurement {

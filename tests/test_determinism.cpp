@@ -11,6 +11,8 @@
 #include "estimate/experimenter.hpp"
 #include "estimate/hockney_estimator.hpp"
 #include "estimate/lmo_estimator.hpp"
+#include "estimate/measurement_store.hpp"
+#include "estimate/suite.hpp"
 #include "mpib/benchmark.hpp"
 #include "simnet/cluster.hpp"
 #include "vmpi/session.hpp"
@@ -106,6 +108,105 @@ TEST(DeterminismTest, MeasurementRoundBitIdenticalAcrossJobs) {
   ASSERT_EQ(serial.size(), 3u);
   for (const int jobs : {2, 4, 7})
     expect_bits_eq(round(jobs), serial, "round means");
+}
+
+// --- Store-path determinism: the plan/execute/fit pipeline must keep the
+// --- jobs-independence guarantee, and a warm store must not perturb it.
+
+estimate::SuiteOptions quick_suite_options() {
+  estimate::SuiteOptions opts;
+  opts.plogp.max_size = 2048;
+  opts.plogp.tolerance = 1e9;
+  opts.plogp.saturation_count = 8;
+  opts.loggp.small_size = 1024;
+  opts.loggp.large_size = 2048;
+  opts.loggp.saturation_count = 8;
+  opts.empirical.observations_per_size = 3;
+  opts.empirical.sizes = {16 * 1024};
+  return opts;
+}
+
+struct SuiteRun {
+  estimate::SuiteReport report;
+  estimate::MeasurementStore store;
+};
+
+SuiteRun run_suite(int jobs) {
+  const auto cfg = sim::make_random_cluster(5, /*seed=*/31);
+  vmpi::World world(cfg);
+  mpib::MeasureOptions measure;
+  measure.min_reps = 3;
+  measure.max_reps = 8;
+  measure.jobs = jobs;
+  estimate::SimExperimenter ex(world, measure);
+  SuiteRun r;
+  r.report = estimate::estimate_model_suite(ex, r.store, quick_suite_options());
+  return r;
+}
+
+void expect_bits_eq_suite(const estimate::SuiteReport& a,
+                          const estimate::SuiteReport& b) {
+  expect_bits_eq(a.lmo.params.C, b.lmo.params.C, "lmo.C");
+  expect_bits_eq(a.lmo.params.t, b.lmo.params.t, "lmo.t");
+  expect_bits_eq(a.lmo.params.L, b.lmo.params.L, "lmo.L");
+  expect_bits_eq(a.lmo.params.inv_beta, b.lmo.params.inv_beta,
+                 "lmo.inv_beta");
+  expect_bits_eq(a.hockney.hetero.alpha, b.hockney.hetero.alpha,
+                 "hockney.alpha");
+  expect_bits_eq(a.hockney.hetero.beta, b.hockney.hetero.beta,
+                 "hockney.beta");
+  expect_bits_eq(a.loggp.hetero.L, b.loggp.hetero.L, "loggp.L");
+  expect_bits_eq(a.loggp.hetero.G, b.loggp.hetero.G, "loggp.G");
+  EXPECT_EQ(a.plogp.averaged.L, b.plogp.averaged.L);
+  expect_bits_eq(a.plogp.averaged.g.ys(), b.plogp.averaged.g.ys(),
+                 "plogp.g.ys");
+  expect_bits_eq(a.plogp.averaged.os.ys(), b.plogp.averaged.os.ys(),
+                 "plogp.os.ys");
+  EXPECT_EQ(a.gather.empirical.m1, b.gather.empirical.m1);
+  EXPECT_EQ(a.gather.empirical.m2, b.gather.empirical.m2);
+  EXPECT_EQ(a.scatter.empirical.leap_s, b.scatter.empirical.leap_s);
+}
+
+TEST(DeterminismTest, SuiteThroughStoreSerialVsJobs4BitIdentical) {
+  const SuiteRun serial = run_suite(1);
+  const SuiteRun parallel = run_suite(4);
+  expect_bits_eq_suite(serial.report, parallel.report);
+  EXPECT_EQ(serial.report.world_runs, parallel.report.world_runs);
+  EXPECT_EQ(serial.report.measured, parallel.report.measured);
+  EXPECT_EQ(serial.report.estimation_cost, parallel.report.estimation_cost);
+  // The stores themselves must match entry for entry.
+  EXPECT_EQ(serial.store.to_json().dump(), parallel.store.to_json().dump());
+}
+
+TEST(DeterminismTest, ColdThenWarmStoreBitIdentical) {
+  const auto cfg = sim::make_random_cluster(5, /*seed=*/31);
+  const auto opts = quick_suite_options();
+  mpib::MeasureOptions measure;
+  measure.min_reps = 3;
+  measure.max_reps = 8;
+
+  estimate::MeasurementStore store;
+  estimate::SuiteReport cold;
+  {
+    vmpi::World world(cfg);
+    estimate::SimExperimenter ex(world, measure);
+    cold = estimate::estimate_model_suite(ex, store, opts);
+    EXPECT_GT(cold.measured, 0u);
+  }
+  // Warm rerun on a fresh world: cache-hit ordering must not perturb the
+  // estimates — nothing is measured, everything re-reads the store.
+  vmpi::World world(cfg);
+  estimate::SimExperimenter ex(world, measure);
+  const estimate::SuiteReport warm =
+      estimate::estimate_model_suite(ex, store, opts);
+  EXPECT_EQ(warm.measured, 0u);
+  EXPECT_EQ(warm.world_runs, 0u);
+  expect_bits_eq_suite(cold, warm);
+
+  // And the offline refit from the same store agrees too.
+  const estimate::SuiteReport offline =
+      estimate::fit_model_suite(store, cfg.size(), opts);
+  expect_bits_eq_suite(cold, offline);
 }
 
 TEST(DeterminismTest, SameSeedSessionsReproduceExactly) {

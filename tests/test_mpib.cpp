@@ -85,6 +85,72 @@ TEST(MeasureCollective, RootVsGlobalTiming) {
   EXPECT_TRUE(global.converged);
 }
 
+// validate() must fail loudly, naming the offending field, before any
+// experiment runs — a typo'd CI target silently loosening every estimate
+// is far worse than an upfront error.
+void expect_rejected(const MeasureOptions& opts, const std::string& field) {
+  try {
+    opts.validate();
+    FAIL() << "expected validate() to reject " << field;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "message should name " << field << ", got: " << e.what();
+  }
+}
+
+TEST(MeasureOptionsValidate, AcceptsDefaultsAndAutoJobs) {
+  MeasureOptions opts;
+  EXPECT_NO_THROW(opts.validate());
+  opts.jobs = 0;  // 0 = auto (process default), explicitly legal
+  EXPECT_NO_THROW(opts.validate());
+  opts.jobs = 7;
+  EXPECT_NO_THROW(opts.validate());
+  opts.min_reps = opts.max_reps = 2;  // degenerate but legal
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(MeasureOptionsValidate, RejectsBadConfidence) {
+  MeasureOptions opts;
+  opts.confidence = 0.0;
+  expect_rejected(opts, "confidence");
+  opts.confidence = 1.0;
+  expect_rejected(opts, "confidence");
+  opts.confidence = -0.95;
+  expect_rejected(opts, "confidence");
+}
+
+TEST(MeasureOptionsValidate, RejectsNonPositiveRelErr) {
+  MeasureOptions opts;
+  opts.rel_err = 0.0;
+  expect_rejected(opts, "rel_err");
+  opts.rel_err = -0.025;
+  expect_rejected(opts, "rel_err");
+}
+
+TEST(MeasureOptionsValidate, RejectsBadRepCounts) {
+  MeasureOptions opts;
+  opts.min_reps = 1;  // one sample has no confidence interval
+  expect_rejected(opts, "min_reps");
+  opts.min_reps = 10;
+  opts.max_reps = 9;
+  expect_rejected(opts, "max_reps");
+}
+
+TEST(MeasureOptionsValidate, RejectsNegativeJobs) {
+  MeasureOptions opts;
+  opts.jobs = -1;
+  expect_rejected(opts, "jobs");
+}
+
+TEST(MeasureOptionsValidate, MeasureRefusesBadOptions) {
+  MeasureOptions opts;
+  opts.min_reps = 0;
+  int calls = 0;
+  EXPECT_THROW((void)measure([&calls] { return double(++calls); }, opts),
+               Error);
+  EXPECT_EQ(calls, 0) << "nothing may run before validation";
+}
+
 TEST(MeasureCollective, PaperAccuracySettings) {
   // The paper's settings: 95% confidence, 2.5% relative error.
   auto cfg = sim::make_paper_cluster();

@@ -1,0 +1,380 @@
+// The declarative plan / shared MeasurementStore layer:
+//  * ExperimentKey canonicalization and JSON round-trips,
+//  * PlanBuilder deduplication, ordering-independence and disjoint rounds,
+//  * MeasurementStore semantics (first-write-wins, hit/miss accounting)
+//    and bit-exact persistence,
+//  * the cross-estimator reuse guarantee: all five models through one
+//    shared store cost >= 30% fewer experiment runs than five independent
+//    estimations on the 16-node Table-I cluster, and a saved store re-fits
+//    offline to bit-identical parameters.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "estimate/suite.hpp"
+#include "simnet/cluster.hpp"
+#include "util/error.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo::estimate {
+namespace {
+
+// ---------------------------------------------------------------- keys --
+
+TEST(ExperimentKeyTest, SymmetricRoundtripCanonicalizes) {
+  // T_ij(m, m) and T_ji(m, m) are the same experiment — Hockney asking for
+  // (3, 1) and LMO for (1, 3) must collapse onto one key.
+  EXPECT_EQ(ExperimentKey::roundtrip(3, 1, 4096, 4096),
+            ExperimentKey::roundtrip(1, 3, 4096, 4096));
+  EXPECT_EQ(ExperimentKey::roundtrip(3, 1, 0, 0).a, 1);
+}
+
+TEST(ExperimentKeyTest, AsymmetricRoundtripKeepsOrientation) {
+  // Different forward/reply sizes make the direction observable.
+  EXPECT_NE(ExperimentKey::roundtrip(3, 1, 4096, 0),
+            ExperimentKey::roundtrip(1, 3, 4096, 0));
+}
+
+TEST(ExperimentKeyTest, DirectionalKindsKeepOrientation) {
+  EXPECT_NE(ExperimentKey::send_overhead(0, 1, 256),
+            ExperimentKey::send_overhead(1, 0, 256));
+  EXPECT_NE(ExperimentKey::saturation_gap(0, 1, 256, 32),
+            ExperimentKey::saturation_gap(0, 1, 256, 48));
+}
+
+TEST(ExperimentKeyTest, DescribeNamesTheExperiment) {
+  const std::string d =
+      ExperimentKey::roundtrip(2, 5, 32768, 32768).describe();
+  EXPECT_NE(d.find("roundtrip"), std::string::npos);
+  EXPECT_NE(d.find("2"), std::string::npos);
+  EXPECT_NE(d.find("5"), std::string::npos);
+}
+
+TEST(ExperimentKeyTest, JsonRoundTripsEveryKind) {
+  const std::vector<ExperimentKey> keys{
+      ExperimentKey::roundtrip(0, 3, 1024, 2048),
+      ExperimentKey::one_to_two({2, 0, 1}, 32768, 0),
+      ExperimentKey::send_overhead(1, 2, 256),
+      ExperimentKey::recv_overhead(2, 1, 256),
+      ExperimentKey::saturation_gap(0, 1, 65536, 48),
+      ExperimentKey::scatter_observation(0, 8192, 7),
+      ExperimentKey::gather_observation(3, 8192, 11),
+  };
+  for (const ExperimentKey& k : keys) {
+    const ExperimentKey back = ExperimentKey::from_json(
+        obs::Json::parse(k.to_json().dump()));
+    EXPECT_EQ(back, k) << k.describe();
+  }
+}
+
+// --------------------------------------------------------------- plans --
+
+TEST(PlanBuilderTest, DeduplicatesAcrossEstimators) {
+  PlanBuilder plan;
+  plan.require(ExperimentKey::roundtrip(0, 1, 0, 0));     // Hockney's
+  plan.require(ExperimentKey::roundtrip(1, 0, 0, 0));     // LMO's — same
+  plan.require(ExperimentKey::roundtrip(0, 1, 1024, 1024));
+  EXPECT_EQ(plan.requests(), 3u);
+  EXPECT_EQ(plan.unique(), 2u);
+  const ExperimentPlan built = plan.build(true);
+  EXPECT_EQ(built.requested, 3u);
+  EXPECT_EQ(built.deduplicated, 1u);
+  EXPECT_EQ(built.experiments(), 2u);
+}
+
+TEST(PlanBuilderTest, PlanIsIndependentOfRequestOrder) {
+  const int n = 6;
+  std::vector<ExperimentKey> keys;
+  HockneyOptions hockney;
+  LmoOptions lmo;
+  PlanBuilder forward, reverse;
+  plan_hockney(forward, n, hockney);
+  plan_lmo_roundtrips(forward, n, lmo);
+  plan_lmo_roundtrips(reverse, n, lmo);
+  plan_hockney(reverse, n, hockney);
+  const ExperimentPlan a = forward.build(true);
+  const ExperimentPlan b = reverse.build(true);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r)
+    EXPECT_EQ(a.rounds[r].keys, b.rounds[r].keys) << "round " << r;
+}
+
+TEST(PlanBuilderTest, RoundsAreNodeDisjointAndHomogeneous) {
+  PlanBuilder plan;
+  plan_hockney(plan, 7, {});
+  plan_loggp(plan, 7, {});
+  const ExperimentPlan built = plan.build(true);
+  std::size_t experiments = 0;
+  for (const PlannedRound& round : built.rounds) {
+    std::set<int> nodes;
+    for (const ExperimentKey& k : round.keys) {
+      EXPECT_EQ(k.kind, round.kind);
+      EXPECT_EQ(k.m_fwd, round.m_fwd);
+      EXPECT_EQ(k.m_back, round.m_back);
+      EXPECT_EQ(k.count, round.count);
+      for (const int p : k.participants())
+        EXPECT_TRUE(nodes.insert(p).second)
+            << "node " << p << " twice in one round: " << k.describe();
+      ++experiments;
+    }
+  }
+  EXPECT_EQ(experiments, plan.unique());
+}
+
+TEST(PlanBuilderTest, SerialBuildYieldsSingletonRounds) {
+  PlanBuilder plan;
+  plan_hockney(plan, 5, {});
+  const ExperimentPlan built = plan.build(false);
+  EXPECT_EQ(built.rounds.size(), plan.unique());
+  for (const PlannedRound& round : built.rounds)
+    EXPECT_EQ(round.keys.size(), 1u);
+}
+
+// --------------------------------------------------------------- store --
+
+TEST(MeasurementStoreTest, FirstWriteWins) {
+  MeasurementStore store;
+  const auto key = ExperimentKey::roundtrip(0, 1, 0, 0);
+  store.insert(key, 1.5);
+  store.insert(key, 9.9);  // a re-measurement must not perturb prior fits
+  EXPECT_EQ(store.at(key), 1.5);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MeasurementStoreTest, CountsHitsAndMisses) {
+  MeasurementStore store;
+  const auto key = ExperimentKey::send_overhead(0, 1, 256);
+  EXPECT_FALSE(store.lookup(key).has_value());
+  store.insert(key, 2.0);
+  EXPECT_TRUE(store.lookup(key).has_value());
+  EXPECT_EQ(store.hits(), 1u);
+  EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(MeasurementStoreTest, AtThrowsNamingTheExperiment) {
+  const MeasurementStore store;
+  try {
+    (void)store.at(ExperimentKey::saturation_gap(2, 3, 1024, 48));
+    FAIL() << "expected lmo::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("gap"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MeasurementStoreTest, JsonRoundTripIsBitExact) {
+  MeasurementStore store;
+  store.set_cluster(16, 42);
+  // Values chosen to break any formatting that rounds: non-representable
+  // decimals, tiny magnitudes, and long mantissas.
+  const std::vector<std::pair<ExperimentKey, double>> entries{
+      {ExperimentKey::roundtrip(0, 1, 0, 0), 0.1 + 0.2},
+      {ExperimentKey::roundtrip(0, 1, 1024, 1024), 1.0 / 3.0},
+      {ExperimentKey::send_overhead(0, 1, 256), 2.5e-17},
+      {ExperimentKey::one_to_two({0, 1, 2}, 4096, 0), 0.00012207031249999998},
+      {ExperimentKey::gather_observation(0, 8192, 3), 3.141592653589793},
+  };
+  for (const auto& [k, v] : entries) store.insert(k, v);
+
+  const MeasurementStore back =
+      MeasurementStore::from_json(obs::Json::parse(store.to_json().dump()));
+  EXPECT_EQ(back.size(), store.size());
+  EXPECT_EQ(back.cluster_size(), 16);
+  EXPECT_EQ(back.cluster_seed(), 42u);
+  for (const auto& [k, v] : entries) {
+    const double r = back.at(k);
+    EXPECT_EQ(std::memcmp(&r, &v, sizeof(double)), 0)
+        << k.describe() << ": " << r << " != " << v;
+  }
+}
+
+// ----------------------------------------------------- caching wrapper --
+
+TEST(CachingExperimenterTest, OfflineMissThrows) {
+  MeasurementStore store;
+  store.insert(ExperimentKey::send_overhead(0, 1, 256), 1e-4);
+  CachingExperimenter offline(store, 4);
+  EXPECT_EQ(offline.send_overhead(0, 1, 256), 1e-4);
+  EXPECT_EQ(offline.cache_hits(), 1u);
+  EXPECT_EQ(offline.runs(), 0u);
+  EXPECT_THROW((void)offline.send_overhead(0, 2, 256), Error);
+  EXPECT_THROW((void)offline.observe_gather(0, 1024), Error);
+}
+
+TEST(CachingExperimenterTest, OfflineNeedsAClusterSize) {
+  const MeasurementStore store;  // no provenance recorded
+  EXPECT_THROW(CachingExperimenter{store}, Error);
+}
+
+// --------------------------------------------------------------- suite --
+
+/// Trimmed-but-complete measurement settings: every experiment converges
+/// in exactly two repetitions, PLogP's ladder stops at 2KB with bisection
+/// disabled, and the empirical sweeps take 3 samples at 2 sizes. Small
+/// enough to run the full five-model campaign on 16 nodes in a test.
+mpib::MeasureOptions quick_measure() {
+  mpib::MeasureOptions m;
+  m.min_reps = 2;
+  m.max_reps = 2;
+  m.rel_err = 10.0;
+  return m;
+}
+
+SuiteOptions quick_suite() {
+  SuiteOptions opts;
+  opts.plogp.max_size = 2048;
+  opts.plogp.tolerance = 1e9;  // no data-dependent bisection
+  opts.plogp.saturation_count = 8;
+  opts.loggp.small_size = 1024;
+  opts.loggp.large_size = 2048;
+  opts.loggp.saturation_count = 8;
+  opts.empirical.observations_per_size = 3;
+  opts.empirical.sizes = {16 * 1024, 64 * 1024};
+  return opts;
+}
+
+void expect_same_doubles(const std::vector<double>& a,
+                         const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << what << "[" << i << "]";
+}
+
+void expect_same_table(const models::PairTable& a, const models::PairTable& b,
+                       const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (int i = 0; i < a.size(); ++i)
+    for (int j = 0; j < a.size(); ++j)
+      EXPECT_EQ(a(i, j), b(i, j)) << what << "(" << i << "," << j << ")";
+}
+
+void expect_same_piecewise(const stats::PiecewiseLinear& a,
+                           const stats::PiecewiseLinear& b, const char* what) {
+  expect_same_doubles(a.xs(), b.xs(), what);
+  expect_same_doubles(a.ys(), b.ys(), what);
+}
+
+void expect_same_suite_fits(const SuiteReport& a, const SuiteReport& b) {
+  // Hockney.
+  expect_same_table(a.hockney.hetero.alpha, b.hockney.hetero.alpha,
+                    "hockney.alpha");
+  expect_same_table(a.hockney.hetero.beta, b.hockney.hetero.beta,
+                    "hockney.beta");
+  EXPECT_EQ(a.hockney.homogeneous.alpha, b.hockney.homogeneous.alpha);
+  EXPECT_EQ(a.hockney.homogeneous.beta, b.hockney.homogeneous.beta);
+  // LogP/LogGP.
+  expect_same_table(a.loggp.hetero.L, b.loggp.hetero.L, "loggp.L");
+  expect_same_table(a.loggp.hetero.o, b.loggp.hetero.o, "loggp.o");
+  expect_same_table(a.loggp.hetero.g, b.loggp.hetero.g, "loggp.g");
+  expect_same_table(a.loggp.hetero.G, b.loggp.hetero.G, "loggp.G");
+  EXPECT_EQ(a.loggp.logp.L, b.loggp.logp.L);
+  // PLogP.
+  EXPECT_EQ(a.plogp.averaged.L, b.plogp.averaged.L);
+  expect_same_piecewise(a.plogp.averaged.g, b.plogp.averaged.g, "plogp.g");
+  expect_same_piecewise(a.plogp.averaged.os, b.plogp.averaged.os, "plogp.os");
+  expect_same_piecewise(a.plogp.averaged.orr, b.plogp.averaged.orr,
+                        "plogp.or");
+  // LMO.
+  expect_same_doubles(a.lmo.params.C, b.lmo.params.C, "lmo.C");
+  expect_same_doubles(a.lmo.params.t, b.lmo.params.t, "lmo.t");
+  expect_same_table(a.lmo.params.L, b.lmo.params.L, "lmo.L");
+  expect_same_table(a.lmo.params.inv_beta, b.lmo.params.inv_beta,
+                    "lmo.inv_beta");
+  // Empirical.
+  EXPECT_EQ(a.gather.empirical.m1, b.gather.empirical.m1);
+  EXPECT_EQ(a.gather.empirical.m2, b.gather.empirical.m2);
+  EXPECT_EQ(a.scatter.empirical.detected, b.scatter.empirical.detected);
+  EXPECT_EQ(a.scatter.empirical.leap_threshold,
+            b.scatter.empirical.leap_threshold);
+  EXPECT_EQ(a.scatter.empirical.leap_s, b.scatter.empirical.leap_s);
+}
+
+TEST(SuiteTest, SharedStoreSavesAtLeastThirtyPercentOfRuns) {
+  const auto cfg = sim::make_paper_cluster(/*seed=*/1);  // 16-node Table I
+  const SuiteOptions opts = quick_suite();
+
+  // Five independent estimations, each from scratch. The empirical
+  // extraction has no LMO parameters of its own, so standalone it must
+  // estimate LMO first — that is precisely the duplication the shared
+  // store exists to remove.
+  std::uint64_t independent_runs = 0;
+  {
+    vmpi::World world(cfg);
+    SimExperimenter ex(world, quick_measure());
+    (void)estimate_hockney(ex, opts.hockney);
+    (void)estimate_loggp(ex, opts.loggp);
+    (void)estimate_plogp(ex, opts.plogp);
+    (void)estimate_lmo(ex, opts.lmo);
+    const auto lmo_for_empirical = estimate_lmo(ex, opts.lmo);
+    (void)estimate_gather_empirical(ex, lmo_for_empirical.params,
+                                    opts.empirical);
+    (void)estimate_scatter_empirical(ex, lmo_for_empirical.params,
+                                     opts.empirical);
+    independent_runs = ex.runs();
+  }
+
+  vmpi::World world(cfg);
+  SimExperimenter ex(world, quick_measure());
+  MeasurementStore store;
+  const SuiteReport suite = estimate_model_suite(ex, store, opts);
+
+  ASSERT_GT(independent_runs, 0u);
+  EXPECT_EQ(suite.world_runs, ex.runs());
+  EXPECT_GT(suite.deduplicated, 0u) << "cross-estimator requests must overlap";
+  const double savings =
+      1.0 - double(suite.world_runs) / double(independent_runs);
+  EXPECT_GE(savings, 0.30) << "shared store saved only " << savings * 100
+                           << "% (" << suite.world_runs << " vs "
+                           << independent_runs << " runs)";
+}
+
+TEST(SuiteTest, SavedStoreRefitsOfflineBitIdentical) {
+  const auto cfg = sim::make_random_cluster(6, /*seed=*/77);
+  const SuiteOptions opts = quick_suite();
+
+  vmpi::World world(cfg);
+  SimExperimenter ex(world, quick_measure());
+  MeasurementStore store;
+  store.set_cluster(cfg.size(), 77);
+  const SuiteReport cold = estimate_model_suite(ex, store, opts);
+  EXPECT_EQ(store.size(), std::size_t(cold.measured));
+
+  const std::string path = testing::TempDir() + "lmo_measurements_test.json";
+  store.save(path);
+  const MeasurementStore loaded = MeasurementStore::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.size(), store.size());
+  EXPECT_EQ(loaded.cluster_size(), cfg.size());
+
+  const SuiteReport refit = fit_model_suite(loaded, cfg.size(), opts);
+  expect_same_suite_fits(cold, refit);
+}
+
+TEST(SuiteTest, WarmStoreMeasuresNothingAndFitsBitIdentical) {
+  const auto cfg = sim::make_random_cluster(5, /*seed=*/5);
+  const SuiteOptions opts = quick_suite();
+
+  MeasurementStore store;
+  SuiteReport cold;
+  {
+    vmpi::World world(cfg);
+    SimExperimenter ex(world, quick_measure());
+    cold = estimate_model_suite(ex, store, opts);
+    EXPECT_GT(cold.world_runs, 0u);
+  }
+  // Same campaign against the warm store, on a fresh world: every key is
+  // served from the cache, so nothing runs and the fits cannot drift.
+  vmpi::World world(cfg);
+  SimExperimenter ex(world, quick_measure());
+  const SuiteReport warm = estimate_model_suite(ex, store, opts);
+  EXPECT_EQ(warm.measured, 0u);
+  EXPECT_EQ(warm.world_runs, 0u);
+  EXPECT_EQ(warm.cached, std::size_t(cold.measured));
+  expect_same_suite_fits(cold, warm);
+}
+
+}  // namespace
+}  // namespace lmo::estimate

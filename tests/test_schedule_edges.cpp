@@ -1,0 +1,137 @@
+// Edge cases of the disjoint-round experiment schedules: the smallest
+// legal cluster sizes and odd n, where the circle method needs a bye. The
+// planner relies on three invariants — every round node-disjoint, every
+// pair/triplet covered, nothing covered twice — so each is checked
+// directly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "estimate/schedule.hpp"
+
+namespace lmo::estimate {
+namespace {
+
+using PairSet = std::set<Pair>;
+
+void expect_rounds_disjoint(const std::vector<std::vector<Pair>>& rounds) {
+  for (const auto& round : rounds) {
+    std::set<int> seen;
+    for (const auto& [i, j] : round) {
+      EXPECT_NE(i, j);
+      EXPECT_TRUE(seen.insert(i).second) << "node " << i << " used twice";
+      EXPECT_TRUE(seen.insert(j).second) << "node " << j << " used twice";
+    }
+  }
+}
+
+PairSet covered_pairs(const std::vector<std::vector<Pair>>& rounds) {
+  PairSet covered;
+  for (const auto& round : rounds)
+    for (const auto& [i, j] : round) {
+      const Pair canonical = i < j ? Pair{i, j} : Pair{j, i};
+      EXPECT_TRUE(covered.insert(canonical).second)
+          << "pair (" << canonical.first << "," << canonical.second
+          << ") scheduled twice";
+    }
+  return covered;
+}
+
+TEST(ScheduleEdges, TwoNodesIsOneRoundOfOnePair) {
+  const auto rounds = pair_rounds(2);
+  ASSERT_EQ(rounds.size(), 1u);
+  ASSERT_EQ(rounds[0].size(), 1u);
+  EXPECT_EQ(rounds[0][0], (Pair{0, 1}));
+}
+
+TEST(ScheduleEdges, ThreeNodesCoversAllPairsSerially) {
+  // Odd n: every round can hold only one pair (the third node sits out).
+  const auto rounds = pair_rounds(3);
+  expect_rounds_disjoint(rounds);
+  const PairSet covered = covered_pairs(rounds);
+  EXPECT_EQ(covered, (PairSet{{0, 1}, {0, 2}, {1, 2}}));
+  for (const auto& round : rounds) EXPECT_LE(round.size(), 1u);
+}
+
+TEST(ScheduleEdges, OddNUsesAByeAndCoversEveryPairOnce) {
+  for (const int n : {5, 7, 9}) {
+    const auto rounds = pair_rounds(n);
+    EXPECT_EQ(int(rounds.size()), n) << "odd n has n rounds";
+    expect_rounds_disjoint(rounds);
+    const PairSet covered = covered_pairs(rounds);
+    const auto want = all_pairs(n);
+    EXPECT_EQ(covered, PairSet(want.begin(), want.end())) << "n=" << n;
+    // With a bye, each round holds floor(n/2) pairs.
+    for (const auto& round : rounds) EXPECT_EQ(int(round.size()), n / 2);
+  }
+}
+
+TEST(ScheduleEdges, EvenNIsAPerfectOneFactorization) {
+  for (const int n : {4, 6, 16}) {
+    const auto rounds = pair_rounds(n);
+    EXPECT_EQ(int(rounds.size()), n - 1) << "even n has n-1 rounds";
+    expect_rounds_disjoint(rounds);
+    const PairSet covered = covered_pairs(rounds);
+    EXPECT_EQ(covered.size(), std::size_t(n * (n - 1) / 2)) << "n=" << n;
+    for (const auto& round : rounds) EXPECT_EQ(int(round.size()), n / 2);
+  }
+}
+
+TEST(ScheduleEdges, TripletRoundsThreeNodes) {
+  // n=3: the three orientations all share the same nodes — strictly
+  // serial.
+  const auto triplets = all_oriented_triplets(3);
+  ASSERT_EQ(triplets.size(), 3u);
+  const auto rounds = triplet_rounds(triplets);
+  EXPECT_EQ(rounds.size(), 3u);
+  for (const auto& round : rounds) EXPECT_EQ(round.size(), 1u);
+}
+
+TEST(ScheduleEdges, TripletRoundsDisjointAndCoverEachOrientationOnce) {
+  for (const int n : {5, 6, 7}) {
+    const auto triplets = all_oriented_triplets(n);
+    ASSERT_EQ(int(triplets.size()), 3 * (n * (n - 1) * (n - 2) / 6));
+    const auto rounds = triplet_rounds(triplets);
+    std::set<Triplet> covered;
+    std::size_t total = 0;
+    for (const auto& round : rounds) {
+      std::set<int> nodes;
+      for (const Triplet& t : round) {
+        for (const int p : t) {
+          EXPECT_TRUE(nodes.insert(p).second)
+              << "node " << p << " used twice in a round";
+        }
+        EXPECT_TRUE(covered.insert(t).second) << "orientation scheduled twice";
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, triplets.size()) << "n=" << n;
+    EXPECT_EQ(covered.size(), triplets.size()) << "n=" << n;
+  }
+}
+
+TEST(ScheduleEdges, PackPairsHandlesArbitrarySubsets) {
+  // The planner packs whatever the cache filter leaves over — including
+  // overlapping pairs that must serialize and duplicates of one node.
+  const std::vector<Pair> pairs{{0, 1}, {0, 2}, {0, 3}, {1, 2}};
+  const auto rounds = pack_pairs(pairs);
+  expect_rounds_disjoint(rounds);
+  const PairSet covered = covered_pairs(rounds);
+  EXPECT_EQ(covered, PairSet(pairs.begin(), pairs.end()));
+  // {0,1} and {2,?}: the only disjoint combination is {0,1}+... none of
+  // {0,2},{0,3} fit with each other; {1,2} conflicts with {0,1} and {0,2}.
+  // First-fit: round0 = {0,1}; round1 = {0,2}; round2 = {0,3}+{1,2}.
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_EQ(rounds[2].size(), 2u);
+}
+
+TEST(ScheduleEdges, PackPairsEmptyAndSingle) {
+  EXPECT_TRUE(pack_pairs({}).empty());
+  const auto rounds = pack_pairs({{3, 4}});
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_EQ(rounds[0], (std::vector<Pair>{{3, 4}}));
+}
+
+}  // namespace
+}  // namespace lmo::estimate

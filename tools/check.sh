@@ -24,14 +24,22 @@ while [[ $# -gt 0 ]]; do
   shift
 done
 
+# Compiler cache, when available (CI restores it across runs).
+LAUNCHER=""
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER="-DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+  echo "== ccache enabled =="
+fi
+
 echo "== regular build =="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo ${LAUNCHER:+$LAUNCHER}
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== ThreadSanitizer build =="
-  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLMO_TSAN=ON
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLMO_TSAN=ON \
+    ${LAUNCHER:+$LAUNCHER}
   cmake --build build-tsan -j "$JOBS"
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
   if [[ -n "$TSAN_FILTER" ]]; then
