@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "simnet/fault.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -22,6 +23,7 @@ struct RunState {
   std::unique_ptr<obs::ReportBuilder> report;
   std::string report_path;
   std::string trace_path;
+  mpib::MeasureOptions measure;  ///< defaults + the --fault-* spec
 };
 RunState& run_state() {
   static RunState s;
@@ -53,9 +55,13 @@ std::vector<double> observe_samples(
 std::string ms(double seconds) { return format_fixed(seconds * 1e3, 3); }
 
 BenchEnv::BenchEnv(std::uint64_t seed)
-    : cfg(sim::make_paper_cluster(seed)), world(cfg), ex(world) {
+    : cfg(sim::make_paper_cluster(seed)),
+      world(cfg),
+      ex(world, bench_measure_options()) {
   world.set_trace_sink(obs::global_sink());
 }
+
+mpib::MeasureOptions bench_measure_options() { return run_state().measure; }
 
 BenchEnv::~BenchEnv() {
   vmpi::publish_metrics(world.metrics(), obs::Registry::global());
@@ -100,6 +106,8 @@ void report_set(const std::string& key, obs::Json value) {
 void finish_run() {
   RunState& s = run_state();
   if (s.report) {
+    s.report->set("degradation",
+                  obs::degradation_json(obs::Registry::global().snapshot()));
     s.report->write(s.report_path);
     std::cout << "\nreport: " << s.report_path << "\n";
   }
@@ -113,12 +121,15 @@ void finish_run() {
 }
 
 Cli parse_bench_cli(int argc, const char* const* argv) {
-  Cli cli(argc, argv,
-          {"seed", "reps", "csv", "json", "points", "jobs", "report",
-           "trace", "measurements-load", "measurements-save"});
+  std::vector<std::string> known = {
+      "seed", "reps", "csv", "json", "points", "jobs", "report",
+      "trace", "measurements-load", "measurements-save"};
+  for (const std::string& f : sim::fault_cli_options()) known.push_back(f);
+  Cli cli(argc, argv, std::move(known));
   // 0 = auto (hardware concurrency); results are jobs-independent.
   set_default_jobs(int(cli.get_int("jobs", 0)));
   RunState& s = run_state();
+  s.measure.fault = sim::fault_spec_from_cli(cli);
   s.trace_path = cli.get("trace", "");
   if (!s.trace_path.empty()) obs::set_global_trace_enabled(true);
   s.report_path = cli.get("report", "");

@@ -50,10 +50,17 @@ struct BenchEnv {
   estimate::SimExperimenter ex;
 
   /// Attaches the world to the global trace sink when --trace is active.
+  /// The experimenter picks up the --fault-* spec parse_bench_cli recorded
+  /// (inert when no fault flag was given).
   explicit BenchEnv(std::uint64_t seed = 1);
   /// Publishes the world's session metrics into the global registry.
   ~BenchEnv();
 };
+
+/// The measurement options parse_bench_cli assembled for this run:
+/// defaults plus the --fault-* spec. BenchEnv applies them automatically;
+/// benches constructing their own SimExperimenter should start from this.
+[[nodiscard]] mpib::MeasureOptions bench_measure_options();
 
 /// {"title": ..., "columns": [...], "rows": [[...], ...]} — the JSON shape
 /// of a bench table, shared by --json and the run report.
@@ -75,7 +82,11 @@ void finish_run();
 
 /// Standard bench CLI: --seed N --reps N --csv --json --jobs N
 /// --report out.json --trace out.trace.json
-/// --measurements-load in.json --measurements-save out.json. Parsing
+/// --measurements-load in.json --measurements-save out.json, plus the
+/// fault-injection knobs --fault-spike-rate/--fault-drop-rate/
+/// --fault-hang-rate/--fault-slow-rate (all default 0 = off) with
+/// --fault-spike-scale/--fault-hang-delay/--fault-slow-factor/
+/// --fault-seed shaping them (see sim::FaultSpec). Parsing
 /// applies --jobs (default: hardware concurrency) as the process-wide
 /// default parallelism for session fan-out (util::set_default_jobs),
 /// enables the global trace sink when --trace is given, and opens the run

@@ -23,6 +23,7 @@
 #include "estimate/lmo_estimator.hpp"
 #include "estimate/measurement_store.hpp"
 #include "simnet/config_io.hpp"
+#include "simnet/fault.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -63,7 +64,11 @@ int cmd_estimate(const Cli& cli) {
   const std::string out = cli.get("out", "model.cfg");
   vmpi::World world(cfg);
   world.set_trace_sink(obs::global_sink());
-  estimate::SimExperimenter ex(world);
+  // --fault-* rates (default 0 = off) exercise the recovery pipeline:
+  // retries, timeouts, MAD trimming, and store quarantine.
+  mpib::MeasureOptions measure;
+  measure.fault = sim::fault_spec_from_cli(cli);
+  estimate::SimExperimenter ex(world, measure);
 
   // A warm store (--measurements-load) skips every experiment it already
   // holds; --measurements-save persists the campaign for later refits.
@@ -112,6 +117,8 @@ int cmd_estimate(const Cli& cli) {
     cost["store_entries"] = store.size();
     cost["store_hits"] = store.hits();
     report.set("estimation_cost", std::move(cost));
+    report.set("degradation",
+               obs::degradation_json(obs::Registry::global().snapshot()));
     report.write(report_path);
     std::cout << "report: " << report_path << "\n";
   }
@@ -176,10 +183,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    const lmo::Cli cli(argc - 1, argv + 1,
-                       {"out", "cluster", "model", "op", "size", "root",
-                        "nodes", "seed", "jobs", "report", "trace",
-                        "measurements-load", "measurements-save"});
+    std::vector<std::string> known = {
+        "out", "cluster", "model", "op", "size", "root",
+        "nodes", "seed", "jobs", "report", "trace",
+        "measurements-load", "measurements-save"};
+    for (const std::string& f : lmo::sim::fault_cli_options())
+      known.push_back(f);
+    const lmo::Cli cli(argc - 1, argv + 1, std::move(known));
     // --jobs N: parallel experiment sessions (default: hardware
     // concurrency). Estimates are bit-identical for any value.
     lmo::set_default_jobs(int(cli.get_int("jobs", 0)));

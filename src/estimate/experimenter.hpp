@@ -29,6 +29,14 @@
 
 namespace lmo::estimate {
 
+/// Post-recovery quality of one experiment slot in the last measured round.
+enum class SlotHealth : std::uint8_t {
+  kOk = 0,        ///< every committed repetition was clean
+  kDegraded = 1,  ///< faults occurred but enough clean samples survived
+  kPoisoned = 2,  ///< too few clean samples even after retries — the mean
+                  ///< is a best effort and must not be cached as truth
+};
+
 /// The experiment primitives the estimators consume — the boundary between
 /// the analytical machinery and the platform. Implement this over real MPI
 /// to estimate physical clusters; SimExperimenter implements it over the
@@ -36,6 +44,14 @@ namespace lmo::estimate {
 class Experimenter {
  public:
   virtual ~Experimenter() = default;
+
+  /// Per-slot health of the most recent *_round call, in slot order. The
+  /// default empty vector means "no fault tracking: all slots ok";
+  /// execute_plan quarantines the keys of poisoned slots instead of
+  /// caching them.
+  [[nodiscard]] virtual std::vector<SlotHealth> last_round_health() const {
+    return {};
+  }
 
   [[nodiscard]] virtual int size() const = 0;
 
@@ -131,6 +147,10 @@ class SimExperimenter final : public Experimenter {
   [[nodiscard]] double observe_scatter(int root, Bytes m) override;
   [[nodiscard]] double observe_gather(int root, Bytes m) override;
 
+  [[nodiscard]] std::vector<SlotHealth> last_round_health() const override {
+    return last_health_;
+  }
+
   /// One observation (no repetition) of an arbitrary SPMD collective,
   /// timed at `timed_rank` [s] — simulator-only (used by the benches).
   /// Runs on the anchor session.
@@ -165,10 +185,24 @@ class SimExperimenter final : public Experimenter {
   /// Run one round of concurrent experiments (writing elapsed seconds into
   /// slots) repeatedly until all slots' CI criteria hold. Each repetition
   /// gets its own SimSession; repetitions fan out across the thread pool.
+  /// `participants[e]` lists the processors experiment slot `e` occupies —
+  /// fault injection targets per-node slowdown episodes through it. With
+  /// faults enabled, dropped/hung/spiked repetitions are classified by a
+  /// timeout derived from the round's own robust location estimate,
+  /// retried in bounded deterministic waves, and MAD-trimmed before the
+  /// mean is formed; per-slot outcomes land in last_health_.
   [[nodiscard]] std::vector<double> measure_round(
       const std::function<std::vector<vmpi::RankProgram>(
           std::vector<double>& slots)>& build,
-      std::size_t n_experiments);
+      const std::vector<std::vector<int>>& participants);
+
+  /// Run one fault-aware single observation: inject spike/slow/hang into
+  /// the raw duration, retry dropped results up to max_retries (each retry
+  /// re-runs `run_once` and adds backoff to the cost), and substitute
+  /// hang_delay_s when every attempt dropped. `obs_index` identifies the
+  /// observation in the dedicated fault stream.
+  [[nodiscard]] double recover_observation(
+      const std::function<double()>& run_once, std::uint64_t obs_index);
 
   [[nodiscard]] int jobs() const;
   [[nodiscard]] std::uint64_t next_round() { return round_seq_++; }
@@ -177,11 +211,16 @@ class SimExperimenter final : public Experimenter {
   mpib::MeasureOptions measure_;
   /// Monotonic index of measured rounds — the first seed-derivation key.
   std::uint64_t round_seq_ = 0;
+  /// Monotonic index of fault-aware single observations (dedicated fault
+  /// stream decorrelated from measured rounds).
+  std::uint64_t obs_fault_seq_ = 0;
   /// Runs/cost committed by isolated per-repetition sessions (speculative
   /// repetitions that the stopping rule discarded are not counted, so the
   /// totals match a serial run exactly).
   std::uint64_t session_runs_ = 0;
   SimTime session_cost_;
+  /// Per-slot outcome of the most recent measured round.
+  std::vector<SlotHealth> last_health_;
 
   // Metric handles, resolved once at construction. Only *committed*
   // repetitions publish session metrics, so everything except
@@ -191,6 +230,17 @@ class SimExperimenter final : public Experimenter {
   obs::Counter reps_discarded_;
   obs::Counter observe_reps_;
   obs::Histogram ci_rel_err_;
+  // Fault/recovery accounting (committed repetitions and retry waves only,
+  // so counts are independent of the --jobs level).
+  obs::Counter fault_spikes_;
+  obs::Counter fault_drops_;
+  obs::Counter fault_hangs_;
+  obs::Counter fault_slow_;
+  obs::Counter recovery_timeouts_;
+  obs::Counter recovery_trimmed_;
+  obs::Counter recovery_retries_;
+  obs::Counter recovery_waves_;
+  obs::Counter recovery_poisoned_;
 };
 
 }  // namespace lmo::estimate

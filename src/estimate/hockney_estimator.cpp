@@ -1,5 +1,8 @@
 #include "estimate/hockney_estimator.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "estimate/measurement_store.hpp"
 #include "obs/trace.hpp"
 #include "stats/regression.hpp"
@@ -32,6 +35,21 @@ HockneyReport fit_hockney(const MeasurementStore& store, int n,
   report.hetero.alpha = models::PairTable(n);
   report.hetero.beta = models::PairTable(n);
 
+  // Under injected outliers the slope of a two-point fit (or a regression
+  // through a poisoned point) can come out negative — a physically
+  // meaningless "negative per-byte cost" that would make every downstream
+  // prediction decrease with message size. Clamp both parameters at zero;
+  // for sane measurements the clamp is the identity, so fault-free fits
+  // are bit-identical.
+  auto assign = [&report](int i, int j, double alpha, double beta) {
+    LMO_CHECK_MSG(std::isfinite(alpha) && std::isfinite(beta),
+                  "Hockney fit produced a non-finite parameter for pair " +
+                      std::to_string(i) + "," + std::to_string(j));
+    alpha = std::max(0.0, alpha);
+    beta = std::max(0.0, beta);
+    report.hetero.alpha(i, j) = report.hetero.alpha(j, i) = alpha;
+    report.hetero.beta(i, j) = report.hetero.beta(j, i) = beta;
+  };
   if (opts.method == HockneyMethod::kTwoPoint) {
     // Two round-trip series: empty messages give the latency, the probe
     // size gives the bandwidth.
@@ -41,8 +59,7 @@ HockneyReport fit_hockney(const MeasurementStore& store, int n,
           ExperimentKey::roundtrip(i, j, opts.probe_size, opts.probe_size));
       const double alpha = t0 / 2.0;
       const double beta = (tm / 2.0 - alpha) / double(opts.probe_size);
-      report.hetero.alpha(i, j) = report.hetero.alpha(j, i) = alpha;
-      report.hetero.beta(i, j) = report.hetero.beta(j, i) = beta;
+      assign(i, j, alpha, beta);
     }
   } else {
     // Regression over a series of sizes {i -M_k-> j}: ordinary least
@@ -56,8 +73,7 @@ HockneyReport fit_hockney(const MeasurementStore& store, int n,
         ys.push_back(store.at(ExperimentKey::roundtrip(i, j, m, m)) / 2.0);
       }
       const auto fit = stats::fit_linear(xs, ys);
-      report.hetero.alpha(i, j) = report.hetero.alpha(j, i) = fit.intercept;
-      report.hetero.beta(i, j) = report.hetero.beta(j, i) = fit.slope;
+      assign(i, j, fit.intercept, fit.slope);
     }
   }
 

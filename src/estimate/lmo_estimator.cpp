@@ -1,6 +1,7 @@
 #include "estimate/lmo_estimator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "estimate/measurement_store.hpp"
@@ -41,8 +42,16 @@ struct PairTables {
 PairTables read_pair_tables(const MeasurementStore& store, int n, Bytes m) {
   PairTables t{models::PairTable(n), models::PairTable(n)};
   for (const auto& [i, j] : all_pairs(n)) {
-    t.t0(i, j) = t.t0(j, i) = store.at(ExperimentKey::roundtrip(i, j, 0, 0));
-    t.tm(i, j) = t.tm(j, i) = store.at(ExperimentKey::roundtrip(i, j, m, m));
+    const double t0 = store.at(ExperimentKey::roundtrip(i, j, 0, 0));
+    const double tm = store.at(ExperimentKey::roundtrip(i, j, m, m));
+    // The triplet systems difference and divide these; a NaN/inf here
+    // (corrupt store edit) would silently poison every parameter it
+    // touches, so fail loudly with the pair named.
+    LMO_CHECK_MSG(std::isfinite(t0) && std::isfinite(tm),
+                  "LMO fit read a non-finite round-trip for pair " +
+                      std::to_string(i) + "," + std::to_string(j));
+    t.t0(i, j) = t.t0(j, i) = t0;
+    t.tm(i, j) = t.tm(j, i) = tm;
   }
   return t;
 }

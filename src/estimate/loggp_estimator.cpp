@@ -1,6 +1,7 @@
 #include "estimate/loggp_estimator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "estimate/measurement_store.hpp"
 #include "obs/trace.hpp"
@@ -47,14 +48,21 @@ LogGPReport fit_loggp(const MeasurementStore& store, int n,
         store.at(ExperimentKey::recv_overhead(i, j, opts.small_size));
     const double rtt = store.at(
         ExperimentKey::roundtrip(i, j, opts.small_size, opts.small_size));
+    LMO_CHECK_MSG(std::isfinite(os) && std::isfinite(orr) &&
+                      std::isfinite(rtt),
+                  "LogGP fit read a non-finite measurement for pair " +
+                      std::to_string(i) + "," + std::to_string(j));
     const double latency = std::max(0.0, rtt / 2.0 - os - orr);
-    const double g = store.at(ExperimentKey::saturation_gap(
-        i, j, opts.small_size, opts.saturation_count));
+    const double g = std::max(0.0, store.at(ExperimentKey::saturation_gap(
+                                       i, j, opts.small_size,
+                                       opts.saturation_count)));
     const double g_large = store.at(ExperimentKey::saturation_gap(
         i, j, opts.large_size, opts.saturation_count));
-    const double big_g = g_large / double(opts.large_size);
+    // A poisoned large-size gap could be smaller than physically possible
+    // (or negative under a pathological store edit); G must stay >= 0.
+    const double big_g = std::max(0.0, g_large / double(opts.large_size));
 
-    const double o = 0.5 * (os + orr);
+    const double o = 0.5 * std::max(0.0, os + orr);
     report.hetero.L(i, j) = report.hetero.L(j, i) = latency;
     report.hetero.o(i, j) = report.hetero.o(j, i) = o;
     report.hetero.g(i, j) = report.hetero.g(j, i) = g;

@@ -1,5 +1,6 @@
 #include "estimate/measurement_store.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -12,6 +13,7 @@ namespace lmo::estimate {
 MeasurementStore::MeasurementStore(MeasurementStore&& other) noexcept {
   std::lock_guard<std::mutex> lk(other.mu_);
   values_ = std::move(other.values_);
+  suspects_ = std::move(other.suspects_);
   hits_.store(other.hits_.load());
   misses_.store(other.misses_.load());
   cluster_size_ = other.cluster_size_;
@@ -23,6 +25,7 @@ MeasurementStore& MeasurementStore::operator=(
   if (this == &other) return *this;
   std::scoped_lock lk(mu_, other.mu_);
   values_ = std::move(other.values_);
+  suspects_ = std::move(other.suspects_);
   hits_.store(other.hits_.load());
   misses_.store(other.misses_.load());
   cluster_size_ = other.cluster_size_;
@@ -32,7 +35,19 @@ MeasurementStore& MeasurementStore::operator=(
 
 void MeasurementStore::insert(const ExperimentKey& key, double seconds) {
   std::lock_guard<std::mutex> lk(mu_);
+  suspects_.erase(key);  // a clean measurement supersedes the suspect one
   values_.emplace(key, seconds);  // first write wins
+}
+
+void MeasurementStore::quarantine(const ExperimentKey& key,
+                                  double suspect_seconds) {
+  LMO_CHECK_MSG(std::isfinite(suspect_seconds),
+                "quarantined suspect value must be finite: " +
+                    key.describe());
+  std::lock_guard<std::mutex> lk(mu_);
+  if (values_.count(key) != 0) return;  // a clean value is authoritative
+  suspects_[key] = suspect_seconds;  // latest suspicion wins
+  obs::Registry::global().counter("store.quarantined").inc();
 }
 
 std::optional<double> MeasurementStore::lookup(
@@ -55,9 +70,21 @@ bool MeasurementStore::contains(const ExperimentKey& key) const {
 double MeasurementStore::at(const ExperimentKey& key) const {
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = values_.find(key);
-  LMO_CHECK_MSG(it != values_.end(),
+  if (it != values_.end()) return it->second;
+  const auto sit = suspects_.find(key);
+  LMO_CHECK_MSG(sit != suspects_.end(),
                 "measurement store is missing: " + key.describe());
-  return it->second;
+  return sit->second;
+}
+
+bool MeasurementStore::is_quarantined(const ExperimentKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return suspects_.count(key) != 0;
+}
+
+std::size_t MeasurementStore::quarantined_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return suspects_.size();
 }
 
 std::size_t MeasurementStore::size() const {
@@ -87,6 +114,12 @@ obs::Json MeasurementStore::to_json() const {
     e["value"] = value;
     entries.push_back(std::move(e));
   }
+  for (const auto& [key, value] : suspects_) {
+    obs::Json e = key.to_json();
+    e["value"] = value;
+    e["quarantined"] = true;
+    entries.push_back(std::move(e));
+  }
   j["entries"] = std::move(entries);
   return j;
 }
@@ -99,8 +132,17 @@ MeasurementStore MeasurementStore::from_json(const obs::Json& j) {
   if (const obs::Json* cluster = j.find("cluster"))
     store.set_cluster(int(cluster->at("size").as_int()),
                       std::uint64_t(cluster->at("seed").as_int()));
-  for (const obs::Json& e : j.at("entries").items())
-    store.insert(ExperimentKey::from_json(e), e.at("value").as_double());
+  for (const obs::Json& e : j.at("entries").items()) {
+    const ExperimentKey key = ExperimentKey::from_json(e);
+    const double value = e.at("value").as_double();
+    LMO_CHECK_MSG(std::isfinite(value),
+                  "non-finite measurement value for " + key.describe());
+    const obs::Json* q = e.find("quarantined");
+    if (q != nullptr && q->as_bool())
+      store.quarantine(key, value);
+    else
+      store.insert(key, value);
+  }
   return store;
 }
 
@@ -117,7 +159,13 @@ MeasurementStore MeasurementStore::load(const std::string& path) {
   LMO_CHECK_MSG(in.good(), "cannot read measurements from " + path);
   std::ostringstream text;
   text << in.rdbuf();
-  return from_json(obs::Json::parse(text.str()));
+  // Truncated or garbage input must fail loudly with the file named —
+  // parse errors alone only carry a byte offset.
+  try {
+    return from_json(obs::Json::parse(text.str()));
+  } catch (const Error& e) {
+    throw Error("failed to load measurements from " + path + ": " + e.what());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -38,15 +38,28 @@ class MeasurementStore {
   MeasurementStore& operator=(const MeasurementStore&) = delete;
 
   /// Insert a measured mean. First write wins: re-measuring a key a store
-  /// already holds must not perturb fits that already consumed it.
+  /// already holds must not perturb fits that already consumed it. A clean
+  /// measurement lifts any quarantine on the key.
   void insert(const ExperimentKey& key, double seconds);
 
-  /// Counted lookup: tallies a hit or a miss.
+  /// Record a poisoned measurement: `suspect_seconds` (must be finite) is
+  /// the best effort recovery could produce but not trustworthy enough to
+  /// cache. Quarantined keys report as lookup() misses — execute_plan
+  /// re-measures them even on a warm store — while at() still serves the
+  /// suspect value so offline fits degrade gracefully instead of
+  /// throwing. A key with a clean value cannot be quarantined.
+  void quarantine(const ExperimentKey& key, double suspect_seconds);
+
+  /// Counted lookup: tallies a hit or a miss. Quarantined keys miss.
   [[nodiscard]] std::optional<double> lookup(const ExperimentKey& key) const;
-  /// Uncounted containment check.
+  /// Uncounted containment check (clean values only).
   [[nodiscard]] bool contains(const ExperimentKey& key) const;
-  /// Throws lmo::Error naming the missing experiment.
+  /// Clean value, else the quarantined suspect value, else throws
+  /// lmo::Error naming the missing experiment.
   [[nodiscard]] double at(const ExperimentKey& key) const;
+
+  [[nodiscard]] bool is_quarantined(const ExperimentKey& key) const;
+  [[nodiscard]] std::size_t quarantined_count() const;
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const { return hits_.load(); }
@@ -58,16 +71,22 @@ class MeasurementStore {
   [[nodiscard]] int cluster_size() const { return cluster_size_; }
   [[nodiscard]] std::uint64_t cluster_seed() const { return cluster_seed_; }
 
-  /// Entries sorted by key (deterministic), values bit-exact.
+  /// Entries sorted by key (deterministic), values bit-exact. Quarantined
+  /// entries carry "quarantined": true and round-trip as quarantined.
   [[nodiscard]] obs::Json to_json() const;
   [[nodiscard]] static MeasurementStore from_json(const obs::Json& j);
 
   void save(const std::string& path) const;
+  /// Throws lmo::Error naming `path` on unreadable, truncated, or garbage
+  /// input; every entry value must be finite.
   [[nodiscard]] static MeasurementStore load(const std::string& path);
 
  private:
   mutable std::mutex mu_;
   std::map<ExperimentKey, double> values_;
+  /// Poisoned keys and their best-effort suspect values (disjoint from
+  /// values_).
+  std::map<ExperimentKey, double> suspects_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   int cluster_size_ = 0;

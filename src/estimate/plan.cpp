@@ -325,8 +325,19 @@ ExecuteStats execute_plan(const ExperimentPlan& plan, Experimenter& ex,
         break;
     }
     LMO_CHECK(values.size() == missing.size());
-    for (std::size_t e = 0; e < missing.size(); ++e)
-      store.insert(missing[e], values[e]);
+    // Slots the experimenter reports as poisoned (too few clean samples
+    // even after retries) are quarantined: the suspect value is kept for
+    // graceful offline fits, but a warm store re-measures the key instead
+    // of treating it as truth. Observation kinds carry no health channel;
+    // their recovered values are cached as-is.
+    const std::vector<SlotHealth> health = ex.last_round_health();
+    const bool health_valid = health.size() == missing.size();
+    for (std::size_t e = 0; e < missing.size(); ++e) {
+      if (health_valid && health[e] == SlotHealth::kPoisoned)
+        store.quarantine(missing[e], values[e]);
+      else
+        store.insert(missing[e], values[e]);
+    }
     stats.measured += missing.size();
     ++stats.rounds;
   }

@@ -47,7 +47,11 @@ models::PLogP estimate_plogp_pair(Experimenter& ex, int i, int j,
     if (can_extrapolate) predicted = p.g.extrapolate_from_last_two(double(m));
     const double g = measure_point(m);
     measured.push_back(m);
-    if (can_extrapolate && g > 0.0) {
+    // Injected outliers can make the extrapolation slope wild or the gap
+    // itself degenerate; only a finite positive gap with a finite
+    // prediction may trigger bisection (otherwise the ladder stands).
+    if (can_extrapolate && g > 0.0 && std::isfinite(g) &&
+        std::isfinite(predicted)) {
       const double err = std::fabs(predicted - g) / g;
       if (err > opts.tolerance && measured.size() >= 2 &&
           int(p.g.size()) < opts.max_points) {

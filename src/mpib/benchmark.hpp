@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "simnet/fault.hpp"
 #include "stats/students_t.hpp"
 #include "stats/summary.hpp"
 #include "util/time.hpp"
@@ -33,11 +34,33 @@ struct MeasureOptions {
   /// Results are bit-identical for every value — only wall-clock changes.
   int jobs = 0;
 
+  /// Deterministic fault injection applied to measured experiment durations
+  /// (estimate::SimExperimenter only). All rates default to 0 — disabled —
+  /// and the measurement pipeline is then bit-identical to a fault-free
+  /// build.
+  sim::FaultSpec fault;
+
+  /// Recovery policy, active only when `fault.enabled()`.
+  /// A repetition slower than `timeout_factor` times the round's own robust
+  /// location estimate (median of the finite samples — the stand-in for "the
+  /// model's own prediction" while no fitted model exists yet) is classified
+  /// as timed out; the timeout never falls below `timeout_floor_s`.
+  double timeout_factor = 8.0;
+  double timeout_floor_s = 1e-3;
+  /// Timed-out/dropped repetitions are retried in bounded deterministic
+  /// waves; each wave adds `retry_backoff_s` of (simulated) cost.
+  int max_retries = 2;
+  double retry_backoff_s = 0.05;
+  /// MAD-based outlier trimming: finite samples farther than `mad_cutoff`
+  /// scaled deviations from the median are excluded from the committed mean.
+  double mad_cutoff = 6.0;
+
   /// Throws lmo::Error on nonsensical settings: confidence outside (0, 1),
   /// non-positive rel_err, min_reps < 2 (no CI from one sample),
-  /// max_reps < min_reps, or negative jobs (0 means auto). Called by
-  /// measure() and by SimExperimenter on construction, so bad options fail
-  /// loudly instead of silently misbehaving mid-estimation.
+  /// max_reps < min_reps, negative jobs (0 means auto), an invalid fault
+  /// spec, or a nonsensical recovery policy. Called by measure() and by
+  /// SimExperimenter on construction, so bad options fail loudly instead of
+  /// silently misbehaving mid-estimation.
   void validate() const;
 };
 

@@ -10,6 +10,31 @@
 
 namespace lmo::obs {
 
+Json degradation_json(const Snapshot& snap) {
+  Json faults = Json::object();
+  Json recovery = Json::object();
+  std::uint64_t quarantined = 0;
+  std::uint64_t active = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("fault.", 0) == 0) {
+      faults[name.substr(6)] = value;
+      active += value;
+    } else if (name.rfind("recovery.", 0) == 0) {
+      recovery[name.substr(9)] = value;
+      active += value;
+    } else if (name == "store.quarantined") {
+      quarantined = value;
+      active += value;
+    }
+  }
+  Json out = Json::object();
+  out["clean"] = active == 0;
+  out["quarantined"] = quarantined;
+  out["faults"] = std::move(faults);
+  out["recovery"] = std::move(recovery);
+  return out;
+}
+
 ReportBuilder::ReportBuilder(std::string tool)
     : tool_(std::move(tool)),
       t0_us_(wall_now_us()),

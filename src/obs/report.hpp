@@ -30,7 +30,16 @@
 
 namespace lmo::obs {
 
+struct Snapshot;
+
 inline constexpr const char* kReportSchema = "lmo.run_report/1";
+
+/// The degradation summary of a run: every fault.* / recovery.* /
+/// store.quarantined counter from the snapshot, plus a "clean" boolean
+/// (true when no fault was injected and no recovery acted). Benches and
+/// lmo_tool publish this as the report's "degradation" section; CI uploads
+/// it as an artifact.
+[[nodiscard]] Json degradation_json(const Snapshot& snap);
 
 class ReportBuilder {
  public:

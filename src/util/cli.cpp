@@ -36,16 +36,50 @@ std::string Cli::get(const std::string& name, const std::string& fallback) const
   return it == values_.end() ? fallback : it->second;
 }
 
+namespace {
+
+// std::stoll/std::stod throw std::invalid_argument / std::out_of_range and
+// happily accept trailing garbage ("12x" parses as 12). Both violate the
+// header's "fail loudly with lmo::Error" contract, so every numeric lookup
+// funnels through here.
+template <typename T, typename Parse>
+T parse_numeric(const std::string& name, const std::string& value,
+                const char* what, Parse parse) {
+  std::size_t pos = 0;
+  try {
+    T parsed = parse(value, &pos);
+    if (pos != value.size()) {
+      throw Error("option --" + name + ": trailing garbage in " + what +
+                  " value \"" + value + "\"");
+    }
+    return parsed;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::out_of_range&) {
+    throw Error("option --" + name + ": " + what + " value \"" + value +
+                "\" is out of range");
+  } catch (const std::exception&) {
+    throw Error("option --" + name + ": expected " + what + ", got \"" +
+                value + "\"");
+  }
+}
+
+}  // namespace
+
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stoll(it->second);
+  return parse_numeric<std::int64_t>(
+      name, it->second, "an integer",
+      [](const std::string& s, std::size_t* pos) { return std::stoll(s, pos); });
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stod(it->second);
+  return parse_numeric<double>(
+      name, it->second, "a number",
+      [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); });
 }
 
 bool Cli::get_flag(const std::string& name) const {

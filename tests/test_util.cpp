@@ -172,6 +172,65 @@ TEST(Cli, DefaultsWhenAbsent) {
   EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
 }
 
+TEST(Cli, MalformedIntegerNamesOptionAndValue) {
+  const char* argv[] = {"prog", "--reps=abc"};
+  Cli cli(2, argv);
+  try {
+    (void)cli.get_int("reps", 1);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--reps"), std::string::npos) << what;
+    EXPECT_NE(what.find("abc"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, TrailingGarbageRejectedForIntAndDouble) {
+  const char* argv[] = {"prog", "--reps=12x", "--scale=3.5y"};
+  Cli cli(3, argv);
+  try {
+    (void)cli.get_int("reps", 1);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--reps"), std::string::npos) << what;
+    EXPECT_NE(what.find("12x"), std::string::npos) << what;
+  }
+  try {
+    (void)cli.get_double("scale", 1.0);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--scale"), std::string::npos) << what;
+    EXPECT_NE(what.find("3.5y"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, OutOfRangeNumericNamesOption) {
+  const char* argv[] = {"prog", "--reps=99999999999999999999999999",
+                        "--scale=1e999"};
+  Cli cli(3, argv);
+  try {
+    (void)cli.get_int("reps", 1);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--reps"), std::string::npos);
+  }
+  try {
+    (void)cli.get_double("scale", 1.0);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--scale"), std::string::npos);
+  }
+}
+
+TEST(Cli, WellFormedNumericsStillParse) {
+  const char* argv[] = {"prog", "--reps=-3", "--scale=1e-3"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("reps", 0), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 0.0), 1e-3);
+}
+
 TEST(Sweep, GeometricEndpointsAndGrowth) {
   const auto s = geometric_sizes(1024, 262144, 9);
   ASSERT_EQ(s.size(), 9u);
