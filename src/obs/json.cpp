@@ -306,7 +306,7 @@ class Parser {
     }
   }
 
-  std::string unicode_escape() {
+  unsigned hex4() {
     if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
     unsigned cp = 0;
     for (int i = 0; i < 4; ++i) {
@@ -317,16 +317,38 @@ class Parser {
       else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
       else fail("bad hex digit in \\u escape");
     }
-    // BMP-only decoding (surrogate halves encode individually) — all the
-    // escapes we emit are control characters, well inside the BMP.
+    return cp;
+  }
+
+  std::string unicode_escape() {
+    unsigned cp = hex4();
+    if (cp >= 0xDC00 && cp <= 0xDFFF)
+      fail("unpaired low surrogate in \\u escape");
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: the low half must follow immediately as another
+      // \u escape; anything else leaves an unpaired half, which has no
+      // UTF-8 encoding.
+      if (pos_ + 2 > s_.size() || s_[pos_] != '\\' || s_[pos_ + 1] != 'u')
+        fail("unpaired high surrogate in \\u escape");
+      pos_ += 2;
+      const unsigned lo = hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF)
+        fail("high surrogate not followed by a low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    }
     std::string out;
     if (cp < 0x80) {
       out += char(cp);
     } else if (cp < 0x800) {
       out += char(0xC0 | (cp >> 6));
       out += char(0x80 | (cp & 0x3F));
-    } else {
+    } else if (cp < 0x10000) {
       out += char(0xE0 | (cp >> 12));
+      out += char(0x80 | ((cp >> 6) & 0x3F));
+      out += char(0x80 | (cp & 0x3F));
+    } else {
+      out += char(0xF0 | (cp >> 18));
+      out += char(0x80 | ((cp >> 12) & 0x3F));
       out += char(0x80 | ((cp >> 6) & 0x3F));
       out += char(0x80 | (cp & 0x3F));
     }
@@ -363,7 +385,22 @@ class Parser {
     return Json(d);
   }
 
+  /// Caps container nesting: array()/object() recurse through value(), so
+  /// adversarial input like 100k copies of '[' would otherwise overflow
+  /// the call stack long before any size limit triggers. 256 levels is far
+  /// beyond any document this project reads or writes.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth) p_.fail("nesting deeper than 256 levels");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& p_;
+  };
+
   Json array() {
+    const DepthGuard guard(*this);
     expect('[');
     Json out = Json::array();
     skip_ws();
@@ -382,6 +419,7 @@ class Parser {
   }
 
   Json object() {
+    const DepthGuard guard(*this);
     expect('{');
     Json out = Json::object();
     skip_ws();
@@ -403,8 +441,11 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxDepth = 256;
+
   std::string_view s_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -15,7 +15,10 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/time.hpp"
@@ -29,7 +32,13 @@ class Comm;
 inline constexpr int kAnyTag = -1;
 
 namespace detail {
-/// Shared completion state of one communication operation.
+class OpArena;
+
+/// Shared completion state of one communication operation. Pool-allocated
+/// (see OpArena) and intrusively refcounted via OpRef — a session is
+/// strictly single-threaded, so the count is a plain integer, not an
+/// atomic, and each send/recv costs a free-list pop instead of the
+/// make_shared control-block malloc the old code paid per operation.
 struct OpState {
   bool has_completion = false;
   SimTime completion;
@@ -38,6 +47,83 @@ struct OpState {
   std::coroutine_handle<> waiter = {};
   int waiter_rank = -1;
   SimTime waiter_post;
+
+  std::uint32_t refs = 0;   ///< OpRef count (non-atomic by design)
+  OpArena* arena = nullptr; ///< owning pool; reclaims the block on release
+};
+
+/// Free-list arena for OpState blocks. Blocks are carved from chunks of
+/// kBlocksPerChunk and recycled as operations complete, so a session's
+/// steady state allocates nothing per message. Single-threaded, like the
+/// session that owns it. The arena must outlive every OpRef it produced
+/// (i.e. Requests must not outlive their session — they never did
+/// meaningfully, since a dead session cannot complete them); the
+/// destructor aborts loudly if that contract is ever broken rather than
+/// letting a stray Request scribble on freed memory.
+class OpArena {
+ public:
+  ~OpArena();
+
+  [[nodiscard]] OpState* allocate();
+  void recycle(OpState* s) noexcept;
+
+  /// Distinct blocks carved from chunks so far (the pool's footprint; reuse
+  /// keeps it at the operation high-water mark, not the operation count).
+  [[nodiscard]] std::uint64_t blocks_carved() const { return carved_; }
+
+ private:
+  static constexpr std::size_t kBlocksPerChunk = 256;
+
+  std::uint64_t carved_ = 0;
+  std::uint64_t live_ = 0;
+  std::vector<OpState*> free_;
+  std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+  std::size_t chunk_used_ = 0;  ///< blocks handed out of chunks_.back()
+};
+
+/// Intrusive refcounting handle to a pooled OpState.
+class OpRef {
+ public:
+  OpRef() noexcept = default;
+  OpRef(std::nullptr_t) noexcept {}
+  /// Adopts a pool block with refs already at 0.
+  explicit OpRef(OpState* s) noexcept : s_(s) {
+    if (s_) ++s_->refs;
+  }
+  OpRef(const OpRef& o) noexcept : s_(o.s_) {
+    if (s_) ++s_->refs;
+  }
+  OpRef(OpRef&& o) noexcept : s_(o.s_) { o.s_ = nullptr; }
+  OpRef& operator=(const OpRef& o) noexcept {
+    OpRef copy(o);
+    swap(copy);
+    return *this;
+  }
+  OpRef& operator=(OpRef&& o) noexcept {
+    swap(o);
+    return *this;
+  }
+  ~OpRef() { release(); }
+
+  void swap(OpRef& o) noexcept {
+    OpState* t = s_;
+    s_ = o.s_;
+    o.s_ = t;
+  }
+
+  [[nodiscard]] OpState* get() const noexcept { return s_; }
+  OpState& operator*() const noexcept { return *s_; }
+  OpState* operator->() const noexcept { return s_; }
+  explicit operator bool() const noexcept { return s_ != nullptr; }
+  bool operator==(std::nullptr_t) const noexcept { return s_ == nullptr; }
+
+ private:
+  void release() noexcept {
+    if (s_ && --s_->refs == 0) s_->arena->recycle(s_);
+    s_ = nullptr;
+  }
+
+  OpState* s_ = nullptr;
 };
 }  // namespace detail
 
@@ -59,9 +145,9 @@ class Request {
   friend class SimSession;
   friend class Comm;
   friend struct WaitOp;
-  explicit Request(std::shared_ptr<detail::OpState> s)
+  explicit Request(detail::OpRef s)
       : state_(std::move(s)) {}
-  std::shared_ptr<detail::OpState> state_;
+  detail::OpRef state_;
 };
 
 struct SendOp {
@@ -81,7 +167,7 @@ struct RecvOp {
   int dst;
   int src;
   int tag;
-  std::shared_ptr<detail::OpState> state;
+  detail::OpRef state;
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h);
@@ -92,7 +178,7 @@ struct RecvOp {
 struct WaitOp {
   SimSession* sess;
   int rank;
-  std::shared_ptr<detail::OpState> state;
+  detail::OpRef state;
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h);

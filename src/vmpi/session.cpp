@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -28,6 +31,8 @@ void SessionMetrics::merge(const SessionMetrics& o) {
   frag_leaps += o.frag_leaps;
   host_ns += o.host_ns;
   sim_ns += o.sim_ns;
+  actions_spilled += o.actions_spilled;
+  op_pool_blocks = std::max(op_pool_blocks, o.op_pool_blocks);
 }
 
 void publish_metrics(const SessionMetrics& m, obs::Registry& reg) {
@@ -41,7 +46,54 @@ void publish_metrics(const SessionMetrics& m, obs::Registry& reg) {
   reg.counter("sim.frag_leaps").inc(m.frag_leaps);
   reg.counter("sim.host_ns").inc(m.host_ns);
   reg.counter("sim.time_ns").inc(m.sim_ns);
+  reg.counter("sim.actions_spilled").inc(m.actions_spilled);
   reg.gauge("sim.queue_high_water").update_max(double(m.queue_high_water));
+  reg.gauge("sim.op_pool_blocks").update_max(double(m.op_pool_blocks));
+}
+
+// -------------------------------------------------------------- OpArena ----
+
+detail::OpArena::~OpArena() {
+  if (live_ != 0) {
+    // A Request outlived its session. Freed-memory scribbles from the
+    // stray ref would be a heisenbug; die loudly and deterministically
+    // instead.
+    std::fprintf(stderr,
+                 "lmo::vmpi::OpArena destroyed with %llu live operation "
+                 "state(s) — a Request outlived its SimSession\n",
+                 static_cast<unsigned long long>(live_));
+    std::abort();
+  }
+}
+
+detail::OpState* detail::OpArena::allocate() {
+  OpState* s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    if (chunks_.empty() || chunk_used_ == kBlocksPerChunk) {
+      chunks_.push_back(
+          std::make_unique<unsigned char[]>(sizeof(OpState) * kBlocksPerChunk));
+      chunk_used_ = 0;
+      // Pre-size the free list so recycle() never reallocates (it is
+      // noexcept and runs from OpRef release paths).
+      free_.reserve(chunks_.size() * kBlocksPerChunk);
+    }
+    s = reinterpret_cast<OpState*>(chunks_.back().get() +
+                                   sizeof(OpState) * chunk_used_++);
+    ++carved_;
+  }
+  ++live_;
+  OpState* p = ::new (static_cast<void*>(s)) OpState();
+  p->arena = this;
+  return p;
+}
+
+void detail::OpArena::recycle(OpState* s) noexcept {
+  s->~OpState();
+  free_.push_back(s);
+  --live_;
 }
 
 // ---------------------------------------------------------------- Comm ----
@@ -160,6 +212,8 @@ SimSession::SimSession(std::shared_ptr<const sim::ClusterConfig> cfg,
   inbox_.resize(std::size_t(n));
   pending_.resize(std::size_t(n));
   progress_.resize(std::size_t(n));
+  queue_dirty_.assign(std::size_t(n), 0);
+  dirty_dsts_.reserve(std::size_t(n));
   // A tree barrier costs about 2 * ceil(log2 n) one-way latencies; this is
   // only used to synchronize measurement rounds, never measured itself.
   double max_lat = 0.0;
@@ -183,13 +237,24 @@ void SimSession::resume_at(int rank, SimTime t, std::coroutine_handle<> h) {
 }
 
 void SimSession::clear_round_state() {
-  for (auto& q : inbox_) q.clear();
-  for (auto& p : pending_) p.clear();
+  for (const int d : dirty_dsts_) {
+    inbox_[std::size_t(d)].clear();
+    pending_[std::size_t(d)].clear();
+    queue_dirty_[std::size_t(d)] = 0;
+  }
+  dirty_dsts_.clear();
   for (auto& t : progress_) t.reset();
   barrier_arrived_ = 0;
   barrier_max_ = SimTime::zero();
   barrier_waiters_.clear();
   std::fill(rank_time_.begin(), rank_time_.end(), SimTime::zero());
+}
+
+void SimSession::mark_dirty(int dst) {
+  if (!queue_dirty_[std::size_t(dst)]) {
+    queue_dirty_[std::size_t(dst)] = 1;
+    dirty_dsts_.push_back(dst);
+  }
 }
 
 SimTime SimSession::run(const std::vector<RankProgram>& programs) {
@@ -202,7 +267,9 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
   trace_.clear();
 
   const auto nranks = std::size_t(size());
-  std::vector<Task> tasks(nranks);
+  auto& tasks = round_tasks_;  // member scratch: vector capacity survives runs
+  tasks.clear();
+  tasks.resize(nranks);
   active_ranks_ = 0;
   for (int r = 0; r < size(); ++r)
     if (programs[std::size_t(r)]) {
@@ -211,8 +278,8 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
     }
   for (int r = 0; r < size(); ++r)
     if (tasks[std::size_t(r)].valid())
-      engine_.schedule_at(SimTime::zero(), [&tasks, r] {
-        tasks[std::size_t(r)].start();
+      engine_.schedule_at(SimTime::zero(), [this, r] {
+        round_tasks_[std::size_t(r)].start();
       });
 
   const auto host_begin = std::chrono::steady_clock::now();
@@ -223,6 +290,7 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
     // so the session stays usable (and reset()-able) after the throw.
     engine_.discard_pending();
     clear_round_state();
+    tasks.clear();
     throw;
   }
   base_.host_ns += std::uint64_t(
@@ -232,6 +300,8 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
   base_.events += engine_.executed();
   base_.queue_high_water =
       std::max(base_.queue_high_water, std::uint64_t(engine_.max_pending()));
+  base_.actions_spilled = engine_.actions_spilled();
+  base_.op_pool_blocks = op_arena_.blocks_carved();
 
   // Exceptions first (a failed rank usually strands its peers).
   for (const auto& t : tasks) t.rethrow_if_failed();
@@ -243,6 +313,7 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
     // Drop stale suspended-coroutine references before the Tasks destroy
     // their frames.
     clear_round_state();
+    tasks.clear();
     throw Error("communication deadlock: rank(s) " + stuck +
                 " never completed");
   }
@@ -251,6 +322,7 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
   for (int r = 0; r < size(); ++r)
     if (tasks[std::size_t(r)].valid())
       end = lmo::max(end, rank_time_[std::size_t(r)]);
+  tasks.clear();  // frames return to the pool; the vector keeps capacity
   accumulated_ += end;
   if (trace_sink_ && !trace_.empty())
     append_chrome_trace(*trace_sink_, trace_);
@@ -293,10 +365,14 @@ void SimSession::finish(const StatePtr& state, SimTime completion,
   }
 }
 
+SimSession::StatePtr SimSession::make_op_state() {
+  return StatePtr(op_arena_.allocate());
+}
+
 SimSession::StatePtr SimSession::exec_isend(int src, int dst, int tag,
                                             Bytes n) {
   const SimTime now = rank_time_[std::size_t(src)];
-  auto state = std::make_shared<detail::OpState>();
+  auto state = make_op_state();
   if (!fabric_.use_rendezvous(n)) {
     ++base_.msgs_eager;
     // Eager path: the transfer is fully scheduled at send time.
@@ -347,6 +423,7 @@ void SimSession::deliver(int dst, Announcement msg) {
     complete(dst, std::move(msg), std::move(r));
     return;
   }
+  mark_dirty(dst);
   inbox_[std::size_t(dst)].push_back(std::move(msg));
 }
 
@@ -358,7 +435,7 @@ SimSession::StatePtr SimSession::exec_irecv(int dst, int src, int tag,
   r.tag = tag;
   r.background = background;
   r.post_time = now;
-  r.state = std::make_shared<detail::OpState>();
+  r.state = make_op_state();
   auto state = r.state;
   auto& q = inbox_[std::size_t(dst)];
   const auto it = std::find_if(q.begin(), q.end(), [&](const Announcement& m) {
@@ -369,6 +446,7 @@ SimSession::StatePtr SimSession::exec_irecv(int dst, int src, int tag,
     q.erase(it);
     complete(dst, std::move(msg), std::move(r));
   } else {
+    mark_dirty(dst);
     pending_[std::size_t(dst)].push_back(std::move(r));
   }
   return state;

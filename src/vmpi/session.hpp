@@ -64,6 +64,8 @@ struct SessionMetrics {
   std::uint64_t frag_leaps = 0;        ///< fragmentation-leap hits
   std::uint64_t host_ns = 0;           ///< host wall time inside engine runs
   std::uint64_t sim_ns = 0;            ///< accumulated simulated time
+  std::uint64_t actions_spilled = 0;   ///< event closures too big for inline
+  std::uint64_t op_pool_blocks = 0;    ///< OpState blocks carved (max-merge)
 
   void merge(const SessionMetrics& o);
 };
@@ -144,7 +146,7 @@ class SimSession {
   friend struct BarrierOp;
   friend class Comm;
 
-  using StatePtr = std::shared_ptr<detail::OpState>;
+  using StatePtr = detail::OpRef;
 
   struct Announcement {
     int src = -1;
@@ -163,6 +165,10 @@ class SimSession {
     StatePtr state;
   };
 
+  /// Pool-allocated OpState: one free-list block per op, no malloc in
+  /// steady state (the arena recycles blocks as requests complete).
+  [[nodiscard]] StatePtr make_op_state();
+
   StatePtr exec_isend(int src, int dst, int tag, Bytes n);
   StatePtr exec_irecv(int dst, int src, int tag, bool background);
   void exec_wait(WaitOp& op, std::coroutine_handle<> h);
@@ -177,9 +183,13 @@ class SimSession {
   void finish(const StatePtr& state, SimTime completion, Bytes bytes);
   void resume_at(int rank, SimTime t, std::coroutine_handle<> h);
   void clear_round_state();
+  void mark_dirty(int dst);
 
   std::shared_ptr<const sim::ClusterConfig> cfg_;
   std::uint64_t seed_ = 0;
+  // Declared before every container that can hold OpRefs (queues, tasks,
+  // engine) so it is destroyed after all of them release their blocks.
+  detail::OpArena op_arena_;
   sim::Engine engine_;
   sim::Fabric fabric_;
   std::vector<Comm> comms_;
@@ -187,12 +197,22 @@ class SimSession {
   std::vector<std::deque<Announcement>> inbox_;       // per destination
   std::vector<std::deque<PendingRecv>> pending_;      // per destination
   std::vector<sim::Timeline> progress_;               // per node: irecv cpu
+  /// Destinations whose inbox_/pending_ were pushed to this round — the
+  /// only queues clear_round_state() must visit (rounds usually touch a
+  /// few ranks of a large session, and the clear runs per repetition).
+  std::vector<int> dirty_dsts_;
+  std::vector<char> queue_dirty_;  ///< per-dst membership flag for the above
 
   int barrier_arrived_ = 0;
   SimTime barrier_max_;
   std::vector<std::pair<int, std::coroutine_handle<>>> barrier_waiters_;
   SimTime barrier_cost_;
   int active_ranks_ = 0;  ///< ranks with a program this run (barrier quorum)
+
+  /// Per-round rank tasks, kept as a member so the vector's capacity (and
+  /// the frame pool's blocks) recycle across runs. Cleared — references
+  /// dropped via clear_round_state() first — before frames are destroyed.
+  std::vector<Task> round_tasks_;
 
   std::uint64_t total_runs_ = 0;
   SimTime accumulated_;

@@ -1,0 +1,173 @@
+// sim::Action — the engine's move-only event closure — and the regression
+// guard for the bug it replaced: the old std::priority_queue-based engine
+// *copied* each event's std::function out of top() before executing it
+// (top() is const), cloning every capture on the heap once per event. The
+// instrumented-functor tests pin down that an Action scheduled on the
+// engine is never copy-constructed again, and that captures up to the
+// inline budget never touch the heap.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "simnet/action.hpp"
+#include "simnet/engine.hpp"
+#include "util/time.hpp"
+
+namespace lmo::sim {
+namespace {
+
+// ------------------------------------------------------------- storage ----
+
+template <std::size_t N>
+struct SizedFunctor {
+  unsigned char payload[N] = {};
+  int* fired;
+  void operator()() { ++*fired; }
+};
+
+TEST(Action, CapturesStraddlingTheInlineThreshold) {
+  int fired = 0;
+  // Comfortably inline, exactly at the limit, and one struct past it.
+  // (The functor also holds the `fired` pointer, so the payload sizes are
+  // chosen to land the *total* size on each side of kInlineSize.)
+  Action small(SizedFunctor<8>{{}, &fired});
+  EXPECT_FALSE(small.heap_allocated());
+
+  constexpr std::size_t kAtLimit = Action::kInlineSize - sizeof(int*);
+  Action at_limit(SizedFunctor<kAtLimit>{{}, &fired});
+  static_assert(sizeof(SizedFunctor<kAtLimit>) == Action::kInlineSize);
+  EXPECT_FALSE(at_limit.heap_allocated());
+
+  Action over(SizedFunctor<Action::kInlineSize>{{}, &fired});
+  static_assert(sizeof(SizedFunctor<Action::kInlineSize>) >
+                Action::kInlineSize);
+  EXPECT_TRUE(over.heap_allocated());
+
+  small();
+  at_limit();
+  over();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Action, EmptyAndNullActionsAreFalsy) {
+  Action empty;
+  EXPECT_FALSE(bool(empty));
+  Action null_init(nullptr);
+  EXPECT_FALSE(bool(null_init));
+  Action real([] {});
+  EXPECT_TRUE(bool(real));
+}
+
+TEST(Action, MoveTransfersTheCallableAndEmptiesTheSource) {
+  int fired = 0;
+  Action a([&fired] { ++fired; });
+  Action b(std::move(a));
+  EXPECT_FALSE(bool(a));  // NOLINT(bugprone-use-after-move) — by contract
+  ASSERT_TRUE(bool(b));
+  b();
+  EXPECT_EQ(fired, 1);
+
+  Action c;
+  c = std::move(b);
+  EXPECT_FALSE(bool(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Action, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(41);
+  int observed = 0;
+  Action a([p = std::move(owned), &observed] { observed = ++*p; });
+  Action b(std::move(a));  // non-trivial relocate path
+  b();
+  EXPECT_EQ(observed, 42);
+
+  // A move-only capture bigger than the inline buffer spills but still
+  // runs and destroys exactly once.
+  struct Big {
+    std::unique_ptr<int> p;
+    unsigned char pad[Action::kInlineSize] = {};
+  };
+  Action big([cap = Big{std::make_unique<int>(7)}]() mutable { *cap.p += 1; });
+  EXPECT_TRUE(big.heap_allocated());
+  big();
+}
+
+TEST(Action, DestroysInlineCapturesExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  {
+    Action a([counter] { (void)counter; });
+    Action b(std::move(a));
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+// ---------------------------------------------- copy-count regression ----
+
+/// Counts its own copy- and move-constructions through static tallies.
+struct CopyCounter {
+  static int copies;
+  static int moves;
+  static int calls;
+
+  CopyCounter() = default;
+  CopyCounter(const CopyCounter&) noexcept { ++copies; }
+  CopyCounter(CopyCounter&&) noexcept { ++moves; }
+  CopyCounter& operator=(const CopyCounter&) = delete;
+  CopyCounter& operator=(CopyCounter&&) = delete;
+  void operator()() const { ++calls; }
+};
+int CopyCounter::copies = 0;
+int CopyCounter::moves = 0;
+int CopyCounter::calls = 0;
+
+TEST(EngineActions, EventsAreNeverCopiedOutOfTheQueue) {
+  // The old engine copy-constructed every closure once per event when
+  // popping it from std::priority_queue::top(). With the slab design a
+  // scheduled closure is moved into its slot, shuffled only as a 16-byte
+  // index node while queued, and moved out exactly once to fire.
+  constexpr int kEvents = 512;
+  Engine engine;
+  CopyCounter::copies = CopyCounter::moves = CopyCounter::calls = 0;
+  for (int i = 0; i < kEvents; ++i)
+    engine.schedule_at(SimTime(i % 7), CopyCounter{});
+  const int copies_after_scheduling = CopyCounter::copies;
+  engine.run();
+
+  EXPECT_EQ(CopyCounter::calls, kEvents);
+  EXPECT_EQ(CopyCounter::copies, copies_after_scheduling)
+      << "an event closure was copy-constructed between schedule and fire";
+  EXPECT_EQ(CopyCounter::copies, 0)
+      << "scheduling itself must move, not copy";
+}
+
+// ------------------------------------------------------- engine basics ----
+
+TEST(EngineActions, SpillCounterTracksOversizedClosures) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(SimTime(0), SizedFunctor<8>{{}, &fired});
+  EXPECT_EQ(engine.actions_spilled(), 0u);
+  engine.schedule_at(SimTime(1),
+                     SizedFunctor<2 * Action::kInlineSize>{{}, &fired});
+  EXPECT_EQ(engine.actions_spilled(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineActions, EqualTimestampsFireInInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i)
+    engine.schedule_at(SimTime(5), [&order, i] { order.push_back(i); });
+  engine.run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+}  // namespace
+}  // namespace lmo::sim

@@ -86,6 +86,68 @@ TEST(Json, MalformedInputThrows) {
   EXPECT_THROW((void)Json::parse("\"unterminated"), Error);
 }
 
+TEST(Json, HostileNestingFailsWithOffsetInsteadOfOverflowing) {
+  // 100k unclosed '[' would blow the call stack without the parser's depth
+  // guard; it must surface as a parse error naming the offending offset.
+  const std::string bomb(100000, '[');
+  try {
+    (void)Json::parse(bomb);
+    FAIL() << "depth bomb parsed";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 256"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos)
+        << e.what();
+  }
+  // Objects recurse through the same guard.
+  std::string obj_bomb;
+  for (int i = 0; i < 100000; ++i) obj_bomb += "{\"k\":";
+  EXPECT_THROW((void)Json::parse(obj_bomb), Error);
+  // Depth at the limit still parses: 200 levels is comfortably legal.
+  const std::string ok =
+      std::string(200, '[') + "1" + std::string(200, ']');
+  EXPECT_EQ(Json::parse(ok).size(), 1u);
+}
+
+TEST(Json, UnpairedSurrogatesAreParseErrorsWithOffset) {
+  // A lone low surrogate, a high surrogate followed by a plain character,
+  // a high surrogate at end of string, and a high surrogate followed by a
+  // non-surrogate escape: none has a UTF-8 encoding.
+  for (const char* bad : {"\"\\uDC00\"", "\"\\uD834x\"", "\"\\uD834\"",
+                          "\"\\uD834\\u0041\""}) {
+    try {
+      (void)Json::parse(bad);
+      FAIL() << bad << " parsed";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("surrogate"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Json, SurrogatePairsDecodeToFourByteUtf8) {
+  // U+1D11E (musical G clef) is \uD834\uDD1E.
+  const Json v = Json::parse("\"\\uD834\\uDD1E\"");
+  EXPECT_EQ(v.as_string(), "\xF0\x9D\x84\x9E");
+  // And BMP escapes still decode as before.
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(Json, DumpedEscapesRoundTripThroughTheParser) {
+  // Every escape dump() emits — quotes, backslashes, the named control
+  // escapes, and \u00xx for the remaining control bytes — must parse back
+  // to the original string.
+  std::string nasty = "quote:\" back:\\ slash:/ ";
+  for (int c = 1; c < 0x20; ++c) nasty += char(c);
+  Json doc = Json::object();
+  doc["s"] = nasty;
+  EXPECT_EQ(Json::parse(doc.dump()).at("s").as_string(), nasty);
+  EXPECT_EQ(Json::parse(doc.dump(2)).at("s").as_string(), nasty);
+}
+
 // ------------------------------------------------------------- registry ----
 
 TEST(Metrics, CounterGaugeHistogramBasics) {

@@ -144,6 +144,29 @@ TEST(MeasurementStoreTest, FirstWriteWins) {
   EXPECT_EQ(store.size(), 1u);
 }
 
+TEST(MeasurementStoreTest, HostileNestingInFileFailsCleanly) {
+  // A measurements file holding a 100k-deep array must come back as a
+  // clean lmo::Error naming the file — not a stack overflow. This is the
+  // end-to-end check of the JSON parser's depth guard: load() is the one
+  // path that feeds attacker-controllable bytes into the parser.
+  const std::string path = testing::TempDir() + "lmo_depth_bomb.json";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 100000; ++i) std::fputc('[', f);
+    std::fclose(f);
+  }
+  try {
+    (void)MeasurementStore::load(path);
+    FAIL() << "depth bomb loaded";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("nesting"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(MeasurementStoreTest, CountsHitsAndMisses) {
   MeasurementStore store;
   const auto key = ExperimentKey::send_overhead(0, 1, 256);

@@ -31,6 +31,9 @@ if command -v ccache >/dev/null 2>&1; then
   echo "== ccache enabled =="
 fi
 
+echo "== tooling self-tests =="
+python3 tools/bench_report.py --self-test
+
 echo "== regular build =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo ${LAUNCHER:+$LAUNCHER}
 cmake --build build -j "$JOBS"
