@@ -61,6 +61,11 @@ BenchEnv::BenchEnv(std::uint64_t seed)
   world.set_trace_sink(obs::global_sink());
 }
 
+BenchEnv::BenchEnv(sim::ClusterConfig cluster)
+    : cfg(std::move(cluster)), world(cfg), ex(world, bench_measure_options()) {
+  world.set_trace_sink(obs::global_sink());
+}
+
 mpib::MeasureOptions bench_measure_options() { return run_state().measure; }
 
 BenchEnv::~BenchEnv() {

@@ -53,6 +53,9 @@ struct BenchEnv {
   /// The experimenter picks up the --fault-* spec parse_bench_cli recorded
   /// (inert when no fault flag was given).
   explicit BenchEnv(std::uint64_t seed = 1);
+  /// Same harness on a caller-supplied cluster (e.g. a hierarchical
+  /// multi-core cluster) instead of the Table-I paper cluster.
+  explicit BenchEnv(sim::ClusterConfig cluster);
   /// Publishes the world's session metrics into the global registry.
   ~BenchEnv();
 };

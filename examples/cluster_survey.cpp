@@ -2,7 +2,12 @@
 // randomly generated heterogeneous cluster and compare their
 // point-to-point views — the workflow of the paper's software tool [13].
 //
-// Usage: cluster_survey [--nodes N] [--seed S]
+// With --hierarchical the survey runs on a resource tree instead (2
+// switches x 4 nodes x 2 cores) and additionally reports the fitted
+// per-level link parameters against the ground truth the simulator was
+// built from.
+//
+// Usage: cluster_survey [--nodes N] [--seed S] [--hierarchical]
 #include <iostream>
 
 #include "estimate/experimenter.hpp"
@@ -18,16 +23,24 @@
 
 int main(int argc, char** argv) {
   using namespace lmo;
-  const Cli cli(argc, argv, {"nodes", "seed"});
-  const int n = int(cli.get_int("nodes", 8));
+  const Cli cli(argc, argv, {"nodes", "seed", "hierarchical"});
   const auto seed = std::uint64_t(cli.get_int("seed", 2026));
+  const bool hierarchical = cli.get_flag("hierarchical");
 
-  const sim::ClusterConfig cluster = sim::make_random_cluster(n, seed);
+  const sim::ClusterConfig cluster =
+      hierarchical
+          ? sim::make_multicore_cluster(2, 4, 2, seed)
+          : sim::make_random_cluster(int(cli.get_int("nodes", 8)), seed);
+  const int n = cluster.size();
   vmpi::World world(cluster);
   estimate::SimExperimenter ex(world);
 
-  std::cout << "surveying a " << n << "-node cluster (seed " << seed
-            << ")...\n";
+  if (hierarchical)
+    std::cout << "surveying a 2 switch x 4 node x 2 core cluster (" << n
+              << " ranks, seed " << seed << ")...\n";
+  else
+    std::cout << "surveying a " << n << "-node cluster (seed " << seed
+              << ")...\n";
   const auto hockney = estimate::estimate_hockney(ex);
   const auto loggp = estimate::estimate_loggp(ex);
   estimate::PLogPOptions plogp_opts;
@@ -78,5 +91,25 @@ int main(int argc, char** argv) {
                    format_seconds(lmo.params.C[std::size_t(i)]),
                    format_seconds(lmo.params.t[std::size_t(i)]) + "/B"});
   nodes.print(std::cout);
+
+  if (hierarchical) {
+    // The O(n^2) pair tables collapse onto one link class per tree level;
+    // the fitted latency absorbs the minimal Ethernet frame's wire time
+    // (64 B at the level's rate), hence the "+ frame" column.
+    const auto gt = sim::ground_truth_per_level(cluster);
+    std::cout << "\nper-level LMO link parameters (fitted vs ground truth):\n";
+    Table levels({"level", "pairs", "fitted L", "true L + frame",
+                  "fitted 1/beta", "true 1/beta"});
+    for (std::size_t lv = 0; lv < lmo.params.per_level.size(); ++lv) {
+      const auto& fit = lmo.params.per_level[lv];
+      levels.add_row(
+          {cluster.topology.level(int(lv) + 1).name,
+           std::to_string(fit.pairs), format_seconds(fit.L),
+           format_seconds(gt[lv].L + 64.0 * gt[lv].inv_beta),
+           format_seconds(fit.inv_beta) + "/B",
+           format_seconds(gt[lv].inv_beta) + "/B"});
+    }
+    levels.print(std::cout);
+  }
   return 0;
 }

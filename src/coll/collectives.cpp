@@ -137,14 +137,16 @@ Task linear_bcast(Comm& c, int root, Bytes bytes) {
   }
 }
 
-Task binomial_bcast(Comm& c, int root, Bytes bytes) {
+Task binomial_bcast(Comm& c, int root, Bytes bytes,
+                    std::vector<int> mapping) {
   const int n = c.size();
   LMO_CHECK(root >= 0 && root < n);
-  const int v = (c.rank() - root + n) % n;
+  const int v = virtual_rank(mapping, c.rank(), root, n);
   if (v != 0)
-    co_await c.recv((trees::binomial_parent(v) + root) % n);
+    co_await c.recv(trees::map_rank(mapping, trees::binomial_parent(v),
+                                    root, n));
   for (int child_v : trees::binomial_children(v, n))
-    co_await c.send((child_v + root) % n, bytes);
+    co_await c.send(trees::map_rank(mapping, child_v, root, n), bytes);
 }
 
 Task linear_reduce(Comm& c, int root, Bytes bytes) {

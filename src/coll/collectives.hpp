@@ -62,8 +62,11 @@ vmpi::Task linear_gatherv(vmpi::Comm& c, int root, std::vector<Bytes> sizes);
 /// paper's scatter/gather focus.
 vmpi::Task linear_bcast(vmpi::Comm& c, int root, Bytes bytes);
 
-/// Binomial-tree broadcast.
-vmpi::Task binomial_bcast(vmpi::Comm& c, int root, Bytes bytes);
+/// Binomial-tree broadcast. `mapping` assigns physical ranks to virtual
+/// tree nodes (e.g. trees::hierarchy_mapping to keep late subtrees
+/// intra-node); empty = MPI default (v + root) mod n.
+vmpi::Task binomial_bcast(vmpi::Comm& c, int root, Bytes bytes,
+                          std::vector<int> mapping = {});
 
 /// Flat-tree reduce: the root receives one block per rank and combines it
 /// (a compute() of the block size per message).

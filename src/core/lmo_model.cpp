@@ -1,5 +1,7 @@
 #include "core/lmo_model.hpp"
 
+#include <string>
+
 #include "util/error.hpp"
 
 namespace lmo::core {
@@ -39,6 +41,29 @@ double LmoOriginalParams::pt2pt(int i, int j, Bytes m) const {
   LMO_CHECK(i >= 0 && i < size() && j >= 0 && j < size());
   const auto si = std::size_t(i), sj = std::size_t(j);
   return C[si] + C[sj] + double(m) * (t[si] + inv_beta(i, j) + t[sj]);
+}
+
+LmoParams priced_by_path(const LmoParams& p, const sim::Topology& topo) {
+  p.validate();
+  LMO_CHECK_MSG(!topo.empty(), "priced_by_path needs a non-empty topology");
+  LMO_CHECK_MSG(topo.ranks() == p.size(),
+                "topology places " + std::to_string(topo.ranks()) +
+                    " ranks, model has " + std::to_string(p.size()));
+  LMO_CHECK_MSG(int(p.per_level.size()) == topo.depth(),
+                "model has " + std::to_string(p.per_level.size()) +
+                    " per-level links, topology has " +
+                    std::to_string(topo.depth()) + " levels");
+  LmoParams out = p;
+  const int n = p.size();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const LevelLink& link =
+          p.per_level[std::size_t(topo.lca_level(i, j) - 1)];
+      out.L(i, j) = link.L;
+      out.inv_beta(i, j) = link.inv_beta;
+    }
+  return out;
 }
 
 LmoOriginalParams fold_latencies(const LmoParams& p) {

@@ -22,15 +22,31 @@
 
 #include "models/hockney.hpp"
 #include "models/pair_table.hpp"
+#include "simnet/topology.hpp"
 #include "util/bytes.hpp"
 
 namespace lmo::core {
+
+/// Fitted LMO link parameters of one resource-tree level: the mean L_ij
+/// and 1/beta_ij over all fitted pairs whose lowest common ancestor sits
+/// at that level (intra-node pairs at level 1, same-switch pairs at level
+/// 2, ...). A hierarchy collapses the O(n^2) pair tables onto O(depth)
+/// link classes.
+struct LevelLink {
+  double L = 0.0;         ///< mean link latency of the level's pairs [s]
+  double inv_beta = 0.0;  ///< mean inverse transmission rate [s/B]
+  int pairs = 0;          ///< fitted pairs aggregated into this level
+};
 
 struct LmoParams {
   std::vector<double> C;        ///< fixed processing delays [s]
   std::vector<double> t;        ///< per-byte processing delays [s/B]
   models::PairTable L;          ///< link latencies [s]
   models::PairTable inv_beta;   ///< inverse transmission rates [s/B]
+
+  /// Per-level aggregation of L/inv_beta (index = level - 1), filled when
+  /// the fit knew the platform's resource tree; empty on a flat fit.
+  std::vector<LevelLink> per_level;
 
   [[nodiscard]] int size() const { return int(C.size()); }
 
@@ -58,5 +74,13 @@ struct LmoOriginalParams {
 /// the original model would have estimated on the same cluster (each node
 /// absorbs its average half-latency). Used by the separation ablation.
 [[nodiscard]] LmoOriginalParams fold_latencies(const LmoParams& p);
+
+/// Re-price every pair from the per-level parameters: L_ij and 1/beta_ij
+/// become the LevelLink values of the pair's LCA level in `topo`. All
+/// existing prediction formulas then price transfers by the path they
+/// cross while the O(n^2) tables stay their interface. Requires
+/// p.per_level to cover topo.depth() levels.
+[[nodiscard]] LmoParams priced_by_path(const LmoParams& p,
+                                       const sim::Topology& topo);
 
 }  // namespace lmo::core

@@ -167,7 +167,7 @@ GatherEmpiricalReport estimate_gather_empirical(Experimenter& ex,
                                                 const core::LmoParams& params,
                                                 const EmpiricalOptions& opts) {
   const obs::Span sp = obs::span("empirical.gather_sweep");
-  PlanBuilder plan;
+  PlanBuilder plan(ex.topology());
   plan_gather_sweep(plan, opts);
   (void)execute_plan(plan.build(true), ex, store);
   return fit_gather_empirical(store, params, opts);
@@ -218,7 +218,7 @@ ScatterEmpiricalReport estimate_scatter_empirical(
     Experimenter& ex, MeasurementStore& store, const core::LmoParams& params,
     const EmpiricalOptions& opts) {
   const obs::Span sp = obs::span("empirical.scatter_sweep");
-  PlanBuilder plan;
+  PlanBuilder plan(ex.topology());
   plan_scatter_sweep(plan, opts);
   (void)execute_plan(plan.build(true), ex, store);
   return fit_scatter_empirical(store, params, opts);

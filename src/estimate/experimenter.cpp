@@ -161,6 +161,16 @@ int SimExperimenter::jobs() const {
   return measure_.jobs > 0 ? measure_.jobs : default_jobs();
 }
 
+const sim::Topology* SimExperimenter::topology() const {
+  const sim::Topology& topo = session_->config().topology;
+  // A flat config, or a degenerate tree (one level, no contention), adds
+  // no information over the flat single-switch model — report "no
+  // topology" so planning and fitting stay byte-identical with it.
+  if (topo.empty() || (topo.depth() <= 1 && !topo.any_contended()))
+    return nullptr;
+  return &topo;
+}
+
 std::vector<double> SimExperimenter::measure_round(
     const std::function<std::vector<RankProgram>(std::vector<double>&)>&
         build,

@@ -55,6 +55,16 @@ class Experimenter {
 
   [[nodiscard]] virtual int size() const = 0;
 
+  /// Resource tree of the platform, when it has a non-trivial one:
+  /// planners use it to stamp LCA levels and avoid packing experiments
+  /// over a shared contended switch, and fits use it to aggregate
+  /// per-level parameters. nullptr (the default) means "flat single
+  /// switch" — also returned for degenerate trees, so that planning and
+  /// stores stay byte-identical with the flat pipeline.
+  [[nodiscard]] virtual const sim::Topology* topology() const {
+    return nullptr;
+  }
+
   /// Batched round-trips over disjoint pairs, run concurrently and
   /// repeated to the CI criterion; means in input order [s]. T_ij: i sends
   /// m_fwd to j, j replies with m_back; measured at i.
@@ -121,6 +131,7 @@ class SimExperimenter final : public Experimenter {
                            mpib::MeasureOptions measure = {});
 
   [[nodiscard]] int size() const override { return session_->size(); }
+  [[nodiscard]] const sim::Topology* topology() const override;
   [[nodiscard]] vmpi::SimSession& session() { return *session_; }
   [[nodiscard]] const mpib::MeasureOptions& measure_options() const {
     return measure_;

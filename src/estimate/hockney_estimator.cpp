@@ -87,7 +87,7 @@ HockneyReport estimate_hockney(Experimenter& ex, MeasurementStore& store,
   const std::uint64_t runs0 = ex.runs();
   const SimTime cost0 = ex.cost();
 
-  PlanBuilder plan;
+  PlanBuilder plan(ex.topology());
   plan_hockney(plan, ex.size(), opts);
   (void)execute_plan(plan.build(opts.parallel), ex, store);
   HockneyReport report = fit_hockney(store, ex.size(), opts);

@@ -210,19 +210,46 @@ LmoReport fit_lmo(const MeasurementStore& store, int n,
       p.inv_beta(i, j) =
           std::max(0.0, ib_acc[std::size_t(i)][std::size_t(j)].value());
     }
+
+  // ---- Per-level aggregation over the resource tree (when known). ----
+  // Pairs collapse onto their LCA level: the mean fitted L/1-over-beta of
+  // each level is the per-level link parameter priced_by_path() expands
+  // back into pair tables.
+  if (opts.topology != nullptr && !opts.topology->empty()) {
+    const sim::Topology& topo = *opts.topology;
+    LMO_CHECK_MSG(topo.ranks() == n,
+                  "LMO fit: topology places " + std::to_string(topo.ranks()) +
+                      " ranks, store covers " + std::to_string(n));
+    p.per_level.assign(std::size_t(topo.depth()), core::LevelLink{});
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) {
+        core::LevelLink& link =
+            p.per_level[std::size_t(topo.lca_level(i, j) - 1)];
+        link.L += p.L(i, j);
+        link.inv_beta += p.inv_beta(i, j);
+        ++link.pairs;
+      }
+    for (core::LevelLink& link : p.per_level) {
+      if (link.pairs == 0) continue;
+      link.L /= link.pairs;
+      link.inv_beta /= link.pairs;
+    }
+  }
   return report;
 }
 
 LmoReport estimate_lmo(Experimenter& ex, MeasurementStore& store,
-                       const LmoOptions& opts) {
+                       const LmoOptions& opts_in) {
   const int n = ex.size();
+  LmoOptions opts = opts_in;
+  if (opts.topology == nullptr) opts.topology = ex.topology();
   check_options(n, opts);
   const std::uint64_t runs0 = ex.runs();
   const SimTime cost0 = ex.cost();
 
   {
     const obs::Span sp = obs::span("lmo.roundtrips");
-    PlanBuilder stage1;
+    PlanBuilder stage1(opts.topology);
     plan_lmo_roundtrips(stage1, n, opts);
     (void)execute_plan(stage1.build(opts.parallel), ex, store);
   }
@@ -230,7 +257,7 @@ LmoReport estimate_lmo(Experimenter& ex, MeasurementStore& store,
 
   {
     const obs::Span sp = obs::span("lmo.one_to_two");
-    PlanBuilder stage2;
+    PlanBuilder stage2(opts.topology);
     plan_lmo_one_to_two(stage2, store, n, opts);
     (void)execute_plan(stage2.build(opts.parallel), ex, store);
   }

@@ -30,6 +30,13 @@ struct LmoOptions {
   Bytes probe_size = 32 * 1024;  ///< medium: below leap/rendezvous regions
   bool parallel = true;
   bool redundancy_averaging = true;  ///< eq. (12); false: first triplet wins
+
+  /// Resource tree of the platform. When set (non-empty), fit_lmo
+  /// additionally aggregates the fitted pair L/1-over-beta into per-level
+  /// LevelLinks (params.per_level), and estimate_lmo plans with
+  /// topology-aware packing. estimate_lmo defaults it from
+  /// Experimenter::topology() when left null. Must outlive the fit.
+  const sim::Topology* topology = nullptr;
 };
 
 struct LmoReport {

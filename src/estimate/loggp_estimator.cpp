@@ -81,7 +81,7 @@ LogGPReport estimate_loggp(Experimenter& ex, MeasurementStore& store,
   const std::uint64_t runs0 = ex.runs();
   const SimTime cost0 = ex.cost();
 
-  PlanBuilder plan;
+  PlanBuilder plan(ex.topology());
   plan_loggp(plan, ex.size(), opts);
   (void)execute_plan(plan.build(opts.parallel), ex, store);
   LogGPReport report = fit_loggp(store, ex.size(), opts);

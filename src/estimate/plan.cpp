@@ -152,6 +152,8 @@ obs::Json ExperimentKey::to_json() const {
       kind == ExperimentKind::kScatterObservation ||
       kind == ExperimentKind::kGatherObservation)
     j["count"] = count;
+  // Annotation only — stores that predate the field parse unchanged.
+  if (level != 0) j["level"] = level;
   return j;
 }
 
@@ -166,6 +168,7 @@ ExperimentKey ExperimentKey::from_json(const obs::Json& j) {
   k.m_fwd = j.at("m").as_int();
   if (const obs::Json* r = j.find("reply")) k.m_back = r->as_int();
   if (const obs::Json* n = j.find("count")) k.count = int(n->as_int());
+  if (const obs::Json* l = j.find("level")) k.level = int(l->as_int());
   return k;
 }
 
@@ -187,13 +190,44 @@ std::size_t ExperimentPlan::experiments() const {
   return n;
 }
 
+namespace {
+/// The point-to-point paths an experiment occupies in the resource tree.
+std::vector<std::pair<int, int>> key_paths(const ExperimentKey& k) {
+  if (k.kind == ExperimentKind::kOneToTwo) return {{k.a, k.b}, {k.a, k.c}};
+  if (k.b < 0) return {};  // observation kinds are packed alone anyway
+  return {{k.a, k.b}};
+}
+
+/// True if the two experiments cannot share a measured round on `topo`:
+/// a common participant, or paths through a common contended switch.
+bool keys_conflict(const sim::Topology& topo, const ExperimentKey& x,
+                   const ExperimentKey& y) {
+  for (const int px : x.participants())
+    for (const int py : y.participants())
+      if (px == py) return true;
+  for (const auto& [xa, xb] : key_paths(x))
+    for (const auto& [ya, yb] : key_paths(y))
+      if (topo.paths_conflict(xa, xb, ya, yb)) return true;
+  return false;
+}
+}  // namespace
+
 PlanBuilder::PlanBuilder() = default;
+
+PlanBuilder::PlanBuilder(const sim::Topology* topo) : topo_(topo) {}
 
 void PlanBuilder::require(const ExperimentKey& key) {
   ++requests_;
-  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
-  if (it != keys_.end() && *it == key) return;
-  keys_.insert(it, key);
+  ExperimentKey k = key;
+  if (topo_ != nullptr && !topo_->empty()) {
+    int lvl = 0;
+    for (const auto& [a, b] : key_paths(k))
+      lvl = std::max(lvl, topo_->lca_level(a, b));
+    k.level = lvl;
+  }
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+  if (it != keys_.end() && *it == k) return;
+  keys_.insert(it, k);
 }
 
 ExperimentPlan PlanBuilder::build(bool parallel) const {
@@ -226,6 +260,32 @@ ExperimentPlan PlanBuilder::build(bool parallel) const {
       // Observations sample the anchor session's live noise stream one at
       // a time; serial mode is the Section-IV baseline.
       for (const ExperimentKey& k : keys) add_round({k});
+    } else if (topo_ != nullptr && topo_->constrains_concurrency()) {
+      // Contended resource tree: node-disjointness is no longer enough —
+      // two pairs hanging off the same memory bus or uplink would perturb
+      // each other. Greedy first-fit over the deterministic key order,
+      // admitting an experiment to a round only when it conflicts with
+      // none of the round's members. Contention-free topologies skip this
+      // branch and pack exactly like the flat cluster.
+      std::vector<std::vector<ExperimentKey>> fitted;
+      for (const ExperimentKey& k : keys) {
+        bool placed = false;
+        for (auto& round : fitted) {
+          bool ok = true;
+          for (const ExperimentKey& other : round)
+            if (keys_conflict(*topo_, k, other)) {
+              ok = false;
+              break;
+            }
+          if (ok) {
+            round.push_back(k);
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) fitted.push_back({k});
+      }
+      for (auto& round : fitted) add_round(std::move(round));
     } else if (kind == ExperimentKind::kOneToTwo) {
       std::map<Triplet, ExperimentKey> by_triplet;
       std::vector<Triplet> triplets;

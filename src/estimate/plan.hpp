@@ -20,6 +20,7 @@
 
 #include "estimate/schedule.hpp"
 #include "obs/json.hpp"
+#include "simnet/topology.hpp"
 #include "util/bytes.hpp"
 
 namespace lmo::estimate {
@@ -53,6 +54,13 @@ struct ExperimentKey {
   Bytes m_fwd = 0;  ///< payload size
   Bytes m_back = 0; ///< reply size (roundtrip/one-to-two), else 0
   int count = 0;   ///< saturation send count / observation repetition index
+
+  /// LCA level of the participants in the cluster's resource tree —
+  /// stamped by a topology-aware PlanBuilder, 0 when unknown/flat.
+  /// Annotation only: NOT part of the key's identity (tie/ordering/JSON
+  /// matching), so stores written before this field existed still match
+  /// and cross-estimator dedup is unaffected.
+  int level = 0;
 
   [[nodiscard]] static ExperimentKey roundtrip(int i, int j, Bytes fwd,
                                                Bytes back);
@@ -117,6 +125,14 @@ class PlanBuilder {
  public:
   PlanBuilder();
 
+  /// Topology-aware builder: requirements get their LCA level stamped, and
+  /// build() packs concurrently only experiments whose paths are disjoint
+  /// in the resource tree (no shared contended switch). A null, empty, or
+  /// contention-free topology behaves exactly like the default builder —
+  /// degenerate trees produce identical plans. `topo` must outlive the
+  /// builder.
+  explicit PlanBuilder(const sim::Topology* topo);
+
   /// Record one requirement; duplicate keys collapse.
   void require(const ExperimentKey& key);
 
@@ -127,12 +143,14 @@ class PlanBuilder {
   /// same kind and sizes together (first-fit over the key order); false
   /// yields one experiment per round (the Section-IV serial baseline).
   /// Observation kinds always run one at a time (they sample the anchor
-  /// session's live noise stream).
+  /// session's live noise stream). With a contended topology, experiments
+  /// sharing a contended switch never share a round.
   [[nodiscard]] ExperimentPlan build(bool parallel = true) const;
 
  private:
   std::vector<ExperimentKey> keys_;  ///< sorted unique (std::set semantics)
   std::size_t requests_ = 0;
+  const sim::Topology* topo_ = nullptr;
 };
 
 struct ExecuteStats {

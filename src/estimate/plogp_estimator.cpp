@@ -132,7 +132,7 @@ PLogPReport estimate_plogp(Experimenter& ex, MeasurementStore& store,
 
   {
     const obs::Span exec_sp = obs::span("plogp.ladder");
-    PlanBuilder plan;
+    PlanBuilder plan(ex.topology());
     plan_plogp(plan, ex.size(), opts);
     (void)execute_plan(plan.build(true), ex, store);
   }

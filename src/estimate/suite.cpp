@@ -6,9 +6,11 @@
 namespace lmo::estimate {
 
 SuiteReport estimate_model_suite(Experimenter& ex, MeasurementStore& store,
-                                 const SuiteOptions& opts) {
+                                 const SuiteOptions& opts_in) {
   const obs::Span sp = obs::span("suite.estimate");
   const int n = ex.size();
+  SuiteOptions opts = opts_in;
+  if (opts.lmo.topology == nullptr) opts.lmo.topology = ex.topology();
   const std::uint64_t runs0 = ex.runs();
   const SimTime cost0 = ex.cost();
 
@@ -18,7 +20,7 @@ SuiteReport estimate_model_suite(Experimenter& ex, MeasurementStore& store,
   // plan, deduplicated across estimators, executed in disjoint rounds.
   {
     const obs::Span stage_sp = obs::span("suite.stage1");
-    PlanBuilder plan;
+    PlanBuilder plan(ex.topology());
     plan_hockney(plan, n, opts.hockney);
     plan_loggp(plan, n, opts.loggp);
     plan_plogp(plan, n, opts.plogp);
@@ -39,7 +41,7 @@ SuiteReport estimate_model_suite(Experimenter& ex, MeasurementStore& store,
   // round-trips, so they can only be planned now.
   {
     const obs::Span stage_sp = obs::span("suite.stage2");
-    PlanBuilder plan;
+    PlanBuilder plan(ex.topology());
     plan_lmo_one_to_two(plan, store, n, opts.lmo);
     report.requested += plan.requests();
     const ExperimentPlan built = plan.build(opts.parallel);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "simnet/topology.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 
@@ -73,14 +74,29 @@ struct ClusterConfig {
   double noise_rel = 0.01;          ///< relative measurement/OS noise
   std::uint64_t seed = 1;
 
+  /// Resource tree above the ranks. Empty = the flat single-switch cluster
+  /// (every pair one switch_latency_s hop, contention-free) — v1 semantics.
+  /// A non-empty topology routes every pair over its LCA path; the
+  /// degenerate Topology::single_switch(n, switch_latency_s) produces
+  /// bit-identical event streams to the empty case.
+  Topology topology;
+
   [[nodiscard]] int size() const { return int(nodes.size()); }
 
-  /// Ground-truth L_ij [s]; requires i != j.
+  /// Ground-truth L_ij [s]; throws lmo::Error naming (i, j, size) on an
+  /// invalid pair.
   [[nodiscard]] double latency(int i, int j) const;
 
-  /// Ground-truth beta_ij [bytes/s]; requires i != j.
+  /// Ground-truth beta_ij [bytes/s]; throws lmo::Error naming (i, j, size)
+  /// on an invalid pair.
   [[nodiscard]] double rate(int i, int j) const;
 
+  /// LCA level of the pair in the resource tree; 1 on a flat cluster.
+  [[nodiscard]] int lca_level(int i, int j) const;
+
+  /// Throws lmo::Error naming the offending node/field on inconsistent
+  /// configuration (empty cluster, zero rates, negative or non-finite
+  /// parameters, mismatched quirks vectors, malformed topology).
   void validate() const;
 };
 
@@ -94,6 +110,18 @@ struct GroundTruth {
 };
 
 [[nodiscard]] GroundTruth ground_truth(const ClusterConfig& cfg);
+
+/// Ground-truth LMO link parameters aggregated per topology level: the
+/// mean L_ij and 1/beta_ij over all pairs whose LCA sits at that level —
+/// what a per-level fit should recover. Empty for a flat cluster.
+struct LevelGroundTruth {
+  double L = 0.0;         ///< mean pair latency [s]
+  double inv_beta = 0.0;  ///< mean inverse rate [s/B]
+  int pairs = 0;          ///< pairs with their LCA at this level
+};
+
+[[nodiscard]] std::vector<LevelGroundTruth> ground_truth_per_level(
+    const ClusterConfig& cfg);
 
 /// The 16-node heterogeneous cluster of Table I: seven node types with
 /// heterogeneous processing delays (derived from CPU class) on a single
@@ -112,5 +140,25 @@ struct GroundTruth {
 /// drawn from realistic ranges (fixed delays 30..120 us, per-byte delays
 /// 40..160 ns/B, 100 Mbit or 1 Gbit NICs).
 [[nodiscard]] ClusterConfig make_random_cluster(int n, std::uint64_t seed);
+
+/// How make_multicore_cluster assigns ranks to cores.
+enum class Placement {
+  kBlock,   ///< rank r on node r / cores (consecutive ranks share a node)
+  kCyclic,  ///< rank r on node r % nodes (round-robin — the placement a
+            ///< topology-unaware scheduler produces)
+};
+
+/// Hierarchical multi-core cluster: `switches` switches x
+/// `nodes_per_switch` nodes x `cores_per_node` cores (one rank per core).
+/// Intra-node transfers run over a contended memory bus; inter-node
+/// transfers are capped by the Fast-Ethernet switch level; inter-switch
+/// transfers additionally cross a contended, 2:1-oversubscribed uplink.
+/// Per-byte processing dominates every wire (the paper's CPU-bound
+/// regime), so the LMO fit formulas apply at every level. TCP quirks are
+/// disabled (they model the flat Ethernet path). With `switches` == 1 the
+/// uplink level is omitted (a 2-level tree).
+[[nodiscard]] ClusterConfig make_multicore_cluster(
+    int switches, int nodes_per_switch, int cores_per_node,
+    std::uint64_t seed = 1, Placement placement = Placement::kBlock);
 
 }  // namespace lmo::sim

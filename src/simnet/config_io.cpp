@@ -1,5 +1,6 @@
 #include "simnet/config_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -8,11 +9,97 @@
 namespace lmo::sim {
 
 namespace {
+using obs::Json;
+
 std::string trim(const std::string& s) {
   const auto b = s.find_first_not_of(" \t\r");
   if (b == std::string::npos) return "";
   const auto e = s.find_last_not_of(" \t\r");
   return s.substr(b, e - b + 1);
+}
+
+// --- v2 JSON field access, erroring with the full field path ------------
+
+std::string path_join(const std::string& parent, const std::string& key) {
+  return parent.empty() ? key : parent + "." + key;
+}
+
+const Json& req(const Json& o, const std::string& parent, const char* key) {
+  if (!o.is_object())
+    throw Error("cluster config: " +
+                (parent.empty() ? std::string("document root") : parent) +
+                " must be a JSON object");
+  const Json* j = o.find(key);
+  if (!j)
+    throw Error("cluster config: missing field '" + path_join(parent, key) +
+                "'");
+  return *j;
+}
+
+double num_field(const Json& o, const std::string& parent, const char* key) {
+  const Json& j = req(o, parent, key);
+  if (!j.is_number())
+    throw Error("cluster config: field '" + path_join(parent, key) +
+                "' must be a number");
+  const double v = j.as_double();
+  if (!std::isfinite(v))
+    throw Error("cluster config: field '" + path_join(parent, key) + "' = " +
+                std::to_string(v) + " is not finite");
+  return v;
+}
+
+std::int64_t int_field(const Json& o, const std::string& parent,
+                       const char* key) {
+  const Json& j = req(o, parent, key);
+  if (!j.is_number())
+    throw Error("cluster config: field '" + path_join(parent, key) +
+                "' must be an integer");
+  return j.as_int();
+}
+
+bool bool_field(const Json& o, const std::string& parent, const char* key) {
+  const Json& j = req(o, parent, key);
+  if (!j.is_bool())
+    throw Error("cluster config: field '" + path_join(parent, key) +
+                "' must be a boolean");
+  return j.as_bool();
+}
+
+std::string str_field(const Json& o, const std::string& parent,
+                      const char* key) {
+  const Json& j = req(o, parent, key);
+  if (!j.is_string())
+    throw Error("cluster config: field '" + path_join(parent, key) +
+                "' must be a string");
+  return j.as_string();
+}
+
+const Json& array_field(const Json& o, const std::string& parent,
+                        const char* key) {
+  const Json& j = req(o, parent, key);
+  if (!j.is_array())
+    throw Error("cluster config: field '" + path_join(parent, key) +
+                "' must be an array");
+  return j;
+}
+
+std::vector<double> num_list(const Json& o, const std::string& parent,
+                             const char* key) {
+  const Json& arr = array_field(o, parent, key);
+  std::vector<double> out;
+  out.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const std::string at =
+        path_join(parent, key) + "[" + std::to_string(i) + "]";
+    if (!arr[i].is_number())
+      throw Error("cluster config: field '" + at + "' must be a number");
+    const double v = arr[i].as_double();
+    if (!std::isfinite(v))
+      throw Error("cluster config: field '" + at + "' = " +
+                  std::to_string(v) + " is not finite");
+    out.push_back(v);
+  }
+  return out;
 }
 }  // namespace
 
@@ -54,7 +141,154 @@ std::string to_text(const ClusterConfig& cfg) {
   return os.str();
 }
 
+Json to_json(const ClusterConfig& cfg) {
+  Json root = Json::object();
+  root["schema"] = "lmo.cluster/2";
+
+  Json cluster = Json::object();
+  cluster["switch_latency_s"] = cfg.switch_latency_s;
+  cluster["noise_rel"] = cfg.noise_rel;
+  cluster["seed"] = cfg.seed;
+  root["cluster"] = std::move(cluster);
+
+  const TcpQuirks& q = cfg.quirks;
+  Json quirks = Json::object();
+  quirks["enabled"] = q.enabled;
+  quirks["rendezvous_threshold"] = q.rendezvous_threshold;
+  quirks["escalation_min"] = q.escalation_min;
+  quirks["escalation_peak_prob"] = q.escalation_peak_prob;
+  Json values = Json::array();
+  for (double v : q.escalation_values_s) values.push_back(v);
+  quirks["escalation_values_s"] = std::move(values);
+  Json weights = Json::array();
+  for (double v : q.escalation_weights) weights.push_back(v);
+  quirks["escalation_weights"] = std::move(weights);
+  quirks["frag_threshold"] = q.frag_threshold;
+  quirks["frag_leap_s"] = q.frag_leap_s;
+  quirks["send_buffer"] = q.send_buffer;
+  root["quirks"] = std::move(quirks);
+
+  Json nodes = Json::array();
+  for (const NodeParams& n : cfg.nodes) {
+    Json jn = Json::object();
+    jn["label"] = n.label;
+    jn["type"] = n.type;
+    jn["fixed_delay_s"] = n.fixed_delay_s;
+    jn["per_byte_s"] = n.per_byte_s;
+    jn["link_rate_bps"] = n.link_rate_bps;
+    jn["latency_s"] = n.latency_s;
+    nodes.push_back(std::move(jn));
+  }
+  root["nodes"] = std::move(nodes);
+
+  if (!cfg.topology.empty()) {
+    const Topology& t = cfg.topology;
+    Json topo = Json::object();
+    Json levels = Json::array();
+    for (int l = 1; l <= t.depth(); ++l) {
+      const TopologyLevel& lv = t.level(l);
+      Json jl = Json::object();
+      jl["name"] = lv.name;
+      jl["forward_latency_s"] = lv.forward_latency_s;
+      jl["bandwidth_bps"] = lv.bandwidth_bps;
+      jl["contended"] = lv.contended;
+      levels.push_back(std::move(jl));
+    }
+    topo["levels"] = std::move(levels);
+    Json groups = Json::array();
+    for (int l = 1; l <= t.depth(); ++l) {
+      Json row = Json::array();
+      for (int r = 0; r < t.ranks(); ++r) row.push_back(t.group(l, r));
+      groups.push_back(std::move(row));
+    }
+    topo["groups"] = std::move(groups);
+    root["topology"] = std::move(topo);
+  }
+  return root;
+}
+
+ClusterConfig cluster_from_json(const Json& root) {
+  const std::string schema = str_field(root, "", "schema");
+  if (schema != "lmo.cluster/2")
+    throw Error("cluster config: schema = '" + schema +
+                "', expected 'lmo.cluster/2'");
+
+  ClusterConfig cfg;
+  cfg.nodes.clear();
+  const Json& cl = req(root, "", "cluster");
+  cfg.switch_latency_s = num_field(cl, "cluster", "switch_latency_s");
+  cfg.noise_rel = num_field(cl, "cluster", "noise_rel");
+  cfg.seed = std::uint64_t(int_field(cl, "cluster", "seed"));
+
+  const Json& qj = req(root, "", "quirks");
+  TcpQuirks& q = cfg.quirks;
+  q.enabled = bool_field(qj, "quirks", "enabled");
+  q.rendezvous_threshold = int_field(qj, "quirks", "rendezvous_threshold");
+  q.escalation_min = int_field(qj, "quirks", "escalation_min");
+  q.escalation_peak_prob = num_field(qj, "quirks", "escalation_peak_prob");
+  q.escalation_values_s = num_list(qj, "quirks", "escalation_values_s");
+  q.escalation_weights = num_list(qj, "quirks", "escalation_weights");
+  q.frag_threshold = int_field(qj, "quirks", "frag_threshold");
+  q.frag_leap_s = num_field(qj, "quirks", "frag_leap_s");
+  q.send_buffer = int_field(qj, "quirks", "send_buffer");
+
+  const Json& nodes = array_field(root, "", "nodes");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::string at = "nodes[" + std::to_string(i) + "]";
+    NodeParams n;
+    n.label = str_field(nodes[i], at, "label");
+    n.type = int(int_field(nodes[i], at, "type"));
+    n.fixed_delay_s = num_field(nodes[i], at, "fixed_delay_s");
+    n.per_byte_s = num_field(nodes[i], at, "per_byte_s");
+    n.link_rate_bps = num_field(nodes[i], at, "link_rate_bps");
+    n.latency_s = num_field(nodes[i], at, "latency_s");
+    cfg.nodes.push_back(std::move(n));
+  }
+
+  if (const Json* topo = root.find("topology")) {
+    const Json& levels = array_field(*topo, "topology", "levels");
+    std::vector<TopologyLevel> specs;
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      const std::string at = "topology.levels[" + std::to_string(l) + "]";
+      TopologyLevel lv;
+      lv.name = str_field(levels[l], at, "name");
+      lv.forward_latency_s = num_field(levels[l], at, "forward_latency_s");
+      lv.bandwidth_bps = num_field(levels[l], at, "bandwidth_bps");
+      lv.contended = bool_field(levels[l], at, "contended");
+      specs.push_back(std::move(lv));
+    }
+    const Json& groups = array_field(*topo, "topology", "groups");
+    if (groups.size() != specs.size())
+      throw Error("cluster config: topology.groups has " +
+                  std::to_string(groups.size()) +
+                  " placement arrays but topology.levels has " +
+                  std::to_string(specs.size()));
+    std::vector<std::vector<int>> group_of;
+    for (std::size_t l = 0; l < groups.size(); ++l) {
+      const std::string at = "topology.groups[" + std::to_string(l) + "]";
+      if (!groups[l].is_array())
+        throw Error("cluster config: field '" + at + "' must be an array");
+      std::vector<int> row;
+      row.reserve(groups[l].size());
+      for (std::size_t r = 0; r < groups[l].size(); ++r) {
+        if (!groups[l][r].is_number())
+          throw Error("cluster config: field '" + at + "[" +
+                      std::to_string(r) + "]' must be an integer");
+        row.push_back(int(groups[l][r].as_int()));
+      }
+      group_of.push_back(std::move(row));
+    }
+    cfg.topology = Topology::custom(std::move(specs), std::move(group_of));
+  }
+
+  cfg.validate();
+  return cfg;
+}
+
 ClusterConfig cluster_from_text(const std::string& text) {
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '{')
+    return cluster_from_json(Json::parse(text));
   ClusterConfig cfg;
   cfg.nodes.clear();
   std::istringstream is(text);
@@ -130,7 +364,10 @@ ClusterConfig cluster_from_text(const std::string& text) {
 void save_cluster(const ClusterConfig& cfg, const std::string& path) {
   std::ofstream os(path);
   LMO_CHECK_MSG(os.good(), "cannot open " + path + " for writing");
-  os << to_text(cfg);
+  if (cfg.topology.empty())
+    os << to_text(cfg);
+  else
+    os << to_json(cfg).dump(2) << "\n";
   LMO_CHECK_MSG(os.good(), "write failed: " + path);
 }
 
@@ -139,7 +376,11 @@ ClusterConfig load_cluster(const std::string& path) {
   LMO_CHECK_MSG(is.good(), "cannot open " + path);
   std::ostringstream buffer;
   buffer << is.rdbuf();
-  return cluster_from_text(buffer.str());
+  try {
+    return cluster_from_text(buffer.str());
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
 }
 
 }  // namespace lmo::sim

@@ -20,6 +20,13 @@ Fabric::Fabric(const ClusterConfig& cfg, std::uint64_t seed) : cfg_(&cfg) {
   Rng seeder(seed);
   node_rng_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) node_rng_.push_back(seeder.split());
+  const Topology& topo = cfg.topology;
+  if (!topo.empty() && topo.any_contended()) {
+    shared_.resize(std::size_t(topo.depth()));
+    for (int l = 1; l <= topo.depth(); ++l)
+      if (topo.level(l).contended)
+        shared_[std::size_t(l - 1)].resize(std::size_t(topo.group_count(l)));
+  }
 }
 
 SimTime Fabric::noised(double seconds, Rng& rng) {
@@ -90,11 +97,21 @@ WireTiming Fabric::transfer(int src, int dst, Bytes n, SimTime ready) {
   WireTiming w;
   w.egress_start = egress_[std::size_t(src)].reserve(ready, wire_time);
   w.egress_end = w.egress_start + wire_time;
+  // Every contended switch on the LCA path (memory bus, oversubscribed
+  // uplink) serializes the transfer on its group's shared Timeline, in
+  // path order. Contention-free levels and flat configs skip this loop
+  // entirely, so degenerate trees reserve exactly what the flat code did.
+  SimTime avail = w.egress_start;
+  if (!shared_.empty())
+    cfg_->topology.for_each_contended_segment(src, dst, [&](int l, int g) {
+      avail = shared_[std::size_t(l - 1)][std::size_t(g)].reserve(avail,
+                                                                  wire_time);
+    });
   // Cut-through at the switch: the ingress port starts receiving one
   // latency after the first byte left, and is occupied for the same wire
   // time (both ports run at beta_ij = min of the two line rates).
   const SimTime ingress_start =
-      ingress_[std::size_t(dst)].reserve(w.egress_start + latency, wire_time);
+      ingress_[std::size_t(dst)].reserve(avail + latency, wire_time);
   w.escalation = SimTime::from_seconds_clamped(escalation_seconds(dst, n));
   if (w.escalation > SimTime::zero()) ++counters_.escalations;
   w.arrival = ingress_start + wire_time + w.escalation;
@@ -139,6 +156,8 @@ int Fabric::inflows(int dst) const {
 void Fabric::reset_timelines() {
   for (auto& t : egress_) t.reset();
   for (auto& t : ingress_) t.reset();
+  for (auto& level : shared_)
+    for (auto& t : level) t.reset();
   for (auto& c : inflows_) c = 0;
 }
 

@@ -7,6 +7,14 @@
 // are computed here too (they belong to the node, not to a Timeline: rank
 // programs are sequential, so program order already serializes them).
 //
+// With a hierarchical ClusterConfig::topology, a transfer walks the LCA
+// path: per-level forwarding latencies and bandwidth caps fold into
+// latency/rate via the config, and every *contended* switch on the path
+// (memory bus, oversubscribed uplink) additionally serializes the transfer
+// on a shared per-group Timeline. A topology with no contended levels —
+// including the degenerate single-switch tree — reserves nothing extra and
+// produces bit-identical event streams to the flat configuration.
+//
 // TCP-layer quirks (Section III/V of the paper):
 //  * fragmentation leap on pipelined bulk sends,
 //  * non-deterministic escalations for many-to-one eager messages in the
@@ -100,6 +108,9 @@ class Fabric {
   const ClusterConfig* cfg_;
   std::vector<Timeline> egress_;
   std::vector<Timeline> ingress_;
+  /// shared_[l-1][g]: serialization Timeline of group g at contended level
+  /// l. Empty (never touched) for non-contended levels and flat configs.
+  std::vector<std::vector<Timeline>> shared_;
   std::vector<Rng> node_rng_;
   std::vector<int> inflows_;
   Counters counters_;

@@ -1,0 +1,213 @@
+#include "simnet/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lmo::sim {
+
+namespace {
+std::string level_label(int l, const TopologyLevel& spec) {
+  std::string s = "topology.levels[" + std::to_string(l - 1) + "]";
+  if (!spec.name.empty()) s += " ('" + spec.name + "')";
+  return s;
+}
+}  // namespace
+
+Topology Topology::single_switch(int n, double switch_latency_s) {
+  LMO_CHECK_MSG(n >= 1, "single_switch topology needs at least one rank");
+  TopologyLevel sw;
+  sw.name = "switch";
+  sw.forward_latency_s = switch_latency_s;
+  Topology t;
+  t.levels_.push_back(std::move(sw));
+  t.group_of_.emplace_back(std::size_t(n), 0);
+  t.validate(n);
+  return t;
+}
+
+Topology Topology::balanced(const std::vector<int>& fanout,
+                            std::vector<TopologyLevel> levels) {
+  LMO_CHECK_MSG(!fanout.empty(), "balanced topology needs at least one level");
+  LMO_CHECK_MSG(fanout.size() == levels.size(),
+                "balanced topology: fanout has " +
+                    std::to_string(fanout.size()) + " entries but levels has " +
+                    std::to_string(levels.size()));
+  long long n = 1;
+  for (std::size_t l = 0; l < fanout.size(); ++l) {
+    LMO_CHECK_MSG(fanout[l] >= 1, "balanced topology: fanout[" +
+                                      std::to_string(l) + "] = " +
+                                      std::to_string(fanout[l]) +
+                                      " must be >= 1");
+    n *= fanout[l];
+    LMO_CHECK_MSG(n <= 1 << 24, "balanced topology: too many ranks");
+  }
+  Topology t;
+  t.levels_ = std::move(levels);
+  long long block = 1;
+  for (std::size_t l = 0; l < fanout.size(); ++l) {
+    block *= fanout[l];
+    std::vector<int> groups(std::size_t(n), 0);
+    for (long long r = 0; r < n; ++r)
+      groups[std::size_t(r)] = int(r / block);
+    t.group_of_.push_back(std::move(groups));
+  }
+  t.validate(int(n));
+  return t;
+}
+
+Topology Topology::custom(std::vector<TopologyLevel> levels,
+                          std::vector<std::vector<int>> group_of) {
+  LMO_CHECK_MSG(levels.size() == group_of.size(),
+                "custom topology: " + std::to_string(levels.size()) +
+                    " levels but " + std::to_string(group_of.size()) +
+                    " placement arrays");
+  Topology t;
+  t.levels_ = std::move(levels);
+  t.group_of_ = std::move(group_of);
+  t.validate(t.ranks());
+  return t;
+}
+
+const TopologyLevel& Topology::level(int l) const {
+  LMO_CHECK_MSG(l >= 1 && l <= depth(),
+                "topology level " + std::to_string(l) +
+                    " out of range 1.." + std::to_string(depth()));
+  return levels_[std::size_t(l - 1)];
+}
+
+int Topology::group(int l, int rank) const {
+  LMO_CHECK_MSG(l >= 1 && l <= depth(),
+                "topology level " + std::to_string(l) +
+                    " out of range 1.." + std::to_string(depth()));
+  const auto& g = group_of_[std::size_t(l - 1)];
+  LMO_CHECK_MSG(rank >= 0 && rank < int(g.size()),
+                "rank " + std::to_string(rank) +
+                    " outside topology placement of " +
+                    std::to_string(g.size()) + " ranks");
+  return g[std::size_t(rank)];
+}
+
+int Topology::group_count(int l) const {
+  LMO_CHECK(l >= 1 && l <= depth());
+  const auto& g = group_of_[std::size_t(l - 1)];
+  int mx = -1;
+  for (const int v : g) mx = std::max(mx, v);
+  return mx + 1;
+}
+
+int Topology::lca_level(int i, int j) const {
+  LMO_CHECK_MSG(!empty(), "lca_level on an empty topology");
+  for (int l = 1; l <= depth(); ++l)
+    if (group(l, i) == group(l, j)) return l;
+  LMO_CHECK_MSG(false, "topology has no common ancestor for ranks " +
+                           std::to_string(i) + " and " + std::to_string(j));
+  return depth();
+}
+
+double Topology::path_forward_latency(int i, int j) const {
+  const int k = lca_level(i, j);
+  double total = 0.0;
+  // One switch per level below the LCA on each side, plus the LCA switch.
+  for (int l = 1; l < k; ++l)
+    total += 2.0 * levels_[std::size_t(l - 1)].forward_latency_s;
+  total += levels_[std::size_t(k - 1)].forward_latency_s;
+  return total;
+}
+
+double Topology::path_rate_cap(double endpoint_rate, int i, int j) const {
+  const int k = lca_level(i, j);
+  double rate = endpoint_rate;
+  for (int l = 1; l <= k; ++l) {
+    const double cap = levels_[std::size_t(l - 1)].bandwidth_bps;
+    if (cap > 0.0) rate = std::min(rate, cap);
+  }
+  return rate;
+}
+
+bool Topology::any_contended() const {
+  for (const auto& l : levels_)
+    if (l.contended) return true;
+  return false;
+}
+
+bool Topology::paths_conflict(int i1, int j1, int i2, int j2) const {
+  bool conflict = false;
+  for_each_contended_segment(i1, j1, [&](int l1, int g1) {
+    if (conflict) return;
+    for_each_contended_segment(i2, j2, [&](int l2, int g2) {
+      if (l1 == l2 && g1 == g2) conflict = true;
+    });
+  });
+  return conflict;
+}
+
+void Topology::validate(int nranks) const {
+  if (empty()) {
+    LMO_CHECK_MSG(group_of_.empty(),
+                  "topology has placements but no levels");
+    return;
+  }
+  LMO_CHECK_MSG(group_of_.size() == levels_.size(),
+                "topology: " + std::to_string(levels_.size()) +
+                    " levels but " + std::to_string(group_of_.size()) +
+                    " placement arrays");
+  for (int l = 1; l <= depth(); ++l) {
+    const TopologyLevel& spec = levels_[std::size_t(l - 1)];
+    LMO_CHECK_MSG(std::isfinite(spec.forward_latency_s) &&
+                      spec.forward_latency_s >= 0.0,
+                  level_label(l, spec) + ".forward_latency_s = " +
+                      std::to_string(spec.forward_latency_s) +
+                      " must be finite and non-negative");
+    LMO_CHECK_MSG(std::isfinite(spec.bandwidth_bps) &&
+                      spec.bandwidth_bps >= 0.0,
+                  level_label(l, spec) + ".bandwidth_bps = " +
+                      std::to_string(spec.bandwidth_bps) +
+                      " must be finite and non-negative (0 = uncapped)");
+    const auto& g = group_of_[std::size_t(l - 1)];
+    LMO_CHECK_MSG(int(g.size()) == nranks,
+                  level_label(l, spec) + " places " +
+                      std::to_string(g.size()) + " ranks, cluster has " +
+                      std::to_string(nranks));
+    for (int r = 0; r < nranks; ++r)
+      LMO_CHECK_MSG(g[std::size_t(r)] >= 0 && g[std::size_t(r)] < nranks,
+                    level_label(l, spec) + ": rank " + std::to_string(r) +
+                        " has out-of-range group id " +
+                        std::to_string(g[std::size_t(r)]));
+  }
+  // Groups must coarsen monotonically: ranks sharing a group at level l
+  // share one at every level above.
+  for (int l = 1; l < depth(); ++l) {
+    const auto& fine = group_of_[std::size_t(l - 1)];
+    const auto& coarse = group_of_[std::size_t(l)];
+    std::vector<int> parent(std::size_t(nranks), -1);
+    for (int r = 0; r < nranks; ++r) {
+      const int fg = fine[std::size_t(r)];
+      if (parent[std::size_t(fg)] == -1)
+        parent[std::size_t(fg)] = coarse[std::size_t(r)];
+      LMO_CHECK_MSG(parent[std::size_t(fg)] == coarse[std::size_t(r)],
+                    "topology: group " + std::to_string(fg) + " at level " +
+                        std::to_string(l) +
+                        " straddles two level-" + std::to_string(l + 1) +
+                        " groups (rank " + std::to_string(r) + ")");
+    }
+  }
+  const auto& top = group_of_.back();
+  for (int r = 0; r < nranks; ++r)
+    LMO_CHECK_MSG(top[std::size_t(r)] == 0,
+                  "topology: top level must be a single group 0, rank " +
+                      std::to_string(r) + " is in group " +
+                      std::to_string(top[std::size_t(r)]));
+}
+
+bool operator==(const TopologyLevel& a, const TopologyLevel& b) {
+  return a.name == b.name && a.forward_latency_s == b.forward_latency_s &&
+         a.bandwidth_bps == b.bandwidth_bps && a.contended == b.contended;
+}
+
+bool operator==(const Topology& a, const Topology& b) {
+  return a.levels_ == b.levels_ && a.group_of_ == b.group_of_;
+}
+
+}  // namespace lmo::sim

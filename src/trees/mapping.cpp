@@ -1,24 +1,19 @@
 #include "trees/mapping.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "util/error.hpp"
 
 namespace lmo::trees {
 
-std::vector<int> default_mapping(int n, int root) {
-  LMO_CHECK(n >= 1);
-  LMO_CHECK(root >= 0 && root < n);
-  std::vector<int> m(std::size_t(n), 0);
-  for (int v = 0; v < n; ++v) m[std::size_t(v)] = (v + root) % n;
-  return m;
-}
-
-MappingResult optimize_mapping(int n, int root, const MappingCost& cost,
-                               int max_rounds) {
-  LMO_CHECK(n >= 1);
+namespace {
+MappingResult climb(std::vector<int> seed, const MappingCost& cost,
+                    int max_rounds) {
+  const int n = int(seed.size());
   MappingResult best;
-  best.mapping = default_mapping(n, root);
+  best.mapping = std::move(seed);
   best.cost = cost(best.mapping);
   best.evaluations = 1;
 
@@ -42,6 +37,53 @@ MappingResult optimize_mapping(int n, int root, const MappingCost& cost,
     if (!improved) break;
   }
   return best;
+}
+}  // namespace
+
+std::vector<int> default_mapping(int n, int root) {
+  LMO_CHECK(n >= 1);
+  LMO_CHECK(root >= 0 && root < n);
+  std::vector<int> m(std::size_t(n), 0);
+  for (int v = 0; v < n; ++v) m[std::size_t(v)] = (v + root) % n;
+  return m;
+}
+
+MappingResult optimize_mapping(int n, int root, const MappingCost& cost,
+                               int max_rounds) {
+  LMO_CHECK(n >= 1);
+  return climb(default_mapping(n, root), cost, max_rounds);
+}
+
+std::vector<int> hierarchy_mapping(const sim::Topology& topo, int root) {
+  LMO_CHECK_MSG(!topo.empty(), "hierarchy_mapping needs a topology");
+  const int n = topo.ranks();
+  LMO_CHECK(root >= 0 && root < n);
+  std::vector<int> order(std::size_t(n), 0);
+  std::iota(order.begin(), order.end(), 0);
+  // Lexicographic by group path, root to leaves, with the root's group
+  // sorting first at every level (so the root ends up at virtual 0 and its
+  // own node/switch fills the first — largest — binomial subtree). Groups
+  // stay contiguous: no binomial subtree straddles a group needlessly.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    for (int l = topo.depth(); l >= 1; --l) {
+      const int ga = topo.group(l, a), gb = topo.group(l, b);
+      if (ga == gb) continue;
+      const int gr = topo.group(l, root);
+      const int ka = ga == gr ? -1 : ga;
+      const int kb = gb == gr ? -1 : gb;
+      return ka < kb;
+    }
+    const int ka = a == root ? -1 : a;
+    const int kb = b == root ? -1 : b;
+    return ka < kb;
+  });
+  return order;
+}
+
+MappingResult optimize_hierarchy_mapping(const sim::Topology& topo, int root,
+                                         const MappingCost& cost,
+                                         int max_rounds) {
+  return climb(hierarchy_mapping(topo, root), cost, max_rounds);
 }
 
 }  // namespace lmo::trees

@@ -12,6 +12,8 @@
 #include <functional>
 #include <vector>
 
+#include "simnet/topology.hpp"
+
 namespace lmo::trees {
 
 /// Cost of a candidate mapping: mapping[v] = physical rank of virtual
@@ -32,5 +34,21 @@ struct MappingResult {
 [[nodiscard]] MappingResult optimize_mapping(int n, int root,
                                              const MappingCost& cost,
                                              int max_rounds = 8);
+
+/// Topology-aware mapping: physical ranks ordered by their resource-tree
+/// group path (root's groups first at every level, then by group id, then
+/// by rank), with the root at virtual position 0. Every tree group is
+/// contiguous in virtual-rank order, so the small late subtrees of a
+/// binomial schedule — the ones exchanging the most messages — become
+/// intra-node edges, and only the few top arcs cross switches/uplinks.
+[[nodiscard]] std::vector<int> hierarchy_mapping(const sim::Topology& topo,
+                                                 int root);
+
+/// Pairwise-swap hill climbing seeded from hierarchy_mapping instead of
+/// the default cyclic mapping — keeps the topology-aware structure while
+/// letting the cost oracle fix heterogeneity-driven misplacements.
+[[nodiscard]] MappingResult optimize_hierarchy_mapping(
+    const sim::Topology& topo, int root, const MappingCost& cost,
+    int max_rounds = 8);
 
 }  // namespace lmo::trees
