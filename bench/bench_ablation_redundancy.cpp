@@ -57,6 +57,5 @@ int main(int argc, char** argv) {
                format_fixed(err_first / err_avg, 2) + "x"});
   }
   bench::emit(t, cli, "Ablation — redundancy averaging (eq. 12) under noise");
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -43,6 +43,5 @@ int main(int argc, char** argv) {
   std::cout << "\nmean relative error: extended " << format_percent(err_ext)
             << ", folded " << format_percent(err_orig) << " — separation "
             << (err_ext <= err_orig ? "helps" : "DOES NOT HELP") << "\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -19,6 +19,7 @@
 #include "coll/collectives.hpp"
 #include "estimate/experimenter.hpp"
 #include "estimate/hockney_estimator.hpp"
+#include "obs/flight_recorder.hpp"
 #include "simnet/cluster.hpp"
 #include "simnet/engine.hpp"
 #include "vmpi/world.hpp"
@@ -68,6 +69,11 @@ using namespace lmo;
 void BM_EngineEvents(benchmark::State& state) {
   const int batch = int(state.range(0));
   sim::Engine engine;
+  // A flight recorder rides along on the hot path: its ring is allocated
+  // here, before the counted region, so the allocs_per_event == 0
+  // invariant now also proves record() never touches the allocator.
+  obs::FlightRecorder flight;
+  engine.set_flight_recorder(&flight);
   // Warm the engine's heap/slab vectors to the high-water mark so the
   // measured (and allocation-counted) region is the steady state.
   for (int e = 0; e < batch; ++e) engine.schedule_at(SimTime(e), [] {});
@@ -95,6 +101,9 @@ BENCHMARK(BM_EngineEvents)->Arg(1024)->Arg(16384);
 void BM_PingPongRound(benchmark::State& state) {
   auto cfg = sim::make_paper_cluster();
   vmpi::World world(cfg);
+  // As above: session-level flight events must not add per-round allocs.
+  obs::FlightRecorder flight;
+  world.set_flight_recorder(&flight);
   std::int64_t rounds = 0;
   // One warm-up round: engine vectors, session scratch, arena chunks, and
   // frame-pool blocks all reach steady state.

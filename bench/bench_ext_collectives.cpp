@@ -95,6 +95,5 @@ int main(int argc, char** argv) {
          " linear gather (Fig. 5);\ntheir analytical predictions would need"
          " the empirical band parameters too —\nexactly the paper's argument"
          " for augmenting analytical models empirically.\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -50,6 +50,5 @@ int main(int argc, char** argv) {
   err.add_row({"LMO (eq. 4)",
                format_percent(bench::mean_relative_error(obs, v_lmo))});
   bench::emit(err, cli, "Extension — hetero vs homo PLogP errors");
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

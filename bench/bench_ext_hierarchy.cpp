@@ -82,6 +82,5 @@ int main(int argc, char** argv) {
   for (const int r : mapping) std::cout << " " << r;
   std::cout << "\n(subtrees stay inside nodes and switches; the flat cyclic"
                "\nplacement crosses the oversubscribed uplink instead)\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -51,6 +51,5 @@ int main(int argc, char** argv) {
   for (int v = 0; v < int(plan.mapping.size()); ++v)
     std::cout << " " << plan.mapping[std::size_t(v)];
   std::cout << "\n(the Celeron, physical 12, should sit at a light leaf)\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

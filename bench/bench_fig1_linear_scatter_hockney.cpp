@@ -65,6 +65,5 @@ int main(int argc, char** argv) {
             << (seq_pessimistic ? "yes" : "NO") << "\n"
             << "parallel predictions optimistic:    "
             << (par_optimistic ? "yes" : "NO") << "\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -22,6 +22,5 @@ int main(int argc, char** argv) {
               "Fig. 2 — binomial tree, " + std::to_string(n) +
                   " processors (arc labels = blocks over the link)");
   std::cout << "rounds: " << trees::binomial_rounds(n) << "\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -40,6 +40,5 @@ int main(int argc, char** argv) {
   bench::emit(err, cli, "Fig. 3 — prediction errors");
   std::cout << "\nheterogeneous model closer: "
             << (err_het < err_hom ? "yes" : "NO") << "\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -66,6 +66,5 @@ int main(int argc, char** argv) {
     std::cout << " at " << format_bytes(scatter_emp.empirical.leap_threshold)
               << ", magnitude " << format_seconds(scatter_emp.empirical.leap_s);
   std::cout << "\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -120,6 +120,5 @@ int main(int argc, char** argv) {
             << " (decreasing with size: "
             << (emp.linear_prob_at_m2 <= emp.linear_prob_at_m1 ? "yes" : "NO")
             << ")\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

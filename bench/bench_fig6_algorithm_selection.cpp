@@ -55,6 +55,5 @@ int main(int argc, char** argv) {
   std::cout << "\ncorrect decisions: Hockney " << hockney_correct << "/"
             << sizes.size() << ", LMO " << lmo_correct << "/" << sizes.size()
             << "\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

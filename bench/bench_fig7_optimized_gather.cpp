@@ -66,6 +66,5 @@ int main(int argc, char** argv) {
   bench::emit(t, cli, "Fig. 7 — LMO-based optimized gather vs native");
   std::cout << "\nbest in-band mean speedup: " << format_fixed(best_speedup, 2)
             << "x (paper reports ~10x at the escalation peak)\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -124,6 +124,5 @@ int main(int argc, char** argv) {
             << format_percent(std::abs(alpha_par - alpha_ser) /
                               alpha_ser)
             << " apart)\n";
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

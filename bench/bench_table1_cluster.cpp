@@ -35,6 +35,5 @@ int main(int argc, char** argv) {
   quirks.add_row({"switch latency", format_seconds(env.cfg.switch_latency_s)});
   quirks.add_row({"measurement noise", format_fixed(env.cfg.noise_rel * 100, 1) + "%"});
   bench::emit(quirks, cli, "TCP-layer quirks (paper Sections III/V)");
-  bench::finish_run();
-  return 0;
+  return bench::finish_run();
 }

@@ -4,8 +4,11 @@
 #include <iostream>
 #include <memory>
 
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 #include "simnet/fault.hpp"
 #include "stats/summary.hpp"
@@ -24,6 +27,15 @@ struct RunState {
   std::string report_path;
   std::string trace_path;
   mpib::MeasureOptions measure;  ///< defaults + the --fault-* spec
+  /// Fidelity tracking: installed as the process-global tracker when any
+  /// of --report/--fidelity-save/--fidelity-baseline asked for it.
+  std::unique_ptr<obs::ResidualTracker> residuals;
+  std::string fidelity_save_path;
+  std::string fidelity_baseline_path;
+  /// Flight recorder: armed by --flight-dump, attached to every BenchEnv.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::string flight_path;
+  std::string metrics_path;  ///< --metrics-out Prometheus text target
 };
 RunState& run_state() {
   static RunState s;
@@ -59,11 +71,13 @@ BenchEnv::BenchEnv(std::uint64_t seed)
       world(cfg),
       ex(world, bench_measure_options()) {
   world.set_trace_sink(obs::global_sink());
+  if (run_state().flight) ex.set_flight_recorder(run_state().flight.get());
 }
 
 BenchEnv::BenchEnv(sim::ClusterConfig cluster)
     : cfg(std::move(cluster)), world(cfg), ex(world, bench_measure_options()) {
   world.set_trace_sink(obs::global_sink());
+  if (run_state().flight) ex.set_flight_recorder(run_state().flight.get());
 }
 
 mpib::MeasureOptions bench_measure_options() { return run_state().measure; }
@@ -108,13 +122,59 @@ void report_set(const std::string& key, obs::Json value) {
   if (run_state().report) run_state().report->set(key, std::move(value));
 }
 
-void finish_run() {
+void record_residual(const std::string& model, const std::string& op, Bytes m,
+                     double predicted, double observed) {
+  obs::record_residual(model, op, obs::ResidualScope::kCollective,
+                       /*level=*/-1, std::uint64_t(m), predicted, observed);
+}
+
+namespace {
+/// Accuracy gate: ranking equality plus bounded per-model MRE drift
+/// (obs::fidelity_drift defaults). Both bounds are generous against the
+/// deterministic simulator — a trip means the models genuinely changed.
+int check_fidelity_baseline(const obs::ResidualTracker& residuals,
+                            const std::string& path) {
+  const obs::Json baseline = obs::load_fidelity(path);
+  const obs::Json current = residuals.to_json();
+  const std::vector<std::string> failures =
+      obs::fidelity_drift(baseline, current);
+  for (const std::string& f : failures)
+    std::cout << "fidelity-baseline: FAIL " << f << "\n";
+  if (failures.empty())
+    std::cout << "fidelity-baseline: OK (" << current.at("ranking").size()
+              << " models, ranking unchanged, accuracy within bounds)\n";
+  return failures.empty() ? 0 : 1;
+}
+}  // namespace
+
+int finish_run() {
   RunState& s = run_state();
+  int rc = 0;
   if (s.report) {
+    if (s.residuals && s.residuals->recorded() > 0)
+      s.report->set("fidelity", s.residuals->to_json());
+    if (s.flight && s.flight->has_dump())
+      s.report->set("flight", s.flight->to_json());
     s.report->set("degradation",
                   obs::degradation_json(obs::Registry::global().snapshot()));
     s.report->write(s.report_path);
     std::cout << "\nreport: " << s.report_path << "\n";
+  }
+  if (!s.fidelity_save_path.empty() && s.residuals) {
+    s.residuals->save(s.fidelity_save_path);
+    std::cout << "fidelity: " << s.fidelity_save_path << "\n";
+  }
+  if (!s.fidelity_baseline_path.empty() && s.residuals)
+    rc = check_fidelity_baseline(*s.residuals, s.fidelity_baseline_path);
+  if (!s.flight_path.empty() && s.flight) {
+    s.flight->save(s.flight_path);
+    std::cout << "flight: " << s.flight_path
+              << (s.flight->degraded() ? " (degraded)" : "") << "\n";
+  }
+  if (!s.metrics_path.empty()) {
+    obs::Exposition exposition(s.metrics_path);
+    exposition.flush();
+    std::cout << "metrics: " << s.metrics_path << "\n";
   }
   if (!s.trace_path.empty()) {
     obs::TraceSink* sink = obs::global_sink();
@@ -123,12 +183,14 @@ void finish_run() {
       std::cout << "trace: " << s.trace_path << "\n";
     }
   }
+  return rc;
 }
 
 Cli parse_bench_cli(int argc, const char* const* argv) {
   std::vector<std::string> known = {
       "seed", "reps", "csv", "json", "points", "jobs", "report",
-      "trace", "measurements-load", "measurements-save"};
+      "trace", "measurements-load", "measurements-save",
+      "fidelity-save", "fidelity-baseline", "flight-dump", "metrics-out"};
   for (const std::string& f : sim::fault_cli_options()) known.push_back(f);
   Cli cli(argc, argv, std::move(known));
   // 0 = auto (hardware concurrency); results are jobs-independent.
@@ -144,6 +206,17 @@ Cli parse_bench_cli(int argc, const char* const* argv) {
     s.report->provenance("seed", cli.get_int("seed", 1));
     s.report->provenance("jobs", cli.get_int("jobs", 0));
   }
+  s.fidelity_save_path = cli.get("fidelity-save", "");
+  s.fidelity_baseline_path = cli.get("fidelity-baseline", "");
+  if (s.report || !s.fidelity_save_path.empty() ||
+      !s.fidelity_baseline_path.empty()) {
+    s.residuals = std::make_unique<obs::ResidualTracker>();
+    obs::set_global_residuals(s.residuals.get());
+  }
+  s.flight_path = cli.get("flight-dump", "");
+  if (!s.flight_path.empty())
+    s.flight = std::make_unique<obs::FlightRecorder>();
+  s.metrics_path = cli.get("metrics-out", "");
   return cli;
 }
 

@@ -79,21 +79,37 @@ void emit(const Table& table, const Cli& cli, const std::string& title);
 /// Record a top-level report section; no-op without --report.
 void report_set(const std::string& key, obs::Json value);
 
-/// Write the --report / --trace output files, if requested. Call once at
-/// the end of every bench main().
-void finish_run();
+/// Record one collective-scope prediction residual into the fidelity
+/// tracker (no-op unless --report/--fidelity-save/--fidelity-baseline
+/// installed one). Benches use this to score every model's collective
+/// predictions against the simulated observation — the data the fidelity
+/// ranking (paper Table 2) is computed from.
+void record_residual(const std::string& model, const std::string& op, Bytes m,
+                     double predicted, double observed);
+
+/// Write the --report / --trace / --fidelity-save / --flight-dump /
+/// --metrics-out output files, if requested, and check
+/// --fidelity-baseline. Call once at the end of every bench main() and
+/// return its value: 0 on success, 1 when the fidelity baseline check
+/// failed (model ranking changed or per-model accuracy drifted).
+[[nodiscard]] int finish_run();
 
 /// Standard bench CLI: --seed N --reps N --csv --json --jobs N
 /// --report out.json --trace out.trace.json
-/// --measurements-load in.json --measurements-save out.json, plus the
+/// --measurements-load in.json --measurements-save out.json
+/// --fidelity-save out.json --fidelity-baseline baseline.json
+/// --flight-dump out.json --metrics-out out.prom, plus the
 /// fault-injection knobs --fault-spike-rate/--fault-drop-rate/
 /// --fault-hang-rate/--fault-slow-rate (all default 0 = off) with
 /// --fault-spike-scale/--fault-hang-delay/--fault-slow-factor/
 /// --fault-seed shaping them (see sim::FaultSpec). Parsing
 /// applies --jobs (default: hardware concurrency) as the process-wide
 /// default parallelism for session fan-out (util::set_default_jobs),
-/// enables the global trace sink when --trace is given, and opens the run
-/// report when --report is.
+/// enables the global trace sink when --trace is given, opens the run
+/// report when --report is, installs the global residual tracker when any
+/// of --report/--fidelity-save/--fidelity-baseline is, and arms the
+/// flight recorder (attached to every BenchEnv experimenter) when
+/// --flight-dump is.
 [[nodiscard]] Cli parse_bench_cli(int argc, const char* const* argv);
 
 /// The measurement store this run estimates through: a fresh store stamped

@@ -15,8 +15,11 @@
 
 #include "core/params_io.hpp"
 #include "core/tuner.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 #include "estimate/empirical_estimator.hpp"
 #include "estimate/experimenter.hpp"
@@ -70,6 +73,20 @@ int cmd_estimate(const Cli& cli) {
   measure.fault = sim::fault_spec_from_cli(cli);
   estimate::SimExperimenter ex(world, measure);
 
+  // Fidelity telemetry: --report/--fidelity-save/--fidelity-baseline turn
+  // on the residual tracker; --flight-dump arms the engine flight
+  // recorder. Neither changes any estimate (record-only).
+  const std::string report_path = cli.get("report", "");
+  const std::string fidelity_save = cli.get("fidelity-save", "");
+  const std::string fidelity_baseline = cli.get("fidelity-baseline", "");
+  obs::ResidualTracker residuals;
+  if (!report_path.empty() || !fidelity_save.empty() ||
+      !fidelity_baseline.empty())
+    obs::set_global_residuals(&residuals);
+  const std::string flight_path = cli.get("flight-dump", "");
+  obs::FlightRecorder flight;
+  if (!flight_path.empty()) ex.set_flight_recorder(&flight);
+
   // A warm store (--measurements-load) skips every experiment it already
   // holds; --measurements-save persists the campaign for later refits.
   const std::string load_path = cli.get("measurements-load", "");
@@ -99,7 +116,6 @@ int cmd_estimate(const Cli& cli) {
               << "\n";
   }
   vmpi::publish_metrics(world.metrics(), obs::Registry::global());
-  const std::string report_path = cli.get("report", "");
   if (!report_path.empty()) {
     obs::ReportBuilder report("lmo_tool");
     report.provenance("seed", std::int64_t(cfg.seed));
@@ -117,18 +133,46 @@ int cmd_estimate(const Cli& cli) {
     cost["store_entries"] = store.size();
     cost["store_hits"] = store.hits();
     report.set("estimation_cost", std::move(cost));
+    if (residuals.recorded() > 0)
+      report.set("fidelity", residuals.to_json());
+    if (flight.has_dump()) report.set("flight", flight.to_json());
     report.set("degradation",
                obs::degradation_json(obs::Registry::global().snapshot()));
     report.write(report_path);
     std::cout << "report: " << report_path << "\n";
   }
+  int rc = 0;
+  if (!fidelity_save.empty()) {
+    residuals.save(fidelity_save);
+    std::cout << "fidelity: " << fidelity_save << "\n";
+  }
+  if (!fidelity_baseline.empty()) {
+    const auto failures = obs::fidelity_drift(
+        obs::load_fidelity(fidelity_baseline), residuals.to_json());
+    for (const std::string& f : failures)
+      std::cout << "fidelity-baseline: FAIL " << f << "\n";
+    if (failures.empty()) std::cout << "fidelity-baseline: OK\n";
+    rc = failures.empty() ? 0 : 1;
+  }
+  if (!flight_path.empty()) {
+    flight.save(flight_path);
+    std::cout << "flight: " << flight_path
+              << (flight.degraded() ? " (degraded)" : "") << "\n";
+  }
+  const std::string metrics_path = cli.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    obs::Exposition exposition(metrics_path);
+    exposition.flush();
+    std::cout << "metrics: " << metrics_path << "\n";
+  }
+  obs::set_global_residuals(nullptr);
   std::cout << "estimated from " << lmo.roundtrip_experiments
             << " round-trips + " << lmo.one_to_two_experiments
             << " one-to-two experiments (" << format_time(lmo.estimation_cost)
             << " simulated); wrote model to " << out << "\n"
             << "gather band: M1 = " << format_bytes(emp.empirical.m1)
             << ", M2 = " << format_bytes(emp.empirical.m2) << "\n";
-  return 0;
+  return rc;
 }
 
 int cmd_predict(const Cli& cli) {
@@ -186,7 +230,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> known = {
         "out", "cluster", "model", "op", "size", "root",
         "nodes", "seed", "jobs", "report", "trace",
-        "measurements-load", "measurements-save"};
+        "measurements-load", "measurements-save",
+        "fidelity-save", "fidelity-baseline", "flight-dump", "metrics-out"};
     for (const std::string& f : lmo::sim::fault_cli_options())
       known.push_back(f);
     const lmo::Cli cli(argc - 1, argv + 1, std::move(known));

@@ -5,6 +5,7 @@
 
 #include "core/predictions.hpp"
 #include "estimate/measurement_store.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
@@ -159,6 +160,18 @@ GatherEmpiricalReport fit_gather_empirical(const MeasurementStore& store,
   };
   emp.linear_prob_at_m1 = clean_fraction_at(emp.m1);
   emp.linear_prob_at_m2 = clean_fraction_at(emp.m2);
+
+  // Fidelity: eq. (5) with the just-fitted band vs the observed medians it
+  // was calibrated on — collective scope, so these feed the ranking only
+  // for models that also predict gathers.
+  if (obs::global_residuals()) {
+    for (const auto& point : report.sweep)
+      obs::record_residual(
+          "lmo", "gather_sweep", obs::ResidualScope::kCollective, -1,
+          std::uint64_t(point.size),
+          core::linear_gather_time(params, emp, root, point.size).base,
+          stats::median_of(point.samples));
+  }
   return report;
 }
 
@@ -210,6 +223,15 @@ ScatterEmpiricalReport fit_scatter_empirical(const MeasurementStore& store,
       emp.leap_s = residual;
       break;
     }
+  }
+
+  // Fidelity: eq. (4) predictions vs the observed scatter medians.
+  if (obs::global_residuals()) {
+    for (std::size_t s = 0; s < report.sizes.size(); ++s)
+      obs::record_residual("lmo", "scatter_sweep",
+                           obs::ResidualScope::kCollective, -1,
+                           std::uint64_t(report.sizes[s]),
+                           report.predicted[s], report.observed[s]);
   }
   return report;
 }

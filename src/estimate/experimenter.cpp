@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "coll/collectives.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "simnet/fault.hpp"
 #include "stats/students_t.hpp"
@@ -99,6 +100,28 @@ CleanedSlot clean_slot(const std::vector<double>& pool,
   return out;
 }
 
+/// Wall-clock nanoseconds for host-side flight events. Session-recorded
+/// events carry simulated nanoseconds instead — the event code tells a
+/// reader which clock a record used. The very first wall_now_us() of a
+/// process can land a few ns before the lazily-captured trace epoch, so
+/// clamp: a negative double cast to uint64 would wrap past int64 range
+/// and make the dump unserializable as JSON.
+std::uint64_t wall_ns() {
+  const double us = obs::wall_now_us();
+  return us > 0 ? std::uint64_t(us * 1e3) : 0;
+}
+
+/// Fault tallies packed into one 32-bit word, one byte per class
+/// (saturating): spikes | drops | hangs | slowdowns, high byte first.
+std::uint32_t pack_faults(std::uint64_t spikes, std::uint64_t drops,
+                          std::uint64_t hangs, std::uint64_t slows) {
+  const auto sat = [](std::uint64_t v) {
+    return std::uint32_t(v > 255 ? 255 : v);
+  };
+  return (sat(spikes) << 24) | (sat(drops) << 16) | (sat(hangs) << 8) |
+         sat(slows);
+}
+
 std::vector<std::vector<int>> pair_participants(const std::vector<Pair>& ps) {
   std::vector<std::vector<int>> out;
   for (const auto& [i, j] : ps) out.push_back({i, j});
@@ -157,6 +180,14 @@ SimExperimenter::SimExperimenter(vmpi::SimSession& session,
   recovery_poisoned_ = reg.counter("recovery.poisoned_slots");
 }
 
+void SimExperimenter::set_flight_recorder(obs::FlightRecorder* recorder) {
+  flight_ = recorder;
+  // The anchor session is driven only from the host thread that drives
+  // this experimenter, so the single-owner ring contract extends to it.
+  // Per-repetition isolated sessions never attach — they run concurrently.
+  session_->set_flight_recorder(recorder);
+}
+
 int SimExperimenter::jobs() const {
   return measure_.jobs > 0 ? measure_.jobs : default_jobs();
 }
@@ -178,6 +209,9 @@ std::vector<double> SimExperimenter::measure_round(
   const std::size_t n_experiments = participants.size();
   LMO_CHECK(n_experiments >= 1);
   const std::uint64_t round = next_round();
+  if (flight_)
+    flight_->record(wall_ns(), obs::FlightEvent::kRoundStart,
+                    std::uint16_t(round), std::uint32_t(n_experiments));
   const std::uint64_t base = session_->seed();
   const sim::FaultSpec& fault = measure_.fault;
   const bool faulty = fault.enabled();
@@ -264,6 +298,10 @@ std::vector<double> SimExperimenter::measure_round(
                               .relative_error());
     }
     last_health_.assign(n_experiments, SlotHealth::kOk);
+    if (flight_)
+      flight_->record(wall_ns(), obs::FlightEvent::kRoundComplete,
+                      std::uint16_t(round),
+                      std::uint32_t(reps_stats.committed));
     return means;
   }
 
@@ -311,6 +349,9 @@ std::vector<double> SimExperimenter::measure_round(
     reps_committed_.inc(std::uint64_t(need));
     recovery_retries_.inc(std::uint64_t(need));
     recovery_waves_.inc();
+    if (flight_)
+      flight_->record(wall_ns(), obs::FlightEvent::kRetryWave,
+                      std::uint16_t(wave), std::uint32_t(need));
     // Each wave pays a (simulated) coordination backoff before re-issuing.
     session_cost_ += SimTime::from_seconds(measure_.retry_backoff_s);
   }
@@ -322,6 +363,9 @@ std::vector<double> SimExperimenter::measure_round(
     const CleanedSlot cs = clean_slot(pools[e], measure_);
     recovery_timeouts_.inc(std::uint64_t(cs.timeouts));
     recovery_trimmed_.inc(std::uint64_t(cs.trimmed));
+    if (flight_ && cs.timeouts > 0)
+      flight_->record(wall_ns(), obs::FlightEvent::kTimeout, std::uint16_t(e),
+                      std::uint32_t(cs.kept.size()));
     if (cs.kept.empty()) {
       // Nothing usable survived: report the timeout bound — finite, and an
       // honest "at least this slow" — and mark the slot poisoned so the
@@ -329,6 +373,9 @@ std::vector<double> SimExperimenter::measure_round(
       means[e] = std::min(cs.timeout_s, fault.hang_delay_s);
       last_health_[e] = SlotHealth::kPoisoned;
       ++poisoned;
+      if (flight_)
+        flight_->record(wall_ns(), obs::FlightEvent::kPoisoned,
+                        std::uint16_t(e), std::uint32_t(pools[e].size()));
       continue;
     }
     means[e] = std::accumulate(cs.kept.begin(), cs.kept.end(), 0.0) /
@@ -342,6 +389,9 @@ std::vector<double> SimExperimenter::measure_round(
     if (int(cs.kept.size()) < measure_.min_reps) {
       last_health_[e] = SlotHealth::kPoisoned;
       ++poisoned;
+      if (flight_)
+        flight_->record(wall_ns(), obs::FlightEvent::kPoisoned,
+                        std::uint16_t(e), std::uint32_t(pools[e].size()));
     } else if (cs.timeouts > 0 || cs.trimmed > 0) {
       last_health_[e] = SlotHealth::kDegraded;
     }
@@ -352,6 +402,19 @@ std::vector<double> SimExperimenter::measure_round(
   fault_hangs_.inc(hangs);
   fault_slow_.inc(slows);
   vmpi::publish_metrics(committed, obs::Registry::global());
+  if (flight_) {
+    if (spikes + drops + hangs + slows > 0)
+      flight_->record(wall_ns(), obs::FlightEvent::kFaultInjected,
+                      std::uint16_t(round),
+                      pack_faults(spikes, drops, hangs, slows));
+    flight_->record(wall_ns(), obs::FlightEvent::kRoundComplete,
+                    std::uint16_t(round), std::uint32_t(reps_stats.committed));
+    for (const SlotHealth h : last_health_)
+      if (h != SlotHealth::kOk) {
+        flight_->mark_degraded();
+        break;
+      }
+  }
   return means;
 }
 
@@ -541,6 +604,14 @@ double SimExperimenter::recover_observation(
   fault_slow_.inc(slows);
   recovery_retries_.inc(std::uint64_t(measure_.max_retries));
   recovery_timeouts_.inc();
+  if (flight_) {
+    flight_->record(wall_ns(), obs::FlightEvent::kFaultInjected,
+                    std::uint16_t(obs_index),
+                    pack_faults(spikes, drops, hangs, slows));
+    flight_->record(wall_ns(), obs::FlightEvent::kTimeout,
+                    std::uint16_t(obs_index), 0);
+    flight_->mark_degraded();
+  }
   return fault.hang_delay_s;
 }
 
@@ -666,6 +737,16 @@ std::vector<double> SimExperimenter::observe_global_samples(
     fault_slow_.inc(slows);
     recovery_retries_.inc(retries);
     recovery_timeouts_.inc(exhausted);
+    if (flight_ && spikes + drops + hangs + slows > 0) {
+      flight_->record(wall_ns(), obs::FlightEvent::kFaultInjected,
+                      std::uint16_t(round),
+                      pack_faults(spikes, drops, hangs, slows));
+      if (exhausted > 0) {
+        flight_->record(wall_ns(), obs::FlightEvent::kTimeout,
+                        std::uint16_t(round), std::uint32_t(exhausted));
+        flight_->mark_degraded();
+      }
+    }
   }
   vmpi::publish_metrics(merged, obs::Registry::global());
   return out;

@@ -27,6 +27,10 @@
 #include "util/bytes.hpp"
 #include "vmpi/world.hpp"
 
+namespace lmo::obs {
+class FlightRecorder;
+}  // namespace lmo::obs
+
 namespace lmo::estimate {
 
 /// Post-recovery quality of one experiment slot in the last measured round.
@@ -51,6 +55,13 @@ class Experimenter {
   /// caching them.
   [[nodiscard]] virtual std::vector<SlotHealth> last_round_health() const {
     return {};
+  }
+
+  /// The flight recorder capturing this experimenter's post-mortem trail,
+  /// or nullptr (the default) when none is attached. execute_plan records
+  /// quarantine decisions through it.
+  [[nodiscard]] virtual obs::FlightRecorder* flight_recorder() const {
+    return nullptr;
   }
 
   [[nodiscard]] virtual int size() const = 0;
@@ -162,6 +173,20 @@ class SimExperimenter final : public Experimenter {
     return last_health_;
   }
 
+  /// Attach (or detach, with nullptr) a flight recorder. The recorder also
+  /// attaches to the anchor session (single observations record their sim
+  /// events), and the measurement pipeline adds host-side round/fault/
+  /// retry/timeout events stamped with wall nanoseconds — always from the
+  /// serial sections, never from pool threads, so the single-owner ring
+  /// contract holds at any --jobs level. When a round ends with an
+  /// unhealthy slot the ring is snapshotted via mark_degraded().
+  /// Measured values, repetition counts, and cost are unchanged by
+  /// attaching a recorder (pinned by tests/test_fidelity.cpp).
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const override {
+    return flight_;
+  }
+
   /// One observation (no repetition) of an arbitrary SPMD collective,
   /// timed at `timed_rank` [s] — simulator-only (used by the benches).
   /// Runs on the anchor session.
@@ -232,6 +257,8 @@ class SimExperimenter final : public Experimenter {
   SimTime session_cost_;
   /// Per-slot outcome of the most recent measured round.
   std::vector<SlotHealth> last_health_;
+  /// Borrowed flight recorder (null = off); see set_flight_recorder.
+  obs::FlightRecorder* flight_ = nullptr;
 
   // Metric handles, resolved once at construction. Only *committed*
   // repetitions publish session metrics, so everything except

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "estimate/measurement_store.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 #include "stats/regression.hpp"
 #include "util/error.hpp"
@@ -75,6 +76,24 @@ HockneyReport fit_hockney(const MeasurementStore& store, int n,
       const auto fit = stats::fit_linear(xs, ys);
       assign(i, j, fit.intercept, fit.slope);
     }
+  }
+
+  // Fidelity: score the fitted model against the very round-trips it read.
+  // Two-point fits interpolate their probes exactly, so these residuals
+  // mostly expose clamping and regression slack — the cross-model ranking
+  // rests on collective-scope residuals instead.
+  if (obs::global_residuals()) {
+    const auto sizes = series_sizes(opts);
+    for (const auto& [i, j] : all_pairs(n))
+      for (const Bytes m : sizes) {
+        const double predicted =
+            2.0 * (report.hetero.alpha(i, j) +
+                   report.hetero.beta(i, j) * double(m));
+        obs::record_residual("hockney", "roundtrip",
+                             obs::ResidualScope::kPointToPoint, -1,
+                             std::uint64_t(m), predicted,
+                             store.at(ExperimentKey::roundtrip(i, j, m, m)));
+      }
   }
 
   report.homogeneous = report.hetero.averaged();

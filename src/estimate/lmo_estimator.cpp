@@ -6,6 +6,7 @@
 
 #include "estimate/measurement_store.hpp"
 #include "obs/metrics.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "util/error.hpp"
@@ -233,6 +234,27 @@ LmoReport fit_lmo(const MeasurementStore& store, int n,
       if (link.pairs == 0) continue;
       link.L /= link.pairs;
       link.inv_beta /= link.pairs;
+    }
+  }
+
+  // Fidelity: the fitted model's round-trips vs the measured tables the
+  // triplet systems consumed. Redundancy averaging and the >= 0 clamps
+  // make these non-trivial even though the inputs were fitted. Stamped
+  // with the pair's LCA level when the resource tree is known, so the
+  // fidelity report can break residuals down per level.
+  if (obs::global_residuals()) {
+    const sim::Topology* topo =
+        opts.topology != nullptr && !opts.topology->empty() ? opts.topology
+                                                            : nullptr;
+    for (const auto& [i, j] : all_pairs(n)) {
+      const int level = topo != nullptr ? topo->lca_level(i, j) : -1;
+      obs::record_residual("lmo", "roundtrip",
+                           obs::ResidualScope::kPointToPoint, level, 0,
+                           2.0 * p.pt2pt(i, j, 0), t_pair_0(i, j));
+      obs::record_residual("lmo", "roundtrip",
+                           obs::ResidualScope::kPointToPoint, level,
+                           std::uint64_t(m), 2.0 * p.pt2pt(i, j, m),
+                           t_pair_m(i, j));
     }
   }
   return report;

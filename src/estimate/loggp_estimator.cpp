@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "estimate/measurement_store.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -67,6 +68,17 @@ LogGPReport fit_loggp(const MeasurementStore& store, int n,
     report.hetero.o(i, j) = report.hetero.o(j, i) = o;
     report.hetero.g(i, j) = report.hetero.g(j, i) = g;
     report.hetero.G(i, j) = report.hetero.G(j, i) = big_g;
+
+    // Fidelity: the fitted parameters' round-trip prediction at the probe
+    // size vs the measured round-trip the fit consumed.
+    if (obs::global_residuals()) {
+      const Bytes m = opts.small_size;
+      const double pt2pt =
+          latency + 2.0 * o + (m > 0 ? double(m - 1) : 0.0) * big_g;
+      obs::record_residual("loggp", "roundtrip",
+                           obs::ResidualScope::kPointToPoint, -1,
+                           std::uint64_t(m), 2.0 * pt2pt, rtt);
+    }
   }
 
   report.averaged = report.hetero.averaged();

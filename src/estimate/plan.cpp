@@ -6,6 +6,7 @@
 
 #include "estimate/experimenter.hpp"
 #include "estimate/measurement_store.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -393,10 +394,16 @@ ExecuteStats execute_plan(const ExperimentPlan& plan, Experimenter& ex,
     const std::vector<SlotHealth> health = ex.last_round_health();
     const bool health_valid = health.size() == missing.size();
     for (std::size_t e = 0; e < missing.size(); ++e) {
-      if (health_valid && health[e] == SlotHealth::kPoisoned)
+      if (health_valid && health[e] == SlotHealth::kPoisoned) {
         store.quarantine(missing[e], values[e]);
-      else
+        if (obs::FlightRecorder* fr = ex.flight_recorder()) {
+          fr->record(std::uint64_t(obs::wall_now_us() * 1e3),
+                     obs::FlightEvent::kQuarantine, std::uint16_t(e), 0);
+          fr->mark_degraded();
+        }
+      } else {
         store.insert(missing[e], values[e]);
+      }
     }
     stats.measured += missing.size();
     ++stats.rounds;

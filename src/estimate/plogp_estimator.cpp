@@ -5,6 +5,7 @@
 #include <set>
 
 #include "estimate/measurement_store.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -64,6 +65,12 @@ models::PLogP estimate_plogp_pair(Experimenter& ex, int i, int j,
 
   const double rtt0 = ex.roundtrip(i, j, 0, 0);
   p.L = std::max(0.0, rtt0 / 2.0 - p.g(0.0));
+  // Fidelity: the fitted curve's empty-message round-trip (2·(L + g(0)))
+  // vs the measured one it was derived from — non-zero exactly when the
+  // L >= 0 clamp bit.
+  obs::record_residual("plogp", "roundtrip",
+                       obs::ResidualScope::kPointToPoint, -1, 0,
+                       2.0 * (p.L + p.g(0.0)), rtt0);
   return p;
 }
 

@@ -1,0 +1,124 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace lmo::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_line(std::string& out, const std::string& name,
+                 const std::string& value) {
+  out += name;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+std::string render_prometheus(const Snapshot& snap,
+                              const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prefix + prometheus_name(name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    append_line(out, n, std::to_string(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = prefix + prometheus_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    append_line(out, n, fmt_double(value));
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string n = prefix + prometheus_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cum += i < hist.counts.size() ? hist.counts[i] : 0;
+      append_line(out, n + "_bucket{le=\"" + fmt_double(hist.bounds[i]) +
+                           "\"}",
+                  std::to_string(cum));
+    }
+    append_line(out, n + "_bucket{le=\"+Inf\"}", std::to_string(hist.total));
+    append_line(out, n + "_sum", fmt_double(hist.sum));
+    append_line(out, n + "_count", std::to_string(hist.total));
+    for (const auto& [q, label] :
+         {std::pair<double, const char*>{0.50, "_p50"},
+          {0.95, "_p95"},
+          {0.99, "_p99"}}) {
+      out += "# TYPE " + n + label + " gauge\n";
+      append_line(out, n + label, fmt_double(hist.quantile(q)));
+    }
+  }
+  return out;
+}
+
+Exposition::Exposition(std::string path, std::string prefix)
+    : path_(std::move(path)), prefix_(std::move(prefix)) {}
+
+Exposition::~Exposition() { stop(); }
+
+void Exposition::flush() {
+  const std::string text =
+      render_prometheus(Registry::global().snapshot(), prefix_);
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream os(tmp);
+    LMO_CHECK_MSG(os.good(), "cannot open " + tmp + " for writing");
+    os << text;
+    LMO_CHECK_MSG(os.good(), "write failed: " + tmp);
+  }
+  LMO_CHECK_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
+                "cannot rename " + tmp + " to " + path_);
+}
+
+void Exposition::start_periodic(std::chrono::milliseconds interval) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  worker_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (running_) {
+      lock.unlock();
+      flush();
+      lock.lock();
+      cv_.wait_for(lock, interval, [this] { return !running_; });
+    }
+  });
+}
+
+void Exposition::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  flush();  // final point-in-time state after the loop stops
+}
+
+}  // namespace lmo::obs

@@ -18,6 +18,27 @@ void Histogram::observe(double x) {
   }
 }
 
+double Snapshot::Hist::quantile(double q) const {
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * double(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t c = counts[i];
+    if (c == 0) continue;
+    if (double(cum) + double(c) >= target) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      const double hi = bounds[i];
+      double frac = (target - double(cum)) / double(c);
+      frac = std::min(std::max(frac, 0.0), 1.0);
+      return lo + (hi - lo) * frac;
+    }
+    cum += c;
+  }
+  return bounds.back();
+}
+
 void Snapshot::merge(const Snapshot& o) {
   for (const auto& [k, v] : o.counters) counters[k] += v;
   for (const auto& [k, v] : o.gauges) {
@@ -59,6 +80,9 @@ Json Snapshot::to_json() const {
     e["counts"] = std::move(counts);
     e["total"] = hist.total;
     e["sum"] = hist.sum;
+    e["p50"] = hist.quantile(0.50);
+    e["p95"] = hist.quantile(0.95);
+    e["p99"] = hist.quantile(0.99);
   }
   return out;
 }

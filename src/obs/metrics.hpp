@@ -114,6 +114,13 @@ struct Snapshot {
     std::vector<std::uint64_t> counts;
     std::uint64_t total = 0;
     double sum = 0.0;
+
+    /// Quantile estimate, exact with respect to the stored buckets:
+    /// walk the cumulative counts to the bucket holding rank q·total and
+    /// interpolate linearly inside it (bucket 0 starts at
+    /// min(0, bounds[0]); the overflow bucket clamps to the last bound).
+    /// Empty histograms give 0.
+    [[nodiscard]] double quantile(double q) const;
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
@@ -124,7 +131,8 @@ struct Snapshot {
   void merge(const Snapshot& o);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
-  ///  {"bounds": [...], "counts": [...], "total": N, "sum": S}}}
+  ///  {"bounds": [...], "counts": [...], "total": N, "sum": S,
+  ///   "p50": ..., "p95": ..., "p99": ...}}}
   [[nodiscard]] Json to_json() const;
 };
 

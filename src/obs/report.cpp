@@ -50,11 +50,10 @@ ReportBuilder::ReportBuilder(std::string tool)
 }
 
 void ReportBuilder::set(const std::string& key, Json value) {
-  for (auto& [k, v] : sections_) {
-    if (k == key) {
-      v = std::move(value);
-      return;
-    }
+  for (const auto& section : sections_) {
+    LMO_CHECK_MSG(section.first != key,
+                  "report section '" + key +
+                      "' added twice — each section is set once");
   }
   sections_.emplace_back(key, std::move(value));
 }

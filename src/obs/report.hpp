@@ -45,7 +45,9 @@ class ReportBuilder {
  public:
   explicit ReportBuilder(std::string tool);
 
-  /// Set a top-level section (overwrites an earlier value for `key`).
+  /// Set a top-level section. Each key may be set once; setting a section
+  /// twice throws lmo::Error naming the section (silently overwriting a
+  /// section a tool already published hid real bugs).
   void set(const std::string& key, Json value);
   /// Add one {"title", "columns", "rows"} table to the "tables" array.
   void add_table(Json table);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "util/error.hpp"
 
 namespace lmo::sim {
@@ -81,6 +82,9 @@ bool Engine::step() {
   free_slots_.push_back(slot);
   now_ = n.t;
   ++executed_;
+  if (flight_)
+    flight_->record(std::uint64_t(now_.ns()), obs::FlightEvent::kEngineEvent,
+                    0, std::uint32_t(heap_.size()));
   fn();
   return true;
 }

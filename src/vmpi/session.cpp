@@ -8,6 +8,7 @@
 #include <new>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "vmpi/trace_json.hpp"
@@ -197,6 +198,10 @@ const sim::ClusterConfig& checked(
   LMO_CHECK_MSG(p != nullptr, "SimSession requires a cluster config");
   return *p;
 }
+
+std::uint32_t clamp_u32(Bytes n) {
+  return n > Bytes(0xffffffff) ? 0xffffffffu : std::uint32_t(n);
+}
 }  // namespace
 
 SimSession::SimSession(std::shared_ptr<const sim::ClusterConfig> cfg)
@@ -282,6 +287,10 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
         round_tasks_[std::size_t(r)].start();
       });
 
+  if (flight_)
+    flight_->record(0, obs::FlightEvent::kRoundStart,
+                    std::uint16_t(total_runs_), std::uint32_t(active_ranks_));
+
   const auto host_begin = std::chrono::steady_clock::now();
   try {
     engine_.run();
@@ -324,6 +333,10 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
       end = lmo::max(end, rank_time_[std::size_t(r)]);
   tasks.clear();  // frames return to the pool; the vector keeps capacity
   accumulated_ += end;
+  if (flight_)
+    flight_->record(std::uint64_t(end.ns()), obs::FlightEvent::kRoundComplete,
+                    std::uint16_t(total_runs_),
+                    std::uint32_t(engine_.executed()));
   if (trace_sink_ && !trace_.empty())
     append_chrome_trace(*trace_sink_, trace_);
   return end;
@@ -332,6 +345,11 @@ SimTime SimSession::run(const std::vector<RankProgram>& programs) {
 void SimSession::set_trace_sink(obs::TraceSink* sink) {
   trace_sink_ = sink;
   if (sink) tracing_ = true;
+}
+
+void SimSession::set_flight_recorder(obs::FlightRecorder* recorder) {
+  flight_ = recorder;
+  engine_.set_flight_recorder(recorder);
 }
 
 SessionMetrics SimSession::metrics() const {
@@ -372,6 +390,9 @@ SimSession::StatePtr SimSession::make_op_state() {
 SimSession::StatePtr SimSession::exec_isend(int src, int dst, int tag,
                                             Bytes n) {
   const SimTime now = rank_time_[std::size_t(src)];
+  if (flight_)
+    flight_->record(std::uint64_t(now.ns()), obs::FlightEvent::kSendPosted,
+                    std::uint16_t(src), clamp_u32(n));
   auto state = make_op_state();
   if (!fabric_.use_rendezvous(n)) {
     ++base_.msgs_eager;
@@ -482,6 +503,9 @@ void SimSession::complete(int dst, Announcement msg, PendingRecv recv) {
     done = lmo::max(recv.post_time, arrival) + cost;
   }
   engine_.schedule_at(done, [this, dst] { fabric_.end_inflow(dst); });
+  if (flight_)
+    flight_->record(std::uint64_t(done.ns()), obs::FlightEvent::kOpComplete,
+                    std::uint16_t(dst), clamp_u32(msg.bytes));
   if (tracing_) {
     MessageTrace t;
     t.src = msg.src;

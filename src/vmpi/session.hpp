@@ -38,6 +38,7 @@
 #include "vmpi/task.hpp"
 
 namespace lmo::obs {
+class FlightRecorder;
 class Registry;
 class TraceSink;
 }  // namespace lmo::obs
@@ -134,6 +135,17 @@ class SimSession {
   /// (per-run tracing stays on until set_tracing(false)).
   void set_trace_sink(obs::TraceSink* sink);
 
+  /// Attach (or detach, with nullptr) a flight recorder: round start/
+  /// complete, posted sends, and completed receives record as 16-byte ring
+  /// events stamped with simulated nanoseconds, and the engine records its
+  /// per-event depth under the same recorder. Borrowed pointer; sessions
+  /// are single-threaded, so the ring needs no synchronization — never
+  /// share one recorder across parallel sessions.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
+    return flight_;
+  }
+
   /// Observability counters accumulated over this session's lifetime.
   [[nodiscard]] SessionMetrics metrics() const;
 
@@ -219,6 +231,7 @@ class SimSession {
   bool tracing_ = false;
   std::vector<MessageTrace> trace_;
   obs::TraceSink* trace_sink_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;  ///< borrowed; null = off
   SessionMetrics base_;  ///< engine/isend counters harvested per run
 };
 

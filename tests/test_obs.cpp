@@ -1,12 +1,22 @@
 // Tests for the obs subsystem: JSON model, escaping, metrics registry,
-// snapshot merging, and the trace sink.
+// snapshot merging, the trace sink, histogram quantiles, Prometheus
+// exposition, the flight recorder ring, the residual tracker, and the
+// concurrent-publication contract (the "Obs" suites run under CI TSan).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -277,6 +287,263 @@ TEST(Trace, GlobalSinkDisabledByDefault) {
   EXPECT_FALSE(global_trace_enabled());
   EXPECT_EQ(global_sink(), nullptr);
   { const Span sp = span("noop"); }  // must be a no-op, not a crash
+}
+
+// ---------------------------------------------------- histogram quantiles ----
+
+TEST(ObsQuantile, EmptyHistogramIsZero) {
+  Snapshot::Hist h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  h.bounds = {1.0, 2.0};
+  h.counts = {0, 0, 0};
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(ObsQuantile, InterpolatesInsideBuckets) {
+  // 100 observations uniformly in one bucket (0, 10]: the quantile walks
+  // linearly across it.
+  Snapshot::Hist h;
+  h.bounds = {10.0};
+  h.counts = {100, 0};
+  h.total = 100;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 9.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(ObsQuantile, WalksCumulativeCountsAcrossBuckets) {
+  // 50 in (0,1], 30 in (1,2], 20 in (2,4].
+  Snapshot::Hist h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {50, 30, 20, 0};
+  h.total = 100;
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.5);   // rank 25 of 50 in (0,1]
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 1.0);   // exactly the 1st boundary
+  EXPECT_DOUBLE_EQ(h.quantile(0.65), 1.5);   // rank 65: halfway into (1,2]
+  EXPECT_DOUBLE_EQ(h.quantile(0.90), 3.0);   // rank 90: halfway into (2,4]
+  EXPECT_LE(h.quantile(-1.0), h.quantile(2.0));  // clamped, no UB
+}
+
+TEST(ObsQuantile, OverflowBucketClampsToLastBound) {
+  Snapshot::Hist h;
+  h.bounds = {1.0};
+  h.counts = {10, 90};  // 90% of mass past the last bound
+  h.total = 100;
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
+}
+
+TEST(ObsQuantile, SnapshotJsonCarriesQuantiles) {
+  Registry reg;
+  Histogram h = reg.histogram("lat", {1.0, 10.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);
+  const Json doc = reg.snapshot().to_json();
+  const Json& hist = doc.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(hist.at("p50").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.at("p95").as_double(), 0.95);
+  EXPECT_DOUBLE_EQ(hist.at("p99").as_double(), 0.99);
+}
+
+// -------------------------------------------------- prometheus exposition ----
+
+TEST(ObsExposition, SanitizesMetricNames) {
+  EXPECT_EQ(prometheus_name("sim.runs"), "sim_runs");
+  EXPECT_EQ(prometheus_name("estimate.reps-committed"),
+            "estimate_reps_committed");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name("ok_name:x"), "ok_name:x");
+}
+
+TEST(ObsExposition, RendersCountersGaugesAndHistograms) {
+  Registry reg;
+  reg.counter("sim.runs").inc(42);
+  reg.gauge("lmo.cost_total_s").set(1.5);
+  Histogram h = reg.histogram("round.ns", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+  const std::string text = render_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE lmo_sim_runs_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("lmo_sim_runs_total 42"), std::string::npos);
+  EXPECT_NE(text.find("lmo_lmo_cost_total_s 1.5"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == count.
+  EXPECT_NE(text.find("lmo_round_ns_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lmo_round_ns_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lmo_round_ns_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("lmo_round_ns_count 3"), std::string::npos);
+  EXPECT_NE(text.find("lmo_round_ns_sum 105.5"), std::string::npos);
+  EXPECT_NE(text.find("lmo_round_ns_p50"), std::string::npos);
+  EXPECT_NE(text.find("lmo_round_ns_p99"), std::string::npos);
+  // Every line is either a comment or "name[{labels}] value".
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ObsExposition, FlushWritesAtomicallyAndPeriodicWorkerStops) {
+  Registry::global().counter("obs_test.flush_marker").inc();
+  const std::string path = "/tmp/lmo_test_exposition.prom";
+  {
+    Exposition exposition(path);
+    exposition.flush();
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    EXPECT_NE(buffer.str().find("lmo_obs_test_flush_marker_total"),
+              std::string::npos);
+    // Periodic mode: starts, flushes on its own thread, stops cleanly.
+    exposition.start_periodic(std::chrono::milliseconds(1));
+    exposition.stop();
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ flight recorder basics ----
+
+TEST(ObsFlight, CapacityRoundsUpAndRingWraps) {
+  FlightRecorder fr(20);  // rounds up to 32
+  EXPECT_EQ(fr.capacity(), 32u);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    fr.record(i, FlightEvent::kEngineEvent, std::uint16_t(i), 7);
+  EXPECT_EQ(fr.recorded(), 100u);
+  const auto events = fr.events();
+  ASSERT_EQ(events.size(), 32u);  // only the newest capacity() survive
+  // Oldest-first: 68, 69, ..., 99.
+  EXPECT_EQ(events.front().t_ns, 68u);
+  EXPECT_EQ(events.back().t_ns, 99u);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LT(events[i - 1].t_ns, events[i].t_ns);
+}
+
+TEST(ObsFlight, DegradedDumpFreezesTheRing) {
+  FlightRecorder fr(16);
+  fr.record(1, FlightEvent::kRoundStart, 0, 4);
+  fr.record(2, FlightEvent::kTimeout, 3, 1);
+  EXPECT_FALSE(fr.has_dump());
+  fr.mark_degraded();
+  ASSERT_TRUE(fr.degraded());
+  ASSERT_EQ(fr.dump().size(), 2u);
+  // Later traffic does not disturb the captured dump.
+  fr.record(3, FlightEvent::kRoundComplete, 0, 4);
+  EXPECT_EQ(fr.dump().size(), 2u);
+  const Json doc = fr.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "lmo.flight/1");
+  EXPECT_TRUE(doc.at("degraded").as_bool());
+  ASSERT_EQ(doc.at("events").size(), 2u);
+  EXPECT_EQ(doc.at("events")[0].at("name").as_string(), "round_start");
+  EXPECT_EQ(doc.at("events")[1].at("name").as_string(), "timeout");
+  fr.clear();
+  EXPECT_FALSE(fr.has_dump());
+  EXPECT_EQ(fr.recorded(), 0u);
+}
+
+// -------------------------------------------------- residual tracker unit ----
+
+TEST(ObsResiduals, AggregatesAndRanksByCollectiveMre) {
+  ResidualTracker tracker;
+  // "good" predicts collectives within 10%, "bad" within 50%.
+  tracker.record("good", "linear_scatter", ResidualScope::kCollective, -1,
+                 1024, 1.1, 1.0);
+  tracker.record("bad", "linear_scatter", ResidualScope::kCollective, -1,
+                 1024, 1.5, 1.0);
+  // An op only "good" scored must not skew the ranking (intersection).
+  tracker.record("good", "gather_sweep", ResidualScope::kCollective, -1,
+                 2048, 9.0, 1.0);
+  // pt2pt residuals never rank.
+  tracker.record("bad", "roundtrip", ResidualScope::kPointToPoint, -1, 0,
+                 1.0, 1.0);
+  const Json doc = tracker.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "lmo.fidelity/1");
+  EXPECT_EQ(doc.at("ranking_metric").as_string(),
+            "mre_over_shared_collective_ops");
+  ASSERT_EQ(doc.at("ranking").size(), 2u);
+  EXPECT_EQ(doc.at("ranking")[0].at("model").as_string(), "good");
+  EXPECT_NEAR(doc.at("ranking")[0].at("mre").as_double(), 0.1, 1e-12);
+  EXPECT_EQ(doc.at("ranking")[1].at("model").as_string(), "bad");
+  EXPECT_NEAR(doc.at("ranking")[1].at("mre").as_double(), 0.5, 1e-12);
+  // Invalid simulated values are counted but never aggregated.
+  tracker.record("good", "linear_scatter", ResidualScope::kCollective, -1,
+                 1024, 1.0, 0.0);
+  EXPECT_EQ(tracker.to_json().at("invalid").as_int(), 1);
+}
+
+TEST(ObsResiduals, FidelityDriftFlagsRankSwapsAndDrift) {
+  auto fid = [](std::vector<std::pair<std::string, double>> pairs) {
+    Json doc = Json::object();
+    doc["schema"] = "lmo.fidelity/1";
+    Json ranking = Json::array();
+    for (auto& [model, mre] : pairs) {
+      Json r = Json::object();
+      r["model"] = model;
+      r["mre"] = mre;
+      ranking.push_back(std::move(r));
+    }
+    doc["ranking"] = std::move(ranking);
+    return doc;
+  };
+  const Json base = fid({{"lmo", 0.1}, {"plogp", 0.5}});
+  EXPECT_TRUE(fidelity_drift(base, base).empty());
+  // Inside the absolute floor / relative band: clean.
+  EXPECT_TRUE(fidelity_drift(base, fid({{"lmo", 0.11}, {"plogp", 0.6}}))
+                  .empty());
+  // Outside: one violation naming the model.
+  const auto drifted = fidelity_drift(base, fid({{"lmo", 0.1},
+                                                 {"plogp", 0.9}}));
+  ASSERT_EQ(drifted.size(), 1u);
+  EXPECT_NE(drifted[0].find("plogp"), std::string::npos);
+  // A ranking swap is two violations.
+  EXPECT_EQ(fidelity_drift(base, fid({{"plogp", 0.5}, {"lmo", 0.1}})).size(),
+            2u);
+}
+
+// ----------------------------------------- concurrent publication (TSan) ----
+
+// These run under the CI TSan job (ctest filter includes "Obs"): counters,
+// histograms, and snapshot() racing across a pool must be clean, and the
+// final snapshot must not depend on the jobs count.
+
+TEST(ObsConcurrency, ConcurrentCountersHistogramsAndSnapshots) {
+  Registry reg;
+  Counter hits = reg.counter("hits");
+  Histogram lat = reg.histogram("lat", {1.0, 10.0, 100.0});
+  constexpr int kWriters = 64;
+  constexpr int kPerWriter = 500;
+  parallel_for(4, kWriters, [&](int w) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      hits.inc();
+      lat.observe(double((w * kPerWriter + i) % 128));
+      if (i % 100 == 0) (void)reg.snapshot();  // racing reader
+    }
+  });
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("hits"), std::uint64_t(kWriters) * kPerWriter);
+  EXPECT_EQ(snap.histograms.at("lat").total,
+            std::uint64_t(kWriters) * kPerWriter);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t c : snap.histograms.at("lat").counts)
+    bucket_sum += c;
+  EXPECT_EQ(bucket_sum, std::uint64_t(kWriters) * kPerWriter);
+}
+
+TEST(ObsConcurrency, SnapshotsAreJobsIndependent) {
+  auto publish = [](int jobs) {
+    Registry reg;
+    Counter ops = reg.counter("ops");
+    Histogram h = reg.histogram("h", {4.0, 16.0});
+    parallel_for(jobs, 32, [&](int i) {
+      ops.inc(std::uint64_t(i));
+      h.observe(double(i));
+    });
+    return reg.snapshot();
+  };
+  const Snapshot serial = publish(1);
+  const Snapshot pooled = publish(4);
+  EXPECT_EQ(serial.counters.at("ops"), pooled.counters.at("ops"));
+  EXPECT_EQ(serial.histograms.at("h").counts,
+            pooled.histograms.at("h").counts);
+  EXPECT_EQ(serial.histograms.at("h").sum, pooled.histograms.at("h").sum);
+  EXPECT_EQ(serial.to_json().dump(), pooled.to_json().dump());
 }
 
 }  // namespace

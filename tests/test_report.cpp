@@ -66,16 +66,20 @@ TEST(ReportTest, SchemaGolden) {
   EXPECT_EQ(entries[4].first, "provenance");
 }
 
-TEST(ReportTest, SetOverwritesEarlierSection) {
+TEST(ReportTest, DuplicateSectionThrowsNamingTheSection) {
   obs::ReportBuilder rb("t");
   rb.set("k", 1);
-  rb.set("k", 2);
+  try {
+    rb.set("k", 2);
+    FAIL() << "setting a section twice must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::strstr(e.what(), "'k'"), nullptr) << e.what();
+  }
+  // The first value survives, and other sections still work.
+  rb.set("other", 3);
   const obs::Json doc = rb.build();
-  EXPECT_EQ(doc.at("k").as_int(), 2);
-  std::size_t seen = 0;
-  for (const auto& [key, value] : doc.entries())
-    if (key == "k") ++seen;
-  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(doc.at("k").as_int(), 1);
+  EXPECT_EQ(doc.at("other").as_int(), 3);
 }
 
 TEST(ReportTest, WriteProducesParseableFile) {

@@ -7,6 +7,7 @@ point.
     tools/bench_report.py bench_table2_predictions --threshold 0.25 --update
     tools/bench_report.py bench_engine_microbench --gbench --name engine \\
         -- --benchmark_filter=BM_EngineEvents
+    tools/bench_report.py --fidelity-diff baseline.json new.json
     tools/bench_report.py --self-test
 
 Two kinds of binaries are understood:
@@ -31,6 +32,16 @@ appearing in or vanishing from the report is reported the same way — a
 rename or a lost counter is just as much a behavior change as a moved
 value. Any of these prints, and the script exits 1 without overwriting the
 point (pass --update to accept the new values).
+
+--fidelity-diff OLD NEW compares two model-fidelity documents instead of
+running a binary. Each argument is either a standalone lmo.fidelity/1 file
+(--fidelity-save output) or a run report carrying a "fidelity" section.
+The check mirrors the in-binary --fidelity-baseline gate: the model
+rankings must list the same models in the same order, and no ranked
+model's MRE may drift from the old document by more than
+max(0.02, threshold * old MRE); --threshold defaults to 0.25 in this mode.
+Exit 1 on any violation — the accuracy ordering (paper Table 2) is a
+continuously verified invariant, not a one-off result.
 """
 
 import argparse
@@ -137,6 +148,44 @@ def diff_points(old, new, threshold):
     return regressions, sorted(set(new) - set(old)), sorted(set(old) - set(new))
 
 
+def load_fidelity(path):
+    """A fidelity document: standalone lmo.fidelity/1 JSON, or a run report
+    carrying one under its "fidelity" key."""
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict) and isinstance(doc.get("fidelity"), dict):
+        doc = doc["fidelity"]
+    if doc.get("schema") != "lmo.fidelity/1":
+        sys.exit(f"error: {path} is not a fidelity document "
+                 f"(schema {doc.get('schema')!r})")
+    return doc
+
+
+def diff_fidelity(old, new, threshold):
+    """Violations between two fidelity documents, as printable strings.
+
+    Mirrors obs::fidelity_drift in src/obs/residuals.cpp: the rankings must
+    agree model-for-model in order, and each ranked model's MRE may drift
+    from the old value by at most max(0.02, threshold * old). Empty list =
+    the accuracy ordering and magnitudes are preserved.
+    """
+    failures = []
+    old_rank, new_rank = old.get("ranking", []), new.get("ranking", [])
+    if len(old_rank) != len(new_rank):
+        failures.append(f"ranking has {len(new_rank)} models, "
+                        f"baseline has {len(old_rank)}")
+    for r, (o, n) in enumerate(zip(old_rank, new_rank)):
+        if o["model"] != n["model"]:
+            failures.append(f"rank {r + 1} is {n['model']}, "
+                            f"baseline says {o['model']}")
+            continue
+        drift = abs(n["mre"] - o["mre"])
+        if drift > max(0.02, threshold * o["mre"]):
+            failures.append(f"{n['model']} mre {n['mre']:g} drifted from "
+                            f"baseline {o['mre']:g}")
+    return failures
+
+
 def run_binary(binary, extra, gbench):
     """Run the bench binary, return its flattened metric dict."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
@@ -223,6 +272,32 @@ def self_test():
     regs, added, dropped = diff_points({"a": 1.0}, {"a": 1.0}, 0.10)
     assert (regs, added, dropped) == ([], [], [])
 
+    # diff_fidelity: identity passes, drift inside the absolute floor or
+    # the relative band passes, ranking swaps and large drifts fail.
+    def fid(*pairs):
+        return {"schema": "lmo.fidelity/1",
+                "ranking": [{"model": m, "mre": e} for m, e in pairs]}
+
+    base = fid(("lmo", 0.10), ("plogp", 0.50), ("hockney", 0.90))
+    assert diff_fidelity(base, base, 0.25) == []
+    # 0.10 -> 0.11: inside the 0.02 absolute floor.
+    assert diff_fidelity(base, fid(("lmo", 0.11), ("plogp", 0.50),
+                                   ("hockney", 0.90)), 0.25) == []
+    # 0.50 -> 0.60: inside 25% relative.
+    assert diff_fidelity(base, fid(("lmo", 0.10), ("plogp", 0.60),
+                                   ("hockney", 0.90)), 0.25) == []
+    # 0.50 -> 0.70: outside both bounds.
+    fails = diff_fidelity(base, fid(("lmo", 0.10), ("plogp", 0.70),
+                                    ("hockney", 0.90)), 0.25)
+    assert len(fails) == 1 and "plogp" in fails[0]
+    # Ranking swap: two position mismatches.
+    fails = diff_fidelity(base, fid(("plogp", 0.50), ("lmo", 0.10),
+                                    ("hockney", 0.90)), 0.25)
+    assert len(fails) == 2
+    # A model appearing/disappearing changes the ranking length.
+    fails = diff_fidelity(base, fid(("lmo", 0.10), ("plogp", 0.50)), 0.25)
+    assert any("2 models" in f for f in fails)
+
     print("bench_report.py self-test passed")
 
 
@@ -250,11 +325,17 @@ def main():
     parser.add_argument(
         "--threshold",
         type=float,
-        default=0.10,
-        help="relative change that counts as a regression (default 0.10)",
+        default=None,
+        help="relative change that counts as a regression "
+        "(default 0.10; 0.25 with --fidelity-diff)",
     )
     parser.add_argument(
         "--update", action="store_true", help="save the new point even on regressions"
+    )
+    parser.add_argument(
+        "--fidelity-diff", nargs=2, metavar=("OLD", "NEW"),
+        help="compare two fidelity documents (ranking + per-model MRE "
+        "drift) instead of running a binary",
     )
     parser.add_argument(
         "--self-test", action="store_true",
@@ -273,8 +354,24 @@ def main():
     if args.self_test:
         self_test()
         return
+    if args.fidelity_diff:
+        threshold = 0.25 if args.threshold is None else args.threshold
+        old_path, new_path = args.fidelity_diff
+        failures = diff_fidelity(
+            load_fidelity(old_path), load_fidelity(new_path), threshold)
+        for failure in failures:
+            print(f"fidelity: FAIL {failure}")
+        if failures:
+            sys.exit(1)
+        models = [r["model"] for r in load_fidelity(new_path)["ranking"]]
+        print(f"fidelity: ranking unchanged ({' > '.join(models)}; most "
+              f"accurate first), per-model accuracy within bounds")
+        return
     if not args.bench:
-        parser.error("bench binary name required (or --self-test)")
+        parser.error("bench binary name required (or --self-test / "
+                     "--fidelity-diff)")
+    if args.threshold is None:
+        args.threshold = 0.10
 
     binary = os.path.join(args.build_dir, "bench", args.bench)
     if not os.path.exists(binary):
