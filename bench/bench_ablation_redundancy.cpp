@@ -23,8 +23,8 @@ double parameter_error(const core::LmoParams& p, const sim::GroundTruth& gt) {
   for (int i = 0; i < n; ++i)
     for (int j = i + 1; j < n; ++j) {
       total += std::fabs(p.inv_beta(i, j) -
-                         gt.inv_beta[std::size_t(i)][std::size_t(j)]) /
-               gt.inv_beta[std::size_t(i)][std::size_t(j)];
+                         gt.inv_beta(i, j)) /
+               gt.inv_beta(i, j);
       ++count;
     }
   return total / double(count);

@@ -17,7 +17,8 @@
 using namespace lmo;
 
 int main(int argc, char** argv) {
-  const Cli cli = bench::parse_bench_cli(argc, argv);
+  const Cli cli =
+      bench::parse_bench_cli(argc, argv, {"switches", "nodes", "cores"});
   const int switches = int(cli.get_int("switches", 2));
   const int nodes = int(cli.get_int("nodes", 3));
   const int cores = int(cli.get_int("cores", 2));

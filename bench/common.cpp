@@ -187,11 +187,17 @@ int finish_run() {
 }
 
 Cli parse_bench_cli(int argc, const char* const* argv) {
+  return parse_bench_cli(argc, argv, {});
+}
+
+Cli parse_bench_cli(int argc, const char* const* argv,
+                    std::vector<std::string> extra) {
   std::vector<std::string> known = {
       "seed", "reps", "csv", "json", "points", "jobs", "report",
-      "trace", "measurements-load", "measurements-save",
+      "trace", "measurements-load", "measurements-save", "shard",
       "fidelity-save", "fidelity-baseline", "flight-dump", "metrics-out"};
   for (const std::string& f : sim::fault_cli_options()) known.push_back(f);
+  for (std::string& f : extra) known.push_back(std::move(f));
   Cli cli(argc, argv, std::move(known));
   // 0 = auto (hardware concurrency); results are jobs-independent.
   set_default_jobs(int(cli.get_int("jobs", 0)));
@@ -218,6 +224,12 @@ Cli parse_bench_cli(int argc, const char* const* argv) {
     s.flight = std::make_unique<obs::FlightRecorder>();
   s.metrics_path = cli.get("metrics-out", "");
   return cli;
+}
+
+estimate::ShardSpec shard_spec(const Cli& cli) {
+  const std::string spec = cli.get("shard", "");
+  if (spec.empty()) return {};
+  return estimate::ShardSpec::parse(spec);
 }
 
 estimate::MeasurementStore open_measurements(const Cli& cli, int cluster_size,

@@ -112,6 +112,17 @@ void record_residual(const std::string& model, const std::string& op, Bytes m,
 /// --flight-dump is.
 [[nodiscard]] Cli parse_bench_cli(int argc, const char* const* argv);
 
+/// Same, accepting bench-specific extra flags (e.g. --switches) on top of
+/// the standard set, so they pass the unknown-option check.
+[[nodiscard]] Cli parse_bench_cli(int argc, const char* const* argv,
+                                  std::vector<std::string> extra);
+
+/// The --shard i/k spec (inactive 0/1 default when the flag is absent):
+/// which slice of the measured rounds this process executes — see
+/// estimate::ShardSpec. Sharded runs must save their store
+/// (--measurements-save) and be merged before fitting.
+[[nodiscard]] estimate::ShardSpec shard_spec(const Cli& cli);
+
 /// The measurement store this run estimates through: a fresh store stamped
 /// with the cluster's provenance, or — with --measurements-load — a warm
 /// store reloaded from disk (its recorded cluster size/seed must match;

@@ -1,7 +1,9 @@
 // lmo_tool — the command-line workflow of the paper's software tool [13]:
 //
 //   lmo_tool make-cluster --out cluster.cfg [--nodes N] [--seed S]
-//       write a cluster description (default: the Table-I cluster);
+//            [--switches S --nodes N --cores C]
+//       write a cluster description (default: the Table-I cluster;
+//       --switches makes a hierarchical S x N x C multi-core cluster);
 //   lmo_tool estimate --cluster cluster.cfg --out model.cfg
 //       run the LMO estimation experiments on the (simulated) cluster and
 //       persist the point-to-point + empirical parameters;
@@ -9,8 +11,20 @@
 //            [--size BYTES] [--root R]
 //       predict the collective's execution time from the saved model;
 //   lmo_tool tune --model model.cfg --op ... --size BYTES
-//       print the tuned algorithm decision for one invocation.
+//       print the tuned algorithm decision for one invocation;
+//   lmo_tool estimate ... --shard i/k --measurements-save shard_i.json
+//       measure only shard i of k of the estimation experiments (no fit) —
+//       run all k shards (any machines, any order), merge, then re-run
+//       estimate with --measurements-load merged.json for the exact model
+//       a single-process run would produce;
+//   lmo_tool merge shard_0.json shard_1.json ... --out merged.json
+//       fold shard measurement stores into one (optionally folding the
+//       shards' run reports via --reports r0.json,r1.json --report out).
+//
+// Byte sizes (--size) accept k/M/G suffixes (powers of 1024).
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/params_io.hpp"
@@ -38,7 +52,7 @@ namespace {
 using namespace lmo;
 
 int usage() {
-  std::cerr << "usage: lmo_tool <make-cluster|estimate|predict|tune> "
+  std::cerr << "usage: lmo_tool <make-cluster|estimate|predict|tune|merge> "
                "[options]\n  see the header comment of examples/lmo_tool.cpp\n";
   return 2;
 }
@@ -54,9 +68,18 @@ core::CollectiveKind parse_op(const std::string& op) {
 int cmd_make_cluster(const Cli& cli) {
   const std::string out = cli.get("out", "cluster.cfg");
   const auto seed = std::uint64_t(cli.get_int("seed", 1));
+  const int switches = int(cli.get_int("switches", 0));
   const int nodes = int(cli.get_int("nodes", 0));
-  const auto cfg = nodes > 0 ? sim::make_random_cluster(nodes, seed)
-                             : sim::make_paper_cluster(seed);
+  // --switches S --nodes N --cores C: a hierarchical multi-core cluster
+  // (S*N*C ranks, v2 config with the resource tree — profile-compact, so
+  // even a 4096-rank file stays KB-sized). --nodes alone: a flat random
+  // heterogeneous cluster. Neither: the Table-I paper cluster.
+  const auto cfg =
+      switches > 0
+          ? sim::make_multicore_cluster(switches, std::max(nodes, 1),
+                                        int(cli.get_int("cores", 1)), seed)
+          : nodes > 0 ? sim::make_random_cluster(nodes, seed)
+                      : sim::make_paper_cluster(seed);
   sim::save_cluster(cfg, out);
   std::cout << "wrote " << cfg.size() << "-node cluster to " << out << "\n";
   return 0;
@@ -104,12 +127,65 @@ int cmd_estimate(const Cli& cli) {
     store.set_cluster(cfg.size(), cfg.seed);
   }
 
+  // --shard i/k: measure-only mode. Execute this process's slice of the
+  // measured rounds (seeds pinned to the single-process round indices),
+  // persist the slice, and skip the fits — they need the full campaign.
+  // Stage 2 plans from the stage-1 results, so a cold k-shard campaign is
+  // two passes: every shard on the cold store, merge, every shard again on
+  // the merged store; then a final estimate --measurements-load runs
+  // entirely cached and fits the bit-identical model.
+  const std::string shard_text = cli.get("shard", "");
+  const std::string save_path = cli.get("measurements-save", "");
+  if (!shard_text.empty()) {
+    const auto shard = estimate::ShardSpec::parse(shard_text);
+    LMO_CHECK_MSG(!save_path.empty(),
+                  "--shard requires --measurements-save: the shard's slice "
+                  "must be persisted for merging");
+    const estimate::LmoOptions lopts;
+    const sim::Topology* topo = ex.topology();
+    {
+      estimate::PlanBuilder stage1(topo);
+      estimate::plan_lmo_roundtrips(stage1, cfg.size(), lopts);
+      (void)estimate::execute_plan(stage1.build(lopts.parallel), ex, store,
+                                   shard);
+    }
+    bool stage1_done = true;
+    for (const auto& [i, j] : estimate::all_pairs(cfg.size()))
+      if (!store.contains(estimate::ExperimentKey::roundtrip(i, j, 0, 0)) ||
+          !store.contains(estimate::ExperimentKey::roundtrip(
+              i, j, lopts.probe_size, lopts.probe_size))) {
+        stage1_done = false;
+        break;
+      }
+    if (stage1_done) {
+      estimate::PlanBuilder stage2(topo);
+      estimate::plan_lmo_one_to_two(stage2, store, cfg.size(), lopts);
+      (void)estimate::execute_plan(stage2.build(lopts.parallel), ex, store,
+                                   shard);
+      // The gather sweep is raw observations on the anchor session —
+      // identical in every process (measured rounds never touch the
+      // anchor), so it runs unsharded and merges bit-equal.
+      estimate::PlanBuilder sweep(topo);
+      estimate::plan_gather_sweep(sweep);
+      (void)estimate::execute_plan(sweep.build(true), ex, store);
+    } else {
+      std::cout << "shard " << shard.index << "/" << shard.count
+                << ": stage-1 round-trips incomplete; merge the shard "
+                   "stores and re-run each shard on the merged store\n";
+    }
+    store.save(save_path);
+    std::cout << "shard " << shard.index << "/" << shard.count << ": saved "
+              << store.size() << " measurements to " << save_path << "\n";
+    vmpi::publish_metrics(world.metrics(), obs::Registry::global());
+    obs::set_global_residuals(nullptr);
+    return 0;
+  }
+
   std::cout << "running estimation experiments on " << cfg.size()
             << " nodes...\n";
   const auto lmo = estimate::estimate_lmo(ex, store);
   const auto emp = estimate::estimate_gather_empirical(ex, store, lmo.params);
   core::save_params(lmo.params, emp.empirical, out);
-  const std::string save_path = cli.get("measurements-save", "");
   if (!save_path.empty()) {
     store.save(save_path);
     std::cout << "saved " << store.size() << " measurements to " << save_path
@@ -175,10 +251,70 @@ int cmd_estimate(const Cli& cli) {
   return rc;
 }
 
+/// Fold shard measurement stores (positional paths) into --out. With
+/// --reports r0.json,r1.json and --report out.json, the shards' run
+/// reports are folded too: estimation-cost fields summed, per-shard
+/// provenance listed.
+int cmd_merge(const Cli& cli) {
+  const std::vector<std::string>& inputs = cli.positional();
+  LMO_CHECK_MSG(!inputs.empty(),
+                "merge needs at least one shard store path");
+  const std::string out = cli.get("out", "");
+  LMO_CHECK_MSG(!out.empty(), "merge requires --out");
+  estimate::MeasurementStore merged =
+      estimate::MeasurementStore::load(inputs[0]);
+  for (std::size_t i = 1; i < inputs.size(); ++i)
+    merged.merge_from(estimate::MeasurementStore::load(inputs[i]));
+  merged.save(out);
+  std::cout << "merged " << inputs.size() << " shard stores ("
+            << merged.size() << " entries, " << merged.quarantined_count()
+            << " quarantined) into " << out << "\n";
+
+  const std::string reports = cli.get("reports", "");
+  const std::string report_out = cli.get("report", "");
+  if (!reports.empty()) {
+    LMO_CHECK_MSG(!report_out.empty(),
+                  "merge --reports requires --report for the folded output");
+    obs::Json shards = obs::Json::array();
+    obs::Json cost = obs::Json::object();
+    std::string rest = reports;
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      const std::string path = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      if (path.empty()) continue;
+      std::ifstream in(path);
+      LMO_CHECK_MSG(in.good(), "cannot read run report " + path);
+      std::ostringstream text;
+      text << in.rdbuf();
+      const obs::Json report = obs::Json::parse(text.str());
+      obs::Json entry = obs::Json::object();
+      entry["path"] = path;
+      if (const obs::Json* prov = report.find("provenance"))
+        entry["provenance"] = *prov;
+      shards.push_back(std::move(entry));
+      if (const obs::Json* c = report.find("estimation_cost"))
+        for (const auto& [key, value] : c->entries()) {
+          const double prior =
+              cost.find(key) != nullptr ? cost.at(key).as_double() : 0.0;
+          cost[key] = prior + value.as_double();
+        }
+    }
+    obs::ReportBuilder folded("lmo_tool merge");
+    folded.set("shards", std::move(shards));
+    folded.set("estimation_cost", std::move(cost));
+    folded.set("merged_store", out);
+    folded.set("entries", std::int64_t(merged.size()));
+    folded.write(report_out);
+    std::cout << "report: " << report_out << "\n";
+  }
+  return 0;
+}
+
 int cmd_predict(const Cli& cli) {
   const auto loaded = core::load_params(cli.get("model", "model.cfg"));
   const auto kind = parse_op(cli.get("op", "scatter"));
-  const Bytes m = cli.get_int("size", 65536);
+  const Bytes m = cli.get_bytes("size", 65536);
   const int root = int(cli.get_int("root", 0));
   double prediction = 0.0;
   switch (kind) {
@@ -206,7 +342,7 @@ int cmd_predict(const Cli& cli) {
 int cmd_tune(const Cli& cli) {
   const auto loaded = core::load_params(cli.get("model", "model.cfg"));
   const auto kind = parse_op(cli.get("op", "scatter"));
-  const Bytes m = cli.get_int("size", 65536);
+  const Bytes m = cli.get_bytes("size", 65536);
   const int root = int(cli.get_int("root", 0));
   const core::Tuner tuner(loaded.params, loaded.empirical);
   const auto d = tuner.decide(kind, root, m);
@@ -229,8 +365,8 @@ int main(int argc, char** argv) {
   try {
     std::vector<std::string> known = {
         "out", "cluster", "model", "op", "size", "root",
-        "nodes", "seed", "jobs", "report", "trace",
-        "measurements-load", "measurements-save",
+        "nodes", "switches", "cores", "seed", "jobs", "report", "trace",
+        "measurements-load", "measurements-save", "shard", "reports",
         "fidelity-save", "fidelity-baseline", "flight-dump", "metrics-out"};
     for (const std::string& f : lmo::sim::fault_cli_options())
       known.push_back(f);
@@ -249,6 +385,8 @@ int main(int argc, char** argv) {
       rc = cmd_predict(cli);
     else if (command == "tune")
       rc = cmd_tune(cli);
+    else if (command == "merge")
+      rc = cmd_merge(cli);
     else
       return usage();
     if (!trace_path.empty()) {

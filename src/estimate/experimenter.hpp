@@ -123,6 +123,14 @@ class Experimenter {
   [[nodiscard]] virtual std::uint64_t runs() const = 0;
   [[nodiscard]] virtual SimTime cost() const = 0;
 
+  /// Measured-round cursor: the index the next measured round would use to
+  /// derive its repetition seeds. Sharded plan execution pins it so every
+  /// shard derives the same seeds the single-process run would, making the
+  /// merged measurements bit-identical. Platforms without deterministic
+  /// seeding can ignore both (the defaults are no-ops).
+  [[nodiscard]] virtual std::uint64_t round_cursor() const { return 0; }
+  virtual void set_round_cursor(std::uint64_t) {}
+
   // Single-experiment conveniences.
   [[nodiscard]] double roundtrip(int i, int j, Bytes m_fwd, Bytes m_back) {
     return roundtrip_round({{i, j}}, m_fwd, m_back)[0];
@@ -172,6 +180,11 @@ class SimExperimenter final : public Experimenter {
   [[nodiscard]] std::vector<SlotHealth> last_round_health() const override {
     return last_health_;
   }
+
+  [[nodiscard]] std::uint64_t round_cursor() const override {
+    return round_seq_;
+  }
+  void set_round_cursor(std::uint64_t cursor) override { round_seq_ = cursor; }
 
   /// Attach (or detach, with nullptr) a flight recorder. The recorder also
   /// attaches to the anchor session (single observations record their sim

@@ -92,6 +92,36 @@ std::size_t MeasurementStore::size() const {
   return values_.size();
 }
 
+void MeasurementStore::merge_from(const MeasurementStore& other) {
+  std::scoped_lock lk(mu_, other.mu_);
+  if (cluster_size_ != 0 && other.cluster_size_ != 0) {
+    LMO_CHECK_MSG(cluster_size_ == other.cluster_size_ &&
+                      cluster_seed_ == other.cluster_seed_,
+                  "cannot merge measurement stores with mismatched cluster "
+                  "provenance: size " +
+                      std::to_string(cluster_size_) + " seed " +
+                      std::to_string(cluster_seed_) + " vs size " +
+                      std::to_string(other.cluster_size_) + " seed " +
+                      std::to_string(other.cluster_seed_));
+  } else if (cluster_size_ == 0) {
+    cluster_size_ = other.cluster_size_;
+    cluster_seed_ = other.cluster_seed_;
+  }
+  for (const auto& [key, value] : other.values_) {
+    const auto it = values_.find(key);
+    if (it != values_.end()) {
+      LMO_CHECK_MSG(it->second == value,
+                    "measurement stores disagree on " + key.describe() +
+                        " — inputs are not shards of one run");
+      continue;
+    }
+    values_.emplace(key, value);
+    suspects_.erase(key);  // a clean value supersedes a suspect one
+  }
+  for (const auto& [key, value] : other.suspects_)
+    if (values_.count(key) == 0) suspects_.emplace(key, value);
+}
+
 void MeasurementStore::set_cluster(int size, std::uint64_t seed) {
   std::lock_guard<std::mutex> lk(mu_);
   cluster_size_ = size;

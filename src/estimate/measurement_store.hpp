@@ -65,6 +65,16 @@ class MeasurementStore {
   [[nodiscard]] std::uint64_t hits() const { return hits_.load(); }
   [[nodiscard]] std::uint64_t misses() const { return misses_.load(); }
 
+  /// Fold another store (typically one shard of a sharded measurement
+  /// campaign) into this one. Cluster provenance must agree (0 = unknown
+  /// matches anything; the merged store keeps whichever side knows); a key
+  /// held by both sides must carry the bit-identical value — shards of one
+  /// deterministic campaign can never disagree, so a mismatch means the
+  /// inputs come from different runs and throws lmo::Error naming the key.
+  /// Quarantined entries merge too; a clean value on either side wins over
+  /// the other side's suspect one.
+  void merge_from(const MeasurementStore& other);
+
   /// Cluster provenance, recorded so a reloaded store can be checked
   /// against the world it is applied to. 0 = unknown.
   void set_cluster(int size, std::uint64_t seed);

@@ -322,15 +322,63 @@ ExperimentPlan PlanBuilder::build(bool parallel) const {
   return plan;
 }
 
+ShardSpec ShardSpec::parse(const std::string& text) {
+  const auto bad = [&text](const std::string& why) {
+    return Error("shard spec \"" + text + "\": " + why +
+                 " (expected \"i/k\" with 0 <= i < k)");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) throw bad("missing '/'");
+  ShardSpec s;
+  try {
+    std::size_t pos = 0;
+    const std::string lhs = text.substr(0, slash);
+    const std::string rhs = text.substr(slash + 1);
+    s.index = std::stoi(lhs, &pos);
+    if (pos != lhs.size()) throw bad("trailing garbage in shard index");
+    s.count = std::stoi(rhs, &pos);
+    if (pos != rhs.size()) throw bad("trailing garbage in shard count");
+  } catch (const std::invalid_argument&) {
+    throw bad("not a number");
+  } catch (const std::out_of_range&) {
+    throw bad("out of range");
+  }
+  if (s.count < 1) throw bad("shard count must be >= 1");
+  if (s.index < 0 || s.index >= s.count)
+    throw bad("shard index out of range");
+  return s;
+}
+
 ExecuteStats execute_plan(const ExperimentPlan& plan, Experimenter& ex,
-                          MeasurementStore& store) {
+                          MeasurementStore& store, const ShardSpec& shard) {
   const obs::Span sp = obs::span("plan.execute");
   ExecuteStats stats;
   obs::Registry& reg = obs::Registry::global();
   obs::Counter measured_ctr = reg.counter("plan.experiments_measured");
   obs::Counter cached_ctr = reg.counter("plan.cache_hits");
 
+  // Sharding: measured rounds are numbered by a work ordinal over the
+  // plan's deterministic round order; shard i of k executes ordinals
+  // congruent to i, pinning the experimenter's round cursor to the value
+  // the single-process run would have reached so per-repetition seeds are
+  // identical. Observation rounds are excluded from the ordinal and run in
+  // every shard: they sample the anchor session, whose RNG state measured
+  // rounds never advance, so every process observes the same values. An
+  // inactive shard makes zero cursor calls — the unsharded path is
+  // untouched, byte for byte.
+  const bool sharded = shard.active();
+  const std::uint64_t base = sharded ? ex.round_cursor() : 0;
+  std::uint64_t work = 0;
+
   for (const PlannedRound& round : plan.rounds) {
+    const bool observation =
+        round.kind == ExperimentKind::kScatterObservation ||
+        round.kind == ExperimentKind::kGatherObservation;
+    const std::uint64_t w = work;
+    if (!observation) ++work;
+    if (sharded && !observation &&
+        w % std::uint64_t(shard.count) != std::uint64_t(shard.index))
+      continue;
     // A key the store already holds is authoritative — skip it. The
     // survivors of a partially cached round are a subset of a
     // node-disjoint set, hence still node-disjoint.
@@ -342,6 +390,7 @@ ExecuteStats execute_plan(const ExperimentPlan& plan, Experimenter& ex,
         missing.push_back(k);
     }
     if (missing.empty()) continue;
+    if (sharded && !observation) ex.set_round_cursor(base + w);
 
     std::vector<double> values;
     switch (round.kind) {
@@ -408,6 +457,9 @@ ExecuteStats execute_plan(const ExperimentPlan& plan, Experimenter& ex,
     stats.measured += missing.size();
     ++stats.rounds;
   }
+  // Leave the cursor where the single-process run would have left it, so
+  // a later plan executed on the same experimenter keeps matching seeds.
+  if (sharded) ex.set_round_cursor(base + work);
 
   measured_ctr.inc(stats.measured);
   cached_ctr.inc(stats.cached);

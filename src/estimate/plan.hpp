@@ -159,11 +159,39 @@ struct ExecuteStats {
   std::size_t rounds = 0;    ///< measured rounds issued
 };
 
+/// Which slice of a plan's measured rounds this process executes. Rounds
+/// are numbered by a work ordinal `w` over the plan's deterministic round
+/// order (observation rounds excluded — they run in every shard, since
+/// they sample the anchor session whose state measured rounds never
+/// touch); shard i of k runs exactly the rounds with w % count == index.
+/// The slices partition the work and are order-independent: merging the k
+/// shard stores reconstructs the single-process store bit-exactly, because
+/// each executed round pins the experimenter's round cursor to the ordinal
+/// the single-process run would have reached.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  [[nodiscard]] bool active() const { return count > 1; }
+
+  /// Parse "i/k" (e.g. "0/4"): 0 <= i < k, k >= 1. Throws lmo::Error
+  /// naming the malformed value otherwise.
+  [[nodiscard]] static ShardSpec parse(const std::string& text);
+};
+
 /// Run every experiment in the plan that `store` does not already hold,
 /// inserting the measured means; keys already present are skipped (their
 /// cached value is authoritative — re-measuring would perturb nothing but
 /// would cost platform time). Returns what was measured vs served.
+///
+/// With an active `shard`, only this shard's slice of the measured rounds
+/// executes (see ShardSpec); the experimenter's round cursor is pinned
+/// before every executed round and advanced past the whole plan on return,
+/// so per-round seeds match the single-process run. The default (inactive)
+/// shard never touches the cursor — unsharded execution is byte-identical
+/// to what it was before sharding existed.
 ExecuteStats execute_plan(const ExperimentPlan& plan, Experimenter& ex,
-                          MeasurementStore& store);
+                          MeasurementStore& store,
+                          const ShardSpec& shard = {});
 
 }  // namespace lmo::estimate

@@ -25,6 +25,29 @@ void append_line(std::string& out, const std::string& name,
   out += '\n';
 }
 
+/// `{k="v",...}` with sanitized keys and escaped values; `extra` is a
+/// pre-rendered label pair (the histogram `le`) appended verbatim. Empty
+/// string when there is nothing to emit, so unlabeled series stay
+/// byte-identical to the pre-label format.
+std::string label_block(const PrometheusLabels& labels,
+                        const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_name(key) + "=\"" + prometheus_label_value(value) +
+           "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::string prometheus_name(const std::string& name) {
@@ -39,18 +62,33 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
-std::string render_prometheus(const Snapshot& snap,
-                              const std::string& prefix) {
+std::string prometheus_label_value(const std::string& value) {
   std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const Snapshot& snap, const std::string& prefix,
+                              const PrometheusLabels& labels) {
+  std::string out;
+  const std::string lbl = label_block(labels);
   for (const auto& [name, value] : snap.counters) {
     const std::string n = prefix + prometheus_name(name) + "_total";
     out += "# TYPE " + n + " counter\n";
-    append_line(out, n, std::to_string(value));
+    append_line(out, n + lbl, std::to_string(value));
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string n = prefix + prometheus_name(name);
     out += "# TYPE " + n + " gauge\n";
-    append_line(out, n, fmt_double(value));
+    append_line(out, n + lbl, fmt_double(value));
   }
   for (const auto& [name, hist] : snap.histograms) {
     const std::string n = prefix + prometheus_name(name);
@@ -58,32 +96,38 @@ std::string render_prometheus(const Snapshot& snap,
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
       cum += i < hist.counts.size() ? hist.counts[i] : 0;
-      append_line(out, n + "_bucket{le=\"" + fmt_double(hist.bounds[i]) +
-                           "\"}",
+      append_line(out,
+                  n + "_bucket" +
+                      label_block(labels,
+                                  "le=\"" + fmt_double(hist.bounds[i]) + "\""),
                   std::to_string(cum));
     }
-    append_line(out, n + "_bucket{le=\"+Inf\"}", std::to_string(hist.total));
-    append_line(out, n + "_sum", fmt_double(hist.sum));
-    append_line(out, n + "_count", std::to_string(hist.total));
+    append_line(out, n + "_bucket" + label_block(labels, "le=\"+Inf\""),
+                std::to_string(hist.total));
+    append_line(out, n + "_sum" + lbl, fmt_double(hist.sum));
+    append_line(out, n + "_count" + lbl, std::to_string(hist.total));
     for (const auto& [q, label] :
          {std::pair<double, const char*>{0.50, "_p50"},
           {0.95, "_p95"},
           {0.99, "_p99"}}) {
       out += "# TYPE " + n + label + " gauge\n";
-      append_line(out, n + label, fmt_double(hist.quantile(q)));
+      append_line(out, n + label + lbl, fmt_double(hist.quantile(q)));
     }
   }
   return out;
 }
 
-Exposition::Exposition(std::string path, std::string prefix)
-    : path_(std::move(path)), prefix_(std::move(prefix)) {}
+Exposition::Exposition(std::string path, std::string prefix,
+                       PrometheusLabels labels)
+    : path_(std::move(path)),
+      prefix_(std::move(prefix)),
+      labels_(std::move(labels)) {}
 
 Exposition::~Exposition() { stop(); }
 
 void Exposition::flush() {
   const std::string text =
-      render_prometheus(Registry::global().snapshot(), prefix_);
+      render_prometheus(Registry::global().snapshot(), prefix_, labels_);
   const std::string tmp = path_ + ".tmp";
   {
     std::ofstream os(tmp);

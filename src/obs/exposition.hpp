@@ -19,24 +19,40 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace lmo::obs {
 
 struct Snapshot;
 
-/// Render a snapshot in Prometheus text exposition format.
-[[nodiscard]] std::string render_prometheus(const Snapshot& snap,
-                                            const std::string& prefix =
-                                                "lmo_");
+/// Constant labels attached to every series an Exposition renders
+/// (e.g. {{"shard", "0/4"}, {"host", "n1"}}). Keys are sanitized like
+/// metric names; values are escaped per the text format.
+using PrometheusLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Render a snapshot in Prometheus text exposition format. `labels` are
+/// appended to every series (histogram buckets keep their `le` label
+/// after them).
+[[nodiscard]] std::string render_prometheus(
+    const Snapshot& snap, const std::string& prefix = "lmo_",
+    const PrometheusLabels& labels = {});
 
 /// Sanitize one metric name for Prometheus: every character outside
 /// [a-zA-Z0-9_:] becomes '_'; a leading digit gains a '_' prefix.
 [[nodiscard]] std::string prometheus_name(const std::string& name);
 
+/// Escape one label value for the text exposition format (version 0.0.4):
+/// backslash -> \\, double quote -> \", line feed -> \n. Everything else
+/// passes through, so any byte string survives a scrape round trip.
+[[nodiscard]] std::string prometheus_label_value(const std::string& value);
+
 class Exposition {
  public:
-  /// Snapshots flush to `path`; `prefix` namespaces every metric.
-  explicit Exposition(std::string path, std::string prefix = "lmo_");
+  /// Snapshots flush to `path`; `prefix` namespaces every metric and
+  /// `labels` are stamped onto every series (shard index, host, ...).
+  explicit Exposition(std::string path, std::string prefix = "lmo_",
+                      PrometheusLabels labels = {});
   ~Exposition();
 
   Exposition(const Exposition&) = delete;
@@ -56,6 +72,7 @@ class Exposition {
  private:
   std::string path_;
   std::string prefix_;
+  PrometheusLabels labels_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::thread worker_;

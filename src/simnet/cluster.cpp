@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <tuple>
 
 #include "util/rng.hpp"
 
@@ -54,6 +56,35 @@ int ClusterConfig::lca_level(int i, int j) const {
   return topology.empty() ? 1 : topology.lca_level(i, j);
 }
 
+bool operator==(const NodeParams& a, const NodeParams& b) {
+  return a.label == b.label && a.type == b.type &&
+         a.fixed_delay_s == b.fixed_delay_s && a.per_byte_s == b.per_byte_s &&
+         a.link_rate_bps == b.link_rate_bps && a.latency_s == b.latency_s;
+}
+
+bool ClusterConfig::overrides_profile(int rank) const {
+  if (profiles.empty()) return false;
+  LMO_CHECK_MSG(rank >= 0 && rank < size(),
+                "overrides_profile: rank " + std::to_string(rank) +
+                    " out of range for a cluster of size " +
+                    std::to_string(size()));
+  return !(nodes[std::size_t(rank)] ==
+           profiles[std::size_t(profile_of[std::size_t(rank)])].params);
+}
+
+void ClusterConfig::materialize_profiles() {
+  nodes.clear();
+  nodes.reserve(profile_of.size());
+  for (const int p : profile_of) {
+    LMO_CHECK_MSG(p >= 0 && p < int(profiles.size()),
+                  "profile_of[" + std::to_string(nodes.size()) +
+                      "] = " + std::to_string(p) +
+                      " out of range for " + std::to_string(profiles.size()) +
+                      " profiles");
+    nodes.push_back(profiles[std::size_t(p)].params);
+  }
+}
+
 void ClusterConfig::validate() const {
   if (nodes.empty()) throw Error("ClusterConfig: cluster is empty (no nodes)");
   LMO_CHECK_MSG(size() >= 2, "a cluster needs at least two nodes (got " +
@@ -68,6 +99,36 @@ void ClusterConfig::validate() const {
       throw Error("ClusterConfig: " + at + "link_rate_bps = " +
                   std::to_string(n.link_rate_bps) +
                   " must be finite and positive");
+  }
+  if (!profiles.empty()) {
+    LMO_CHECK_MSG(profile_of.size() == nodes.size(),
+                  "ClusterConfig: profile_of has " +
+                      std::to_string(profile_of.size()) +
+                      " entries, cluster has " + std::to_string(size()) +
+                      " nodes");
+    for (int r = 0; r < size(); ++r) {
+      const int p = profile_of[std::size_t(r)];
+      LMO_CHECK_MSG(p >= 0 && p < int(profiles.size()),
+                    "ClusterConfig: profile_of[" + std::to_string(r) +
+                        "] = " + std::to_string(p) + " out of range for " +
+                        std::to_string(profiles.size()) + " profiles");
+    }
+    for (std::size_t k = 0; k < profiles.size(); ++k) {
+      const NodeParams& p = profiles[k].params;
+      const std::string at = "profiles[" + std::to_string(k) + "].params.";
+      check_finite_nonneg(p.fixed_delay_s, at + "fixed_delay_s");
+      check_finite_nonneg(p.per_byte_s, at + "per_byte_s");
+      check_finite_nonneg(p.latency_s, at + "latency_s");
+      if (!(std::isfinite(p.link_rate_bps) && p.link_rate_bps > 0.0))
+        throw Error("ClusterConfig: " + at + "link_rate_bps = " +
+                    std::to_string(p.link_rate_bps) +
+                    " must be finite and positive");
+    }
+  } else {
+    LMO_CHECK_MSG(profile_of.empty(),
+                  "ClusterConfig: profile_of has " +
+                      std::to_string(profile_of.size()) +
+                      " entries but the profile table is empty");
   }
   check_finite_nonneg(switch_latency_s, "switch_latency_s");
   check_finite_nonneg(noise_rel, "noise_rel");
@@ -84,21 +145,33 @@ void ClusterConfig::validate() const {
   topology.validate(size());
 }
 
+double GroundTruth::L(int i, int j) const {
+  if (i == j) return 0.0;
+  return cfg_.latency(i, j);
+}
+
+double GroundTruth::inv_beta(int i, int j) const {
+  if (i == j) return 0.0;
+  return 1.0 / cfg_.rate(i, j);
+}
+
+GroundTruth::PairTruth GroundTruth::pair(int i, int j) const {
+  PairTruth p;
+  if (i == j) return p;
+  p.L = cfg_.latency(i, j);
+  p.inv_beta = 1.0 / cfg_.rate(i, j);
+  return p;
+}
+
 GroundTruth ground_truth(const ClusterConfig& cfg) {
   const int n = cfg.size();
   GroundTruth gt;
+  gt.cfg_ = cfg;
   gt.C.resize(std::size_t(n));
   gt.t.resize(std::size_t(n));
-  gt.L.assign(std::size_t(n), std::vector<double>(std::size_t(n), 0.0));
-  gt.inv_beta.assign(std::size_t(n), std::vector<double>(std::size_t(n), 0.0));
   for (int i = 0; i < n; ++i) {
     gt.C[std::size_t(i)] = cfg.nodes[std::size_t(i)].fixed_delay_s;
     gt.t[std::size_t(i)] = cfg.nodes[std::size_t(i)].per_byte_s;
-    for (int j = 0; j < n; ++j) {
-      if (i == j) continue;
-      gt.L[std::size_t(i)][std::size_t(j)] = cfg.latency(i, j);
-      gt.inv_beta[std::size_t(i)][std::size_t(j)] = 1.0 / cfg.rate(i, j);
-    }
   }
   return gt;
 }
@@ -121,6 +194,38 @@ std::vector<LevelGroundTruth> ground_truth_per_level(
     if (lv.pairs == 0) continue;
     lv.L /= lv.pairs;
     lv.inv_beta /= lv.pairs;
+  }
+  return out;
+}
+
+std::vector<ProfileClassGroundTruth> ground_truth_per_profile_class(
+    const ClusterConfig& cfg) {
+  std::vector<ProfileClassGroundTruth> out;
+  if (!cfg.has_profiles()) return out;
+  // (level, profile_a, profile_b) -> accumulating row. std::map keeps the
+  // output deterministically ordered by class.
+  std::map<std::tuple<int, int, int>, ProfileClassGroundTruth> classes;
+  const int n = cfg.size();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      int pa = cfg.profile_of[std::size_t(i)];
+      int pb = cfg.profile_of[std::size_t(j)];
+      if (pa > pb) std::swap(pa, pb);
+      const int level = cfg.lca_level(i, j);
+      ProfileClassGroundTruth& row = classes[{level, pa, pb}];
+      row.level = level;
+      row.profile_a = pa;
+      row.profile_b = pb;
+      row.L += cfg.latency(i, j);
+      row.inv_beta += 1.0 / cfg.rate(i, j);
+      ++row.pairs;
+    }
+  }
+  out.reserve(classes.size());
+  for (auto& [key, row] : classes) {
+    row.L /= double(row.pairs);
+    row.inv_beta /= double(row.pairs);
+    out.push_back(row);
   }
   return out;
 }
@@ -207,15 +312,17 @@ ClusterConfig make_multicore_cluster(int switches, int nodes_per_switch,
     cfg.topology = Topology::custom(std::move(levels), std::move(group_of));
   }
 
-  for (int r = 0; r < n; ++r) {
-    NodeParams p = core;
-    const int node_id = cfg.topology.group(1, r);
-    p.label = "s" + std::to_string(node_id / nodes_per_switch) + "-n" +
-              std::to_string(node_id % nodes_per_switch) + "-c" +
-              std::to_string(r);
-    p.type = node_id;
-    cfg.nodes.push_back(std::move(p));
-  }
+  // Every core is the same machine; the placement lives in the topology,
+  // not in per-rank labels. One profile row + a rank->profile index is the
+  // whole parameter description — what keeps a 4096-rank config file (and
+  // this factory) O(1) in N instead of O(N).
+  core.label = "core";
+  NodeProfile prof;
+  prof.name = "core";
+  prof.params = core;
+  cfg.profiles.push_back(std::move(prof));
+  cfg.profile_of.assign(std::size_t(n), 0);
+  cfg.materialize_profiles();
   cfg.validate();
   return cfg;
 }
@@ -251,18 +358,22 @@ ClusterConfig make_paper_cluster(std::uint64_t seed) {
   cfg.seed = seed;
   int type_id = 1;
   for (const auto& t : types) {
-    for (int c = 0; c < t.count; ++c) {
-      NodeParams n;
-      n.label = t.label;
-      n.type = type_id;
-      n.fixed_delay_s = t.fixed_us * 1e-6;
-      n.per_byte_s = t.per_b_ns * 1e-9;
-      n.link_rate_bps = t.rate;
-      n.latency_s = t.lat_us * 1e-6;
-      cfg.nodes.push_back(std::move(n));
-    }
+    NodeParams n;
+    n.label = t.label;
+    n.type = type_id;
+    n.fixed_delay_s = t.fixed_us * 1e-6;
+    n.per_byte_s = t.per_b_ns * 1e-9;
+    n.link_rate_bps = t.rate;
+    n.latency_s = t.lat_us * 1e-6;
+    NodeProfile prof;
+    prof.name = t.label;
+    prof.params = n;
+    cfg.profiles.push_back(std::move(prof));
+    for (int c = 0; c < t.count; ++c)
+      cfg.profile_of.push_back(type_id - 1);
     ++type_id;
   }
+  cfg.materialize_profiles();
   cfg.validate();
   return cfg;
 }

@@ -31,6 +31,18 @@ struct NodeParams {
   double latency_s = 0.0;      ///< propagation to the switch [s]
 };
 
+[[nodiscard]] bool operator==(const NodeParams& a, const NodeParams& b);
+
+/// A named parameter class shared by many ranks. At 4096 ranks a cluster
+/// has a handful of machine models, not 4096 distinct nodes: the profile
+/// table plus a per-rank profile index is the compact description config
+/// v2 serializes, while `ClusterConfig::nodes` stays the materialized
+/// per-rank view every hot path indexes by rank.
+struct NodeProfile {
+  std::string name;   ///< short key, e.g. "core" or the Table-I model name
+  NodeParams params;  ///< parameters every member rank starts from
+};
+
 /// TCP-layer irregularities injected by the fabric.
 struct TcpQuirks {
   bool enabled = true;
@@ -69,6 +81,16 @@ struct TcpQuirks {
 
 struct ClusterConfig {
   std::vector<NodeParams> nodes;
+
+  /// Optional profile table (empty = legacy per-rank description). When
+  /// non-empty, profile_of maps every rank to its profile and `nodes`
+  /// holds the materialized parameters — equal to the profile's except
+  /// where a per-node override was applied. Serialization writes the
+  /// profiles plus only the overriding nodes, keeping a 4096-rank file
+  /// KB-sized.
+  std::vector<NodeProfile> profiles;
+  std::vector<int> profile_of;  ///< rank -> index into profiles
+
   TcpQuirks quirks;
   double switch_latency_s = 10e-6;  ///< fixed forwarding delay in the switch
   double noise_rel = 0.01;          ///< relative measurement/OS noise
@@ -94,19 +116,49 @@ struct ClusterConfig {
   /// LCA level of the pair in the resource tree; 1 on a flat cluster.
   [[nodiscard]] int lca_level(int i, int j) const;
 
+  [[nodiscard]] bool has_profiles() const { return !profiles.empty(); }
+
+  /// True when `rank`'s materialized parameters differ from its profile's
+  /// (a per-node override); always false on legacy configs.
+  [[nodiscard]] bool overrides_profile(int rank) const;
+
+  /// Rebuild `nodes` from profiles + profile_of (overrides are applied
+  /// afterwards by the caller, e.g. the config loader).
+  void materialize_profiles();
+
   /// Throws lmo::Error naming the offending node/field on inconsistent
   /// configuration (empty cluster, zero rates, negative or non-finite
-  /// parameters, mismatched quirks vectors, malformed topology).
+  /// parameters, mismatched quirks vectors, malformed profile table,
+  /// malformed topology).
   void validate() const;
 };
 
 /// Ground-truth extended-LMO parameters of a config, for validating that
-/// estimators recover what the simulator was built from.
-struct GroundTruth {
-  std::vector<double> C;              ///< fixed processing delay per node [s]
-  std::vector<double> t;              ///< per-byte delay per node [s/B]
-  std::vector<std::vector<double>> L; ///< latency per pair [s] (0 on diagonal)
-  std::vector<std::vector<double>> inv_beta;  ///< 1/beta per pair [s/B]
+/// estimators recover what the simulator was built from. Per-node
+/// parameters stay O(N) vectors; pair parameters are priced on demand
+/// from the held config instead of materializing two N x N matrices —
+/// at 4096 ranks the dense pair tables alone would cost 256 MB.
+class GroundTruth {
+ public:
+  std::vector<double> C;  ///< fixed processing delay per node [s]
+  std::vector<double> t;  ///< per-byte delay per node [s/B]
+
+  /// Ground-truth L_ij [s]; 0 on the diagonal (matching the dense-matrix
+  /// convention this accessor replaced).
+  [[nodiscard]] double L(int i, int j) const;
+  /// Ground-truth 1/beta_ij [s/B]; 0 on the diagonal.
+  [[nodiscard]] double inv_beta(int i, int j) const;
+
+  struct PairTruth {
+    double L = 0.0;         ///< pair latency [s]
+    double inv_beta = 0.0;  ///< inverse pair rate [s/B]
+  };
+  /// Both pair parameters in one pricing walk.
+  [[nodiscard]] PairTruth pair(int i, int j) const;
+
+ private:
+  friend GroundTruth ground_truth(const ClusterConfig& cfg);
+  ClusterConfig cfg_;
 };
 
 [[nodiscard]] GroundTruth ground_truth(const ClusterConfig& cfg);
@@ -122,6 +174,24 @@ struct LevelGroundTruth {
 
 [[nodiscard]] std::vector<LevelGroundTruth> ground_truth_per_level(
     const ClusterConfig& cfg);
+
+/// Ground-truth link parameters aggregated per (profile pair, LCA level)
+/// class: the mean L_ij and 1/beta_ij over all pairs whose endpoints
+/// carry those profiles and whose LCA sits at that level. On a profiled
+/// cluster this is the full pair structure in O(profiles² · depth) rows.
+/// Empty when the config has no profile table. Rows are ordered by
+/// (level, profile_a, profile_b).
+struct ProfileClassGroundTruth {
+  int level = 1;          ///< LCA level (1 on a flat cluster)
+  int profile_a = 0;      ///< lower profile index of the unordered pair
+  int profile_b = 0;      ///< higher profile index
+  double L = 0.0;         ///< mean pair latency [s]
+  double inv_beta = 0.0;  ///< mean inverse rate [s/B]
+  std::int64_t pairs = 0; ///< pairs in the class
+};
+
+[[nodiscard]] std::vector<ProfileClassGroundTruth>
+ground_truth_per_profile_class(const ClusterConfig& cfg);
 
 /// The 16-node heterogeneous cluster of Table I: seven node types with
 /// heterogeneous processing delays (derived from CPU class) on a single

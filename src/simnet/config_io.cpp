@@ -101,6 +101,29 @@ std::vector<double> num_list(const Json& o, const std::string& parent,
   }
   return out;
 }
+
+// The six NodeParams fields, shared by the "nodes", "profiles" and
+// "overrides" sections.
+
+void node_params_to_json(Json& jn, const NodeParams& n) {
+  jn["label"] = n.label;
+  jn["type"] = n.type;
+  jn["fixed_delay_s"] = n.fixed_delay_s;
+  jn["per_byte_s"] = n.per_byte_s;
+  jn["link_rate_bps"] = n.link_rate_bps;
+  jn["latency_s"] = n.latency_s;
+}
+
+NodeParams node_params_from_json(const Json& jn, const std::string& at) {
+  NodeParams n;
+  n.label = str_field(jn, at, "label");
+  n.type = int(int_field(jn, at, "type"));
+  n.fixed_delay_s = num_field(jn, at, "fixed_delay_s");
+  n.per_byte_s = num_field(jn, at, "per_byte_s");
+  n.link_rate_bps = num_field(jn, at, "link_rate_bps");
+  n.latency_s = num_field(jn, at, "latency_s");
+  return n;
+}
 }  // namespace
 
 std::string to_text(const ClusterConfig& cfg) {
@@ -168,18 +191,50 @@ Json to_json(const ClusterConfig& cfg) {
   quirks["send_buffer"] = q.send_buffer;
   root["quirks"] = std::move(quirks);
 
-  Json nodes = Json::array();
-  for (const NodeParams& n : cfg.nodes) {
-    Json jn = Json::object();
-    jn["label"] = n.label;
-    jn["type"] = n.type;
-    jn["fixed_delay_s"] = n.fixed_delay_s;
-    jn["per_byte_s"] = n.per_byte_s;
-    jn["link_rate_bps"] = n.link_rate_bps;
-    jn["latency_s"] = n.latency_s;
-    nodes.push_back(std::move(jn));
+  if (cfg.has_profiles()) {
+    // Compact node description: the profile table, a run-length-encoded
+    // rank -> profile index, and only the nodes that override their
+    // profile. A 4096-rank single-profile cluster serializes its whole
+    // parameter set in one profile row + one [index, count] pair.
+    Json profiles = Json::array();
+    for (const NodeProfile& p : cfg.profiles) {
+      Json jp = Json::object();
+      jp["name"] = p.name;
+      node_params_to_json(jp, p.params);
+      profiles.push_back(std::move(jp));
+    }
+    root["profiles"] = std::move(profiles);
+    Json runs = Json::array();
+    for (std::size_t r = 0; r < cfg.profile_of.size();) {
+      std::size_t end = r + 1;
+      while (end < cfg.profile_of.size() &&
+             cfg.profile_of[end] == cfg.profile_of[r])
+        ++end;
+      Json run = Json::array();
+      run.push_back(cfg.profile_of[r]);
+      run.push_back(std::int64_t(end - r));
+      runs.push_back(std::move(run));
+      r = end;
+    }
+    root["profile_of"] = std::move(runs);
+    Json overrides = Json::array();
+    for (int r = 0; r < cfg.size(); ++r) {
+      if (!cfg.overrides_profile(r)) continue;
+      Json jn = Json::object();
+      jn["rank"] = r;
+      node_params_to_json(jn, cfg.nodes[std::size_t(r)]);
+      overrides.push_back(std::move(jn));
+    }
+    if (overrides.size() > 0) root["overrides"] = std::move(overrides);
+  } else {
+    Json nodes = Json::array();
+    for (const NodeParams& n : cfg.nodes) {
+      Json jn = Json::object();
+      node_params_to_json(jn, n);
+      nodes.push_back(std::move(jn));
+    }
+    root["nodes"] = std::move(nodes);
   }
-  root["nodes"] = std::move(nodes);
 
   if (!cfg.topology.empty()) {
     const Topology& t = cfg.topology;
@@ -195,13 +250,21 @@ Json to_json(const ClusterConfig& cfg) {
       levels.push_back(std::move(jl));
     }
     topo["levels"] = std::move(levels);
-    Json groups = Json::array();
-    for (int l = 1; l <= t.depth(); ++l) {
-      Json row = Json::array();
-      for (int r = 0; r < t.ranks(); ++r) row.push_back(t.group(l, r));
-      groups.push_back(std::move(row));
+    if (!t.balanced_fanout().empty()) {
+      // A balanced tree is fully described by its fanout — depth() ints
+      // instead of depth() * N group ids.
+      Json fanout = Json::array();
+      for (const int f : t.balanced_fanout()) fanout.push_back(f);
+      topo["fanout"] = std::move(fanout);
+    } else {
+      Json groups = Json::array();
+      for (int l = 1; l <= t.depth(); ++l) {
+        Json row = Json::array();
+        for (int r = 0; r < t.ranks(); ++r) row.push_back(t.group(l, r));
+        groups.push_back(std::move(row));
+      }
+      topo["groups"] = std::move(groups);
     }
-    topo["groups"] = std::move(groups);
     root["topology"] = std::move(topo);
   }
   return root;
@@ -232,17 +295,48 @@ ClusterConfig cluster_from_json(const Json& root) {
   q.frag_leap_s = num_field(qj, "quirks", "frag_leap_s");
   q.send_buffer = int_field(qj, "quirks", "send_buffer");
 
-  const Json& nodes = array_field(root, "", "nodes");
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const std::string at = "nodes[" + std::to_string(i) + "]";
-    NodeParams n;
-    n.label = str_field(nodes[i], at, "label");
-    n.type = int(int_field(nodes[i], at, "type"));
-    n.fixed_delay_s = num_field(nodes[i], at, "fixed_delay_s");
-    n.per_byte_s = num_field(nodes[i], at, "per_byte_s");
-    n.link_rate_bps = num_field(nodes[i], at, "link_rate_bps");
-    n.latency_s = num_field(nodes[i], at, "latency_s");
-    cfg.nodes.push_back(std::move(n));
+  if (root.find("profiles")) {
+    const Json& profiles = array_field(root, "", "profiles");
+    for (std::size_t k = 0; k < profiles.size(); ++k) {
+      const std::string at = "profiles[" + std::to_string(k) + "]";
+      NodeProfile p;
+      p.name = str_field(profiles[k], at, "name");
+      p.params = node_params_from_json(profiles[k], at);
+      cfg.profiles.push_back(std::move(p));
+    }
+    const Json& runs = array_field(root, "", "profile_of");
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      const std::string at = "profile_of[" + std::to_string(k) + "]";
+      if (!runs[k].is_array() || runs[k].size() != 2 ||
+          !runs[k][0].is_number() || !runs[k][1].is_number())
+        throw Error("cluster config: field '" + at +
+                    "' must be an [index, count] pair");
+      const int idx = int(runs[k][0].as_int());
+      const std::int64_t count = runs[k][1].as_int();
+      if (count < 1)
+        throw Error("cluster config: field '" + at + "' has count " +
+                    std::to_string(count) + ", must be >= 1");
+      cfg.profile_of.insert(cfg.profile_of.end(), std::size_t(count), idx);
+    }
+    cfg.materialize_profiles();
+    if (const Json* overrides = root.find("overrides")) {
+      for (std::size_t k = 0; k < overrides->size(); ++k) {
+        const std::string at = "overrides[" + std::to_string(k) + "]";
+        const int rank = int(int_field((*overrides)[k], at, "rank"));
+        if (rank < 0 || rank >= cfg.size())
+          throw Error("cluster config: field '" + at + ".rank' = " +
+                      std::to_string(rank) + " out of range for " +
+                      std::to_string(cfg.size()) + " ranks");
+        cfg.nodes[std::size_t(rank)] =
+            node_params_from_json((*overrides)[k], at);
+      }
+    }
+  } else {
+    const Json& nodes = array_field(root, "", "nodes");
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const std::string at = "nodes[" + std::to_string(i) + "]";
+      cfg.nodes.push_back(node_params_from_json(nodes[i], at));
+    }
   }
 
   if (const Json* topo = root.find("topology")) {
@@ -256,6 +350,26 @@ ClusterConfig cluster_from_json(const Json& root) {
       lv.bandwidth_bps = num_field(levels[l], at, "bandwidth_bps");
       lv.contended = bool_field(levels[l], at, "contended");
       specs.push_back(std::move(lv));
+    }
+    if (topo->find("fanout")) {
+      const Json& fanout = array_field(*topo, "topology", "fanout");
+      std::vector<int> counts;
+      for (std::size_t l = 0; l < fanout.size(); ++l) {
+        if (!fanout[l].is_number())
+          throw Error("cluster config: field 'topology.fanout[" +
+                      std::to_string(l) + "]' must be an integer");
+        counts.push_back(int(fanout[l].as_int()));
+      }
+      if (counts.size() != specs.size())
+        throw Error("cluster config: topology.fanout has " +
+                    std::to_string(counts.size()) +
+                    " entries but topology.levels has " +
+                    std::to_string(specs.size()));
+      // Rebuilding through balanced() reproduces the exact placement (and
+      // the fanout hint), so a fanout-form config round-trips bit-exactly.
+      cfg.topology = Topology::balanced(counts, std::move(specs));
+      cfg.validate();
+      return cfg;
     }
     const Json& groups = array_field(*topo, "topology", "groups");
     if (groups.size() != specs.size())

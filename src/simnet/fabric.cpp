@@ -14,6 +14,17 @@ Fabric::Fabric(const ClusterConfig& cfg) : Fabric(cfg, cfg.seed) {}
 Fabric::Fabric(const ClusterConfig& cfg, std::uint64_t seed) : cfg_(&cfg) {
   cfg.validate();
   const auto n = std::size_t(cfg.size());
+  fixed_delay_.resize(n);
+  per_byte_.resize(n);
+  link_rate_.resize(n);
+  node_latency_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeParams& node = cfg.nodes[i];
+    fixed_delay_[i] = node.fixed_delay_s;
+    per_byte_[i] = node.per_byte_s;
+    link_rate_[i] = node.link_rate_bps;
+    node_latency_[i] = node.latency_s;
+  }
   egress_.resize(n);
   ingress_.resize(n);
   inflows_.assign(n, 0);
@@ -39,8 +50,8 @@ SimTime Fabric::noised(double seconds, Rng& rng) {
 SimTime Fabric::send_cpu_cost(int src, Bytes n, bool pipelined) {
   LMO_CHECK(src >= 0 && src < size());
   LMO_CHECK(n >= 0);
-  const NodeParams& node = cfg_->nodes[std::size_t(src)];
-  double cost = node.fixed_delay_s + double(n) * node.per_byte_s;
+  double cost =
+      fixed_delay_[std::size_t(src)] + double(n) * per_byte_[std::size_t(src)];
   const TcpQuirks& q = cfg_->quirks;
   if (q.enabled && pipelined && n >= q.frag_threshold) {
     const auto crossings = n / q.frag_threshold;
@@ -53,9 +64,29 @@ SimTime Fabric::send_cpu_cost(int src, Bytes n, bool pipelined) {
 SimTime Fabric::recv_cpu_cost(int dst, Bytes n) {
   LMO_CHECK(dst >= 0 && dst < size());
   LMO_CHECK(n >= 0);
-  const NodeParams& node = cfg_->nodes[std::size_t(dst)];
-  return noised(node.fixed_delay_s + double(n) * node.per_byte_s,
+  return noised(fixed_delay_[std::size_t(dst)] +
+                    double(n) * per_byte_[std::size_t(dst)],
                 node_rng_[std::size_t(dst)]);
+}
+
+double Fabric::pair_latency(int src, int dst) const {
+  // Same accumulation order as ClusterConfig::latency — the cached
+  // per-LCA-level price makes it a flat-array read, not a path walk.
+  const Topology& topo = cfg_->topology;
+  const double forward =
+      topo.empty() ? cfg_->switch_latency_s
+                   : topo.level_path_latency(topo.lca_level(src, dst));
+  return node_latency_[std::size_t(src)] + forward +
+         node_latency_[std::size_t(dst)];
+}
+
+double Fabric::pair_rate(int src, int dst) const {
+  const double endpoint = std::min(link_rate_[std::size_t(src)],
+                                   link_rate_[std::size_t(dst)]);
+  const Topology& topo = cfg_->topology;
+  if (topo.empty()) return endpoint;
+  const double cap = topo.cumulative_rate_cap(topo.lca_level(src, dst));
+  return cap > 0.0 ? std::min(endpoint, cap) : endpoint;
 }
 
 double Fabric::escalation_seconds(int dst, Bytes n) {
@@ -89,7 +120,7 @@ WireTiming Fabric::transfer(int src, int dst, Bytes n, SimTime ready) {
 
   const Bytes frame_bytes = n < kMinFrame ? kMinFrame : n;
   counters_.bytes += std::uint64_t(frame_bytes);
-  const double rate = cfg_->rate(src, dst);
+  const double rate = pair_rate(src, dst);
   const SimTime wire_time =
       noised(double(frame_bytes) / rate, node_rng_[std::size_t(src)]);
   const SimTime latency = wire_latency(src, dst);
@@ -124,7 +155,10 @@ bool Fabric::use_rendezvous(Bytes n) const {
 }
 
 SimTime Fabric::wire_latency(int src, int dst) const {
-  return SimTime::from_seconds(cfg_->latency(src, dst));
+  LMO_CHECK(src >= 0 && src < size());
+  LMO_CHECK(dst >= 0 && dst < size());
+  LMO_CHECK_MSG(src != dst, "self-transfer does not touch the fabric");
+  return SimTime::from_seconds(pair_latency(src, dst));
 }
 
 bool Fabric::egress_busy(int src, SimTime t) const {
@@ -133,8 +167,11 @@ bool Fabric::egress_busy(int src, SimTime t) const {
 }
 
 SimTime Fabric::send_buffer_time(int src, int dst) const {
+  LMO_CHECK(src >= 0 && src < size());
+  LMO_CHECK(dst >= 0 && dst < size());
+  LMO_CHECK_MSG(src != dst, "self-transfer does not touch the fabric");
   return SimTime::from_seconds(double(cfg_->quirks.send_buffer) /
-                               cfg_->rate(src, dst));
+                               pair_rate(src, dst));
 }
 
 void Fabric::begin_inflow(int dst) {

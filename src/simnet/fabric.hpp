@@ -104,8 +104,20 @@ class Fabric {
  private:
   [[nodiscard]] SimTime noised(double seconds, Rng& rng);
   [[nodiscard]] double escalation_seconds(int dst, Bytes n);
+  /// L_ij / beta_ij priced from the SoA arrays + the topology's per-level
+  /// caches; bit-identical to ClusterConfig::latency()/rate().
+  [[nodiscard]] double pair_latency(int src, int dst) const;
+  [[nodiscard]] double pair_rate(int src, int dst) const;
 
   const ClusterConfig* cfg_;
+  // SoA copies of the per-rank hot scalars, indexed by rank: transfer
+  // pricing walks flat contiguous arrays instead of chasing NodeParams
+  // structs (strings and all) — the difference that keeps the per-event
+  // cost flat at 4096 ranks.
+  std::vector<double> fixed_delay_;
+  std::vector<double> per_byte_;
+  std::vector<double> link_rate_;
+  std::vector<double> node_latency_;
   std::vector<Timeline> egress_;
   std::vector<Timeline> ingress_;
   /// shared_[l-1][g]: serialization Timeline of group g at contended level

@@ -22,8 +22,11 @@ Topology Topology::single_switch(int n, double switch_latency_s) {
   sw.forward_latency_s = switch_latency_s;
   Topology t;
   t.levels_.push_back(std::move(sw));
-  t.group_of_.emplace_back(std::size_t(n), 0);
+  t.ranks_ = n;
+  t.groups_.assign(std::size_t(n), 0);
+  t.fanout_ = {n};
   t.validate(n);
+  t.finalize();
   return t;
 }
 
@@ -45,15 +48,17 @@ Topology Topology::balanced(const std::vector<int>& fanout,
   }
   Topology t;
   t.levels_ = std::move(levels);
+  t.ranks_ = int(n);
+  t.groups_.resize(fanout.size() * std::size_t(n));
   long long block = 1;
   for (std::size_t l = 0; l < fanout.size(); ++l) {
     block *= fanout[l];
-    std::vector<int> groups(std::size_t(n), 0);
-    for (long long r = 0; r < n; ++r)
-      groups[std::size_t(r)] = int(r / block);
-    t.group_of_.push_back(std::move(groups));
+    int* groups = t.groups_.data() + l * std::size_t(n);
+    for (long long r = 0; r < n; ++r) groups[r] = int(r / block);
   }
+  t.fanout_ = fanout;
   t.validate(int(n));
+  t.finalize();
   return t;
 }
 
@@ -65,8 +70,22 @@ Topology Topology::custom(std::vector<TopologyLevel> levels,
                     " placement arrays");
   Topology t;
   t.levels_ = std::move(levels);
-  t.group_of_ = std::move(group_of);
+  if (!group_of.empty()) {
+    const std::size_t n = group_of.front().size();
+    // Ragged placements cannot be flattened; reject them here with the
+    // same message validate() uses for a placement/cluster width mismatch.
+    for (std::size_t l = 0; l < group_of.size(); ++l)
+      LMO_CHECK_MSG(group_of[l].size() == n,
+                    level_label(int(l + 1), t.levels_[l]) + " places " +
+                        std::to_string(group_of[l].size()) +
+                        " ranks, cluster has " + std::to_string(n));
+    t.ranks_ = int(n);
+    t.groups_.reserve(group_of.size() * n);
+    for (const auto& row : group_of)
+      t.groups_.insert(t.groups_.end(), row.begin(), row.end());
+  }
   t.validate(t.ranks());
+  t.finalize();
   return t;
 }
 
@@ -81,49 +100,53 @@ int Topology::group(int l, int rank) const {
   LMO_CHECK_MSG(l >= 1 && l <= depth(),
                 "topology level " + std::to_string(l) +
                     " out of range 1.." + std::to_string(depth()));
-  const auto& g = group_of_[std::size_t(l - 1)];
-  LMO_CHECK_MSG(rank >= 0 && rank < int(g.size()),
+  LMO_CHECK_MSG(rank >= 0 && rank < ranks_,
                 "rank " + std::to_string(rank) +
                     " outside topology placement of " +
-                    std::to_string(g.size()) + " ranks");
-  return g[std::size_t(rank)];
+                    std::to_string(ranks_) + " ranks");
+  return group_raw(l, rank);
 }
 
 int Topology::group_count(int l) const {
   LMO_CHECK(l >= 1 && l <= depth());
-  const auto& g = group_of_[std::size_t(l - 1)];
-  int mx = -1;
-  for (const int v : g) mx = std::max(mx, v);
-  return mx + 1;
+  return group_count_[std::size_t(l - 1)];
 }
 
 int Topology::lca_level(int i, int j) const {
   LMO_CHECK_MSG(!empty(), "lca_level on an empty topology");
-  for (int l = 1; l <= depth(); ++l)
-    if (group(l, i) == group(l, j)) return l;
+  LMO_CHECK_MSG(i >= 0 && i < ranks_,
+                "rank " + std::to_string(i) +
+                    " outside topology placement of " +
+                    std::to_string(ranks_) + " ranks");
+  LMO_CHECK_MSG(j >= 0 && j < ranks_,
+                "rank " + std::to_string(j) +
+                    " outside topology placement of " +
+                    std::to_string(ranks_) + " ranks");
+  const int* row = groups_.data();
+  for (int l = 1; l <= depth(); ++l, row += ranks_)
+    if (row[i] == row[j]) return l;
   LMO_CHECK_MSG(false, "topology has no common ancestor for ranks " +
                            std::to_string(i) + " and " + std::to_string(j));
   return depth();
 }
 
 double Topology::path_forward_latency(int i, int j) const {
-  const int k = lca_level(i, j);
-  double total = 0.0;
-  // One switch per level below the LCA on each side, plus the LCA switch.
-  for (int l = 1; l < k; ++l)
-    total += 2.0 * levels_[std::size_t(l - 1)].forward_latency_s;
-  total += levels_[std::size_t(k - 1)].forward_latency_s;
-  return total;
+  return level_latency_[std::size_t(lca_level(i, j) - 1)];
 }
 
 double Topology::path_rate_cap(double endpoint_rate, int i, int j) const {
-  const int k = lca_level(i, j);
-  double rate = endpoint_rate;
-  for (int l = 1; l <= k; ++l) {
-    const double cap = levels_[std::size_t(l - 1)].bandwidth_bps;
-    if (cap > 0.0) rate = std::min(rate, cap);
-  }
-  return rate;
+  const double cap = level_rate_cap_[std::size_t(lca_level(i, j) - 1)];
+  return cap > 0.0 ? std::min(endpoint_rate, cap) : endpoint_rate;
+}
+
+double Topology::level_path_latency(int k) const {
+  LMO_CHECK(k >= 1 && k <= depth());
+  return level_latency_[std::size_t(k - 1)];
+}
+
+double Topology::cumulative_rate_cap(int k) const {
+  LMO_CHECK(k >= 1 && k <= depth());
+  return level_rate_cap_[std::size_t(k - 1)];
 }
 
 bool Topology::any_contended() const {
@@ -143,16 +166,41 @@ bool Topology::paths_conflict(int i1, int j1, int i2, int j2) const {
   return conflict;
 }
 
+void Topology::finalize() {
+  group_count_.assign(levels_.size(), 0);
+  level_latency_.assign(levels_.size(), 0.0);
+  level_rate_cap_.assign(levels_.size(), 0.0);
+  // Per-LCA-level path price. The latency accumulation mirrors
+  // path_forward_latency's original left-to-right order term for term, so
+  // the cached doubles are bit-identical to the on-demand walk; min over
+  // positive caps is exact, so folding it per level is too.
+  double below = 0.0;  // sum of 2 * forward_latency for levels < k
+  double cap = 0.0;    // min positive bandwidth cap over levels <= k
+  for (int l = 1; l <= depth(); ++l) {
+    const TopologyLevel& spec = levels_[std::size_t(l - 1)];
+    level_latency_[std::size_t(l - 1)] = below + spec.forward_latency_s;
+    below += 2.0 * spec.forward_latency_s;
+    if (spec.bandwidth_bps > 0.0)
+      cap = cap > 0.0 ? std::min(cap, spec.bandwidth_bps)
+                      : spec.bandwidth_bps;
+    level_rate_cap_[std::size_t(l - 1)] = cap;
+    const int* row = groups_.data() + std::size_t(l - 1) * std::size_t(ranks_);
+    int mx = -1;
+    for (int r = 0; r < ranks_; ++r) mx = std::max(mx, row[r]);
+    group_count_[std::size_t(l - 1)] = mx + 1;
+  }
+}
+
 void Topology::validate(int nranks) const {
   if (empty()) {
-    LMO_CHECK_MSG(group_of_.empty(),
+    LMO_CHECK_MSG(groups_.empty() && ranks_ == 0,
                   "topology has placements but no levels");
     return;
   }
-  LMO_CHECK_MSG(group_of_.size() == levels_.size(),
+  LMO_CHECK_MSG(groups_.size() == levels_.size() * std::size_t(ranks_),
                 "topology: " + std::to_string(levels_.size()) +
-                    " levels but " + std::to_string(group_of_.size()) +
-                    " placement arrays");
+                    " levels but a placement of " +
+                    std::to_string(groups_.size()) + " entries");
   for (int l = 1; l <= depth(); ++l) {
     const TopologyLevel& spec = levels_[std::size_t(l - 1)];
     LMO_CHECK_MSG(std::isfinite(spec.forward_latency_s) &&
@@ -165,40 +213,39 @@ void Topology::validate(int nranks) const {
                   level_label(l, spec) + ".bandwidth_bps = " +
                       std::to_string(spec.bandwidth_bps) +
                       " must be finite and non-negative (0 = uncapped)");
-    const auto& g = group_of_[std::size_t(l - 1)];
-    LMO_CHECK_MSG(int(g.size()) == nranks,
-                  level_label(l, spec) + " places " +
-                      std::to_string(g.size()) + " ranks, cluster has " +
-                      std::to_string(nranks));
+    LMO_CHECK_MSG(ranks_ == nranks,
+                  level_label(l, spec) + " places " + std::to_string(ranks_) +
+                      " ranks, cluster has " + std::to_string(nranks));
+    const int* row = groups_.data() + std::size_t(l - 1) * std::size_t(ranks_);
     for (int r = 0; r < nranks; ++r)
-      LMO_CHECK_MSG(g[std::size_t(r)] >= 0 && g[std::size_t(r)] < nranks,
+      LMO_CHECK_MSG(row[r] >= 0 && row[r] < nranks,
                     level_label(l, spec) + ": rank " + std::to_string(r) +
-                        " has out-of-range group id " +
-                        std::to_string(g[std::size_t(r)]));
+                        " has out-of-range group id " + std::to_string(row[r]));
   }
   // Groups must coarsen monotonically: ranks sharing a group at level l
   // share one at every level above.
+  std::vector<int> parent;
   for (int l = 1; l < depth(); ++l) {
-    const auto& fine = group_of_[std::size_t(l - 1)];
-    const auto& coarse = group_of_[std::size_t(l)];
-    std::vector<int> parent(std::size_t(nranks), -1);
+    const int* fine = groups_.data() + std::size_t(l - 1) * std::size_t(ranks_);
+    const int* coarse = groups_.data() + std::size_t(l) * std::size_t(ranks_);
+    parent.assign(std::size_t(nranks), -1);
     for (int r = 0; r < nranks; ++r) {
-      const int fg = fine[std::size_t(r)];
-      if (parent[std::size_t(fg)] == -1)
-        parent[std::size_t(fg)] = coarse[std::size_t(r)];
-      LMO_CHECK_MSG(parent[std::size_t(fg)] == coarse[std::size_t(r)],
+      const int fg = fine[r];
+      if (parent[std::size_t(fg)] == -1) parent[std::size_t(fg)] = coarse[r];
+      LMO_CHECK_MSG(parent[std::size_t(fg)] == coarse[r],
                     "topology: group " + std::to_string(fg) + " at level " +
                         std::to_string(l) +
                         " straddles two level-" + std::to_string(l + 1) +
                         " groups (rank " + std::to_string(r) + ")");
     }
   }
-  const auto& top = group_of_.back();
+  const int* top =
+      groups_.data() + std::size_t(depth() - 1) * std::size_t(ranks_);
   for (int r = 0; r < nranks; ++r)
-    LMO_CHECK_MSG(top[std::size_t(r)] == 0,
+    LMO_CHECK_MSG(top[r] == 0,
                   "topology: top level must be a single group 0, rank " +
                       std::to_string(r) + " is in group " +
-                      std::to_string(top[std::size_t(r)]));
+                      std::to_string(top[r]));
 }
 
 bool operator==(const TopologyLevel& a, const TopologyLevel& b) {
@@ -207,7 +254,10 @@ bool operator==(const TopologyLevel& a, const TopologyLevel& b) {
 }
 
 bool operator==(const Topology& a, const Topology& b) {
-  return a.levels_ == b.levels_ && a.group_of_ == b.group_of_;
+  // fanout_ is a construction/serialization hint, not structure: a
+  // balanced tree equals the custom() tree with the same placement.
+  return a.levels_ == b.levels_ && a.ranks_ == b.ranks_ &&
+         a.groups_ == b.groups_;
 }
 
 }  // namespace lmo::sim

@@ -23,6 +23,13 @@
 // (single_switch()): one contention-free, uncapped level whose forwarding
 // latency is the switch latency — it produces bit-identical event streams
 // to the flat configuration.
+//
+// Storage is structure-of-arrays: placements live in one flat level-major
+// int array (groups_[(l-1)*ranks + rank]) and the per-LCA-level path
+// price (forward-latency sum, cumulative bandwidth cap) is precomputed,
+// so the per-transfer pricing walk touches two small contiguous arrays
+// instead of chasing a vector<vector> — the difference between O(N²)
+// pointer soup and a 4096-rank fabric that fits in cache.
 #pragma once
 
 #include <string>
@@ -67,9 +74,7 @@ class Topology {
   /// Number of levels L (0 when empty).
   [[nodiscard]] int depth() const { return int(levels_.size()); }
   /// Number of ranks placed in the tree.
-  [[nodiscard]] int ranks() const {
-    return group_of_.empty() ? 0 : int(group_of_.front().size());
-  }
+  [[nodiscard]] int ranks() const { return ranks_; }
 
   /// Level descriptor; levels are numbered 1..depth(), leaf to root.
   [[nodiscard]] const TopologyLevel& level(int l) const;
@@ -91,6 +96,22 @@ class Topology {
   [[nodiscard]] double path_rate_cap(double endpoint_rate, int i,
                                      int j) const;
 
+  /// Precomputed forward-latency sum for a path whose LCA is level k
+  /// (path_forward_latency is this evaluated at lca_level(i, j)).
+  [[nodiscard]] double level_path_latency(int k) const;
+
+  /// Precomputed min over the positive bandwidth caps of levels 1..k;
+  /// 0 = no level on such a path is capped.
+  [[nodiscard]] double cumulative_rate_cap(int k) const;
+
+  /// The fanout this tree was built from when it came out of balanced()
+  /// or single_switch(); empty for custom() trees. Serialization uses it
+  /// to write a balanced 4096-rank placement as a handful of ints
+  /// instead of depth() * N group ids.
+  [[nodiscard]] const std::vector<int>& balanced_fanout() const {
+    return fanout_;
+  }
+
   /// True if any level is marked contended (the fabric only then
   /// materializes shared timelines).
   [[nodiscard]] bool any_contended() const;
@@ -109,10 +130,10 @@ class Topology {
   void for_each_contended_segment(int i, int j, F&& f) const {
     const int k = lca_level(i, j);
     for (int l = 1; l < k; ++l)
-      if (levels_[std::size_t(l - 1)].contended) f(l, group(l, i));
-    if (levels_[std::size_t(k - 1)].contended) f(k, group(k, i));
+      if (levels_[std::size_t(l - 1)].contended) f(l, group_raw(l, i));
+    if (levels_[std::size_t(k - 1)].contended) f(k, group_raw(k, i));
     for (int l = k - 1; l >= 1; --l)
-      if (levels_[std::size_t(l - 1)].contended) f(l, group(l, j));
+      if (levels_[std::size_t(l - 1)].contended) f(l, group_raw(l, j));
   }
 
   /// True if the i1->j1 and i2->j2 paths share a contended switch — then
@@ -128,8 +149,22 @@ class Topology {
   friend bool operator==(const Topology& a, const Topology& b);
 
  private:
-  std::vector<TopologyLevel> levels_;          ///< levels_[l-1] = level l
-  std::vector<std::vector<int>> group_of_;     ///< [l-1][rank] = group id
+  /// Unchecked flat-array read; callers bounds-check l and rank first.
+  [[nodiscard]] int group_raw(int l, int rank) const {
+    return groups_[std::size_t(l - 1) * std::size_t(ranks_) +
+                   std::size_t(rank)];
+  }
+  /// Builds the derived caches (group counts, per-LCA-level path prices)
+  /// after the structure has been validated.
+  void finalize();
+
+  std::vector<TopologyLevel> levels_;  ///< levels_[l-1] = level l
+  int ranks_ = 0;                      ///< leaves placed in the tree
+  std::vector<int> groups_;            ///< level-major: [(l-1)*ranks_ + r]
+  std::vector<int> group_count_;       ///< cache: groups at level l
+  std::vector<double> level_latency_;  ///< cache: path latency, LCA = l
+  std::vector<double> level_rate_cap_; ///< cache: min positive cap 1..l
+  std::vector<int> fanout_;            ///< balanced() shape; else empty
 };
 
 bool operator==(const TopologyLevel& a, const TopologyLevel& b);

@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -72,6 +73,48 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const 
   return parse_numeric<std::int64_t>(
       name, it->second, "an integer",
       [](const std::string& s, std::size_t* pos) { return std::stoll(s, pos); });
+}
+
+std::int64_t Cli::get_bytes(const std::string& name,
+                            std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& value = it->second;
+  std::size_t pos = 0;
+  std::int64_t base = 0;
+  try {
+    base = std::stoll(value, &pos);
+  } catch (const std::out_of_range&) {
+    throw Error("option --" + name + ": a byte size value \"" + value +
+                "\" is out of range");
+  } catch (const std::exception&) {
+    throw Error("option --" + name + ": expected a byte size, got \"" +
+                value + "\"");
+  }
+  std::int64_t mult = 1;
+  if (pos < value.size()) {
+    switch (value[pos]) {
+      case 'k': case 'K': mult = 1024; break;
+      case 'm': case 'M': mult = 1024 * 1024; break;
+      case 'g': case 'G': mult = 1024LL * 1024 * 1024; break;
+      default:
+        throw Error("option --" + name +
+                    ": trailing garbage in a byte size value \"" + value +
+                    "\"");
+    }
+    ++pos;
+  }
+  if (pos != value.size())
+    throw Error("option --" + name +
+                ": trailing garbage in a byte size value \"" + value + "\"");
+  if (mult > 1) {
+    const std::int64_t limit =
+        std::numeric_limits<std::int64_t>::max() / mult;
+    if (base > limit || base < -limit)
+      throw Error("option --" + name + ": a byte size value \"" + value +
+                  "\" is out of range");
+  }
+  return base * mult;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {

@@ -23,6 +23,11 @@ class Cli {
                                 const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+  /// Byte size: an integer with an optional k/M/G suffix (powers of 1024,
+  /// case-insensitive). Rejects malformed values and trailing garbage
+  /// exactly like get_int.
+  [[nodiscard]] std::int64_t get_bytes(const std::string& name,
+                                       std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_flag(const std::string& name) const;

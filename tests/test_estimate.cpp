@@ -88,8 +88,8 @@ TEST(Experimenter, RoundtripMatchesModel) {
   // 2(C_i + L + C_j + M(t_i + 1/b + t_j)) up to the empty-frame wire time
   // absorbed into the latency.
   const double model =
-      2.0 * (gt.C[0] + gt.L[0][5] + gt.C[5] +
-             double(m) * (gt.t[0] + gt.inv_beta[0][5] + gt.t[5]));
+      2.0 * (gt.C[0] + gt.L(0, 5) + gt.C[5] +
+             double(m) * (gt.t[0] + gt.inv_beta(0, 5) + gt.t[5]));
   EXPECT_NEAR(t, model, 0.02 * model);
 }
 
@@ -151,10 +151,10 @@ TEST(HockneyEstimation, RecoversCombinedParameters) {
   const auto rep = estimate_hockney(ex);
   const auto gt = sim::ground_truth(cfg);
   for (const auto& [i, j] : all_pairs(cfg.size())) {
-    const double alpha_true = gt.C[std::size_t(i)] + gt.L[std::size_t(i)][std::size_t(j)] +
+    const double alpha_true = gt.C[std::size_t(i)] + gt.L(i, j) +
                               gt.C[std::size_t(j)];
     const double beta_true = gt.t[std::size_t(i)] +
-                             gt.inv_beta[std::size_t(i)][std::size_t(j)] +
+                             gt.inv_beta(i, j) +
                              gt.t[std::size_t(j)];
     EXPECT_NEAR(rep.hetero.alpha(i, j), alpha_true, 0.15 * alpha_true)
         << i << "," << j;
@@ -249,12 +249,12 @@ TEST(LmoEstimation, RecoversGroundTruthOnPaperCluster) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
       // Estimated latency absorbs the minimal-frame wire time; allow it.
-      EXPECT_NEAR(rep.params.L(i, j), gt.L[std::size_t(i)][std::size_t(j)],
-                  0.35 * gt.L[std::size_t(i)][std::size_t(j)] + 8e-6)
+      EXPECT_NEAR(rep.params.L(i, j), gt.L(i, j),
+                  0.35 * gt.L(i, j) + 8e-6)
           << "L_" << i << "," << j;
       EXPECT_NEAR(rep.params.inv_beta(i, j),
-                  gt.inv_beta[std::size_t(i)][std::size_t(j)],
-                  0.12 * gt.inv_beta[std::size_t(i)][std::size_t(j)])
+                  gt.inv_beta(i, j),
+                  0.12 * gt.inv_beta(i, j))
           << "b_" << i << "," << j;
     }
   EXPECT_EQ(rep.roundtrip_experiments, 120);
@@ -275,10 +275,10 @@ TEST_P(LmoRandomClusters, RecoversPointToPointTimes) {
     for (const Bytes m : {0, 8192, 65536}) {
       const double pred = rep.params.pt2pt(i, j, m);
       const double truth =
-          gt.C[std::size_t(i)] + gt.L[std::size_t(i)][std::size_t(j)] +
+          gt.C[std::size_t(i)] + gt.L(i, j) +
           gt.C[std::size_t(j)] +
           double(m) * (gt.t[std::size_t(i)] +
-                       gt.inv_beta[std::size_t(i)][std::size_t(j)] +
+                       gt.inv_beta(i, j) +
                        gt.t[std::size_t(j)]);
       EXPECT_NEAR(pred, truth, 0.10 * truth + 10e-6)
           << "pair " << i << "," << j << " m=" << m;
@@ -327,8 +327,8 @@ TEST(LmoEstimation, RedundancyAveragingHelpsUnderNoise) {
       }
       for (const auto& [i, j] : all_pairs(cfg.size()))
         total += std::fabs(rep.params.inv_beta(i, j) -
-                           gt.inv_beta[std::size_t(i)][std::size_t(j)]) /
-                 gt.inv_beta[std::size_t(i)][std::size_t(j)];
+                           gt.inv_beta(i, j)) /
+                 gt.inv_beta(i, j);
     }
     return total;
   };
@@ -370,6 +370,7 @@ TEST(PlogpEstimation, AveragedCoversAllPairsOfSmallCluster) {
   auto cfg = sim::make_paper_cluster(5);
   // Shrink to 6 nodes to keep the adaptive sweep quick.
   cfg.nodes.resize(6);
+  cfg.profile_of.resize(6);
   vmpi::World w(cfg);
   SimExperimenter ex(w);
   PLogPOptions opts;

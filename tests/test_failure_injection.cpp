@@ -48,10 +48,10 @@ TEST(NoiseInjection, EstimationSurvivesTenPercentNoise) {
     for (int j = 0; j < cfg.size(); ++j) {
       if (i == j) continue;
       const double truth =
-          gt.C[std::size_t(i)] + gt.L[std::size_t(i)][std::size_t(j)] +
+          gt.C[std::size_t(i)] + gt.L(i, j) +
           gt.C[std::size_t(j)] +
           65536.0 * (gt.t[std::size_t(i)] +
-                     gt.inv_beta[std::size_t(i)][std::size_t(j)] +
+                     gt.inv_beta(i, j) +
                      gt.t[std::size_t(j)]);
       EXPECT_NEAR(rep.params.pt2pt(i, j, 65536), truth, 0.4 * truth);
     }
@@ -189,8 +189,8 @@ TEST(Misuse, GatherPredictionWithInvertedBand) {
   for (int i = 0; i < 16; ++i)
     for (int j = 0; j < 16; ++j) {
       if (i == j) continue;
-      p.L(i, j) = gt.L[std::size_t(i)][std::size_t(j)];
-      p.inv_beta(i, j) = gt.inv_beta[std::size_t(i)][std::size_t(j)];
+      p.L(i, j) = gt.L(i, j);
+      p.inv_beta(i, j) = gt.inv_beta(i, j);
     }
   core::GatherEmpirical emp;
   emp.m1 = 100;
@@ -369,10 +369,10 @@ TEST(FaultRecoveryTest, EstimationSurvivesDropsHangsSpikes) {
     for (int j = 0; j < cfg.size(); ++j) {
       if (i == j) continue;
       const double truth =
-          gt.C[std::size_t(i)] + gt.L[std::size_t(i)][std::size_t(j)] +
+          gt.C[std::size_t(i)] + gt.L(i, j) +
           gt.C[std::size_t(j)] +
           65536.0 * (gt.t[std::size_t(i)] +
-                     gt.inv_beta[std::size_t(i)][std::size_t(j)] +
+                     gt.inv_beta(i, j) +
                      gt.t[std::size_t(j)]);
       const double predicted = rep.params.pt2pt(i, j, 65536);
       EXPECT_TRUE(std::isfinite(predicted));

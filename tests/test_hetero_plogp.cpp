@@ -14,6 +14,7 @@ namespace {
 sim::ClusterConfig quiet_cluster6() {
   auto cfg = sim::make_paper_cluster();
   cfg.nodes.resize(6);
+  cfg.profile_of.resize(6);
   cfg.noise_rel = 0.0;
   cfg.quirks.enabled = false;
   return cfg;

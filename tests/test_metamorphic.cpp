@@ -125,8 +125,8 @@ TEST(Metamorphic, PredictionMonotoneInEveryParameter) {
   for (int i = 0; i < 16; ++i)
     for (int j = 0; j < 16; ++j) {
       if (i == j) continue;
-      p.L(i, j) = gt.L[std::size_t(i)][std::size_t(j)];
-      p.inv_beta(i, j) = gt.inv_beta[std::size_t(i)][std::size_t(j)];
+      p.L(i, j) = gt.L(i, j);
+      p.inv_beta(i, j) = gt.inv_beta(i, j);
     }
   const Bytes m = 32768;
   const double base = core::linear_scatter_time(p, 0, m);
@@ -156,8 +156,8 @@ TEST(Metamorphic, BinomialPredictionPermutationInvariantWhenHomogeneous) {
   for (int i = 0; i < 8; ++i)
     for (int j = 0; j < 8; ++j) {
       if (i == j) continue;
-      p.L(i, j) = gt.L[std::size_t(i)][std::size_t(j)];
-      p.inv_beta(i, j) = gt.inv_beta[std::size_t(i)][std::size_t(j)];
+      p.L(i, j) = gt.L(i, j);
+      p.inv_beta(i, j) = gt.inv_beta(i, j);
     }
   const double base = core::binomial_scatter_time(p, 0, 4096);
   Rng rng(3);

@@ -143,8 +143,8 @@ TEST(ClusterTest, GroundTruthMirrorsConfig) {
     EXPECT_DOUBLE_EQ(gt.C[std::size_t(i)], cfg.nodes[std::size_t(i)].fixed_delay_s);
     EXPECT_DOUBLE_EQ(gt.t[std::size_t(i)], cfg.nodes[std::size_t(i)].per_byte_s);
   }
-  EXPECT_DOUBLE_EQ(gt.L[0][1], cfg.latency(0, 1));
-  EXPECT_DOUBLE_EQ(gt.inv_beta[2][3], 1.0 / cfg.rate(2, 3));
+  EXPECT_DOUBLE_EQ(gt.L(0, 1), cfg.latency(0, 1));
+  EXPECT_DOUBLE_EQ(gt.inv_beta(2, 3), 1.0 / cfg.rate(2, 3));
 }
 
 TEST(ClusterTest, ValidationCatchesBadConfigs) {

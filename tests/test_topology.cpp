@@ -166,6 +166,69 @@ TEST(TopologyTest, ValidateRejectsMalformedPlacement) {
   EXPECT_THROW(topo.validate(7), Error);
 }
 
+// --- Degenerate and deep trees through validate() --------------------------
+
+TEST(TopologyValidateTest, OneLevelTreeIsValidAndRoutesTrivially) {
+  auto topo = Topology::single_switch(2, 5e-6);
+  topo.validate(2);  // must not throw
+  EXPECT_EQ(topo.depth(), 1);
+  EXPECT_EQ(topo.lca_level(0, 1), 1);
+  EXPECT_DOUBLE_EQ(topo.path_forward_latency(0, 1), 5e-6);
+}
+
+TEST(TopologyValidateTest, SingleChildChainValidates) {
+  // Every level has exactly one child: 1 rank wrapped in 3 nested groups.
+  auto topo = Topology::balanced(
+      {1, 1, 1}, {level("core", 1e-6), level("node", 2e-6),
+                  level("switch", 3e-6)});
+  topo.validate(1);
+  EXPECT_EQ(topo.depth(), 3);
+  EXPECT_EQ(topo.ranks(), 1);
+  for (int l = 1; l <= 3; ++l) EXPECT_EQ(topo.group_count(l), 1);
+}
+
+TEST(TopologyValidateTest, DeepSixtyFourLevelChainRoutesThroughTheTop) {
+  // 63 single-child levels under a fanout-2 root: 2 ranks whose LCA is
+  // the 64th level. Exercises the level-major placement array and the
+  // precomputed path-latency prefix at a depth no real cluster reaches.
+  std::vector<int> fanout(64, 1);
+  fanout.back() = 2;
+  std::vector<TopologyLevel> levels;
+  double below_root = 0.0;
+  for (int l = 1; l <= 64; ++l) {
+    levels.push_back(level("l" + std::to_string(l), 1e-7 * l));
+    if (l < 64) below_root += 1e-7 * l;
+  }
+  auto topo = Topology::balanced(fanout, std::move(levels));
+  topo.validate(2);
+  EXPECT_EQ(topo.depth(), 64);
+  EXPECT_EQ(topo.ranks(), 2);
+  EXPECT_EQ(topo.lca_level(0, 1), 64);
+  // One switch per level below the root on each side plus the root.
+  EXPECT_NEAR(topo.path_forward_latency(0, 1), 2 * below_root + 1e-7 * 64,
+              1e-12);
+  EXPECT_DOUBLE_EQ(topo.level_path_latency(64),
+                   topo.path_forward_latency(0, 1));
+}
+
+TEST(TopologyValidateTest, DeepChainRejectsInteriorFanoutMismatch) {
+  // A multi-level chain whose interior placement holds an out-of-range
+  // group id must be rejected with the level named, same as shallow trees.
+  std::vector<std::vector<int>> place(3, std::vector<int>(2, 0));
+  place[0] = {0, 1};
+  place[1] = {0, 2};  // group id 2 with only 2 ranks: out of range
+  place[2] = {0, 0};
+  try {
+    (void)Topology::custom({level("a", 1e-6), level("b", 1e-6),
+                            level("c", 1e-6)},
+                           std::move(place));
+    FAIL() << "expected lmo::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("topology"), std::string::npos)
+        << e.what();
+  }
+}
+
 // --- Degenerate-tree bit-identity ------------------------------------------
 
 TEST(TopologyDegenerateTest, ClusterFormulasBitIdentical) {
@@ -340,8 +403,8 @@ TEST(TopologyFitTest, PricedByPathCollapsesPairsOntoLevels) {
   for (int i = 0; i < cfg.size(); ++i)
     for (int j = 0; j < cfg.size(); ++j) {
       if (i == j) continue;
-      p.L(i, j) = gt.L[std::size_t(i)][std::size_t(j)];
-      p.inv_beta(i, j) = gt.inv_beta[std::size_t(i)][std::size_t(j)];
+      p.L(i, j) = gt.L(i, j);
+      p.inv_beta(i, j) = gt.inv_beta(i, j);
     }
   core::LevelLink node_link, switch_link;
   node_link.L = 1e-6;
@@ -394,8 +457,8 @@ TEST(TopologyMappingTest, HierarchyMappingBeatsFlatPlacementOnBcast) {
   for (int i = 0; i < cfg.size(); ++i)
     for (int j = 0; j < cfg.size(); ++j) {
       if (i == j) continue;
-      p.L(i, j) = gt.L[std::size_t(i)][std::size_t(j)];
-      p.inv_beta(i, j) = gt.inv_beta[std::size_t(i)][std::size_t(j)];
+      p.L(i, j) = gt.L(i, j);
+      p.inv_beta(i, j) = gt.inv_beta(i, j);
     }
   const double pred_flat = core::binomial_bcast_time(p, root, m);
   const double pred_topo = core::binomial_bcast_time(p, root, m, mapping);
@@ -462,7 +525,8 @@ TEST(TopologyIoTest, ParseErrorsNameTheFieldPath) {
   doc["schema"] = valid.at("schema");
   doc["cluster"] = valid.at("cluster");
   doc["quirks"] = valid.at("quirks");
-  doc["nodes"] = valid.at("nodes");
+  doc["profiles"] = valid.at("profiles");
+  doc["profile_of"] = valid.at("profile_of");
   obs::Json levels = obs::Json::array();
   for (int l = 1; l <= cfg.topology.depth(); ++l) {
     const auto& lv = cfg.topology.level(l);
@@ -475,7 +539,7 @@ TEST(TopologyIoTest, ParseErrorsNameTheFieldPath) {
   }
   obs::Json topo = obs::Json::object();
   topo["levels"] = std::move(levels);
-  topo["groups"] = valid.at("topology").at("groups");
+  topo["fanout"] = valid.at("topology").at("fanout");
   doc["topology"] = std::move(topo);
   try {
     (void)sim::cluster_from_json(doc);
@@ -486,7 +550,8 @@ TEST(TopologyIoTest, ParseErrorsNameTheFieldPath) {
     EXPECT_NE(what.find("bandwidth_bps"), std::string::npos) << what;
   }
 
-  // A document without its nodes section fails loudly, naming the field.
+  // A document with neither a profile table nor a nodes section fails
+  // loudly, naming the missing field.
   obs::Json missing = obs::Json::object();
   missing["schema"] = valid.at("schema");
   missing["cluster"] = valid.at("cluster");
@@ -497,6 +562,23 @@ TEST(TopologyIoTest, ParseErrorsNameTheFieldPath) {
     FAIL() << "expected lmo::Error";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("nodes"), std::string::npos)
+        << e.what();
+  }
+
+  // A malformed run in the compact rank -> profile index names its entry.
+  obs::Json bad_runs = obs::Json::object();
+  bad_runs["schema"] = valid.at("schema");
+  bad_runs["cluster"] = valid.at("cluster");
+  bad_runs["quirks"] = valid.at("quirks");
+  bad_runs["profiles"] = valid.at("profiles");
+  obs::Json runs = obs::Json::array();
+  runs.push_back(obs::Json::array());  // not an [index, count] pair
+  bad_runs["profile_of"] = std::move(runs);
+  try {
+    (void)sim::cluster_from_json(bad_runs);
+    FAIL() << "expected lmo::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("profile_of[0]"), std::string::npos)
         << e.what();
   }
 }

@@ -25,8 +25,8 @@ LmoParams from_ground_truth(const sim::ClusterConfig& cfg) {
   for (int i = 0; i < n; ++i)
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
-      p.L(i, j) = gt.L[std::size_t(i)][std::size_t(j)];
-      p.inv_beta(i, j) = gt.inv_beta[std::size_t(i)][std::size_t(j)];
+      p.L(i, j) = gt.L(i, j);
+      p.inv_beta(i, j) = gt.inv_beta(i, j);
     }
   return p;
 }

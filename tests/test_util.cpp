@@ -231,6 +231,67 @@ TEST(Cli, WellFormedNumericsStillParse) {
   EXPECT_DOUBLE_EQ(cli.get_double("scale", 0.0), 1e-3);
 }
 
+TEST(Cli, GetBytesParsesSuffixes) {
+  const char* argv[] = {"prog", "--a=4096", "--b=64k", "--c=2M", "--d=1G",
+                        "--e=8K", "--f=3m", "--g=1g"};
+  Cli cli(8, argv);
+  EXPECT_EQ(cli.get_bytes("a", 0), 4096);
+  EXPECT_EQ(cli.get_bytes("b", 0), 64 * 1024);
+  EXPECT_EQ(cli.get_bytes("c", 0), 2 * 1024 * 1024);
+  EXPECT_EQ(cli.get_bytes("d", 0), std::int64_t(1024) * 1024 * 1024);
+  EXPECT_EQ(cli.get_bytes("e", 0), 8 * 1024);
+  EXPECT_EQ(cli.get_bytes("f", 0), 3 * 1024 * 1024);
+  EXPECT_EQ(cli.get_bytes("g", 0), std::int64_t(1024) * 1024 * 1024);
+  EXPECT_EQ(cli.get_bytes("missing", 65536), 65536);
+}
+
+TEST(Cli, GetBytesRejectsTrailingGarbage) {
+  // Same contract as get_int: anything after the number (or after one
+  // size suffix) names the option and echoes the offending value.
+  const char* argv[] = {"prog", "--size=64kb", "--len=12x", "--n=abc"};
+  Cli cli(4, argv);
+  for (const auto& [flag, bad] :
+       {std::pair<const char*, const char*>{"size", "64kb"},
+        {"len", "12x"},
+        {"n", "abc"}}) {
+    try {
+      (void)cli.get_bytes(flag, 1);
+      FAIL() << "should have thrown for --" << flag;
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(std::string("--") + flag), std::string::npos)
+          << what;
+      EXPECT_NE(what.find(bad), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(Cli, GetBytesRejectsOverflow) {
+  // 2^33 G overflows int64 after the multiplier even though the bare
+  // number parses; both paths must report out of range.
+  const char* argv[] = {"prog", "--a=99999999999999999999999999",
+                        "--b=8589934592G"};
+  Cli cli(3, argv);
+  for (const char* flag : {"a", "b"}) {
+    try {
+      (void)cli.get_bytes(flag, 1);
+      FAIL() << "should have thrown for --" << flag;
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(std::string("--") + flag), std::string::npos)
+          << what;
+      EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(Cli, GetBytesNegativeAndZero) {
+  const char* argv[] = {"prog", "--a=0", "--b=-2k"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_bytes("a", 7), 0);
+  EXPECT_EQ(cli.get_bytes("b", 0), -2048);
+}
+
 TEST(Sweep, GeometricEndpointsAndGrowth) {
   const auto s = geometric_sizes(1024, 262144, 9);
   ASSERT_EQ(s.size(), 9u);

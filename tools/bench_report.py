@@ -8,6 +8,7 @@ point.
     tools/bench_report.py bench_engine_microbench --gbench --name engine \\
         -- --benchmark_filter=BM_EngineEvents
     tools/bench_report.py --fidelity-diff baseline.json new.json
+    tools/bench_report.py --scale-diff old_scale.json new_scale.json
     tools/bench_report.py --self-test
 
 Two kinds of binaries are understood:
@@ -42,6 +43,15 @@ model's MRE may drift from the old document by more than
 max(0.02, threshold * old MRE); --threshold defaults to 0.25 in this mode.
 Exit 1 on any violation — the accuracy ordering (paper Table 2) is a
 continuously verified invariant, not a one-off result.
+
+--scale-diff OLD NEW compares two lmo.bench_scale/1 documents (written by
+bench/bench_scale) series-row by series-row, keyed on the rank count N.
+Work counts (events, triplets, experiment and store-entry totals) are a
+deterministic function of the seed and must match exactly; timings and
+peak RSS are host-noisy and only fail above --threshold (default 0.50 in
+this mode). An N value appearing in or vanishing from the series is a
+failure too — that is coverage changing, not noise. Exit 1 on any
+violation.
 """
 
 import argparse
@@ -186,6 +196,62 @@ def diff_fidelity(old, new, threshold):
     return failures
 
 
+# Per-N fields of a bench_scale series row that are pure work counts:
+# deterministic functions of the seed and cluster shape, so any drift is a
+# behavior change, not noise.
+SCALE_EXACT = (
+    "events",
+    "triplets",
+    "roundtrip_experiments",
+    "one_to_two_experiments",
+    "store_entries",
+)
+
+# Per-N fields that depend on the host: compare with a generous threshold.
+SCALE_NOISY = ("setup_s", "events_per_s", "scale_fit_s", "peak_rss_kb")
+
+
+def load_scale(path):
+    """A scale-series document written by bench/bench_scale."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "lmo.bench_scale/1":
+        sys.exit(f"error: {path} is not a bench_scale document "
+                 f"(schema {doc.get('schema')!r})")
+    return doc
+
+
+def diff_scale(old, new, threshold):
+    """Violations between two scale-series documents, as printable strings.
+
+    Rows are matched on their "ranks" value, so the comparison is
+    insensitive to --max-ranks truncation order. Exact-match fields
+    (SCALE_EXACT) fail on any difference; noisy fields (SCALE_NOISY) fail
+    past the relative threshold. Ns present in only one document fail.
+    """
+    failures = []
+    old_by_n = {row["ranks"]: row for row in old.get("series", [])}
+    new_by_n = {row["ranks"]: row for row in new.get("series", [])}
+    for n in sorted(set(old_by_n) - set(new_by_n)):
+        failures.append(f"N={n} vanished from the series")
+    for n in sorted(set(new_by_n) - set(old_by_n)):
+        failures.append(f"N={n} appeared in the series")
+    for n in sorted(set(old_by_n) & set(new_by_n)):
+        o, w = old_by_n[n], new_by_n[n]
+        for key in SCALE_EXACT:
+            if key in o and key in w and o[key] != w[key]:
+                failures.append(f"N={n} {key}: {o[key]:g} -> {w[key]:g} "
+                                f"(work count must match exactly)")
+        for key in SCALE_NOISY:
+            if key not in o or key not in w:
+                continue
+            change = rel_change(float(o[key]), float(w[key]))
+            if change > threshold:
+                failures.append(f"N={n} {key}: {o[key]:g} -> {w[key]:g} "
+                                f"({change:+.0%})")
+    return failures
+
+
 def run_binary(binary, extra, gbench):
     """Run the bench binary, return its flattened metric dict."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
@@ -298,6 +364,34 @@ def self_test():
     fails = diff_fidelity(base, fid(("lmo", 0.10), ("plogp", 0.50)), 0.25)
     assert any("2 models" in f for f in fails)
 
+    # diff_scale: identity passes, noisy drift inside the threshold passes,
+    # work-count drift of any size fails, Ns may not come or go.
+    def scale(*rows):
+        return {"schema": "lmo.bench_scale/1",
+                "series": [
+                    {"ranks": n, "events": ev, "triplets": tr,
+                     "scale_fit_s": fit, "peak_rss_kb": rss}
+                    for n, ev, tr, fit, rss in rows]}
+
+    sbase = scale((16, 3200, 3, 0.004, 4096), (256, 51200, 9, 0.18, 5120))
+    assert diff_scale(sbase, sbase, 0.50) == []
+    # Timings 40% apart: inside the generous 50% band.
+    assert diff_scale(sbase, scale((16, 3200, 3, 0.0056, 4096),
+                                   (256, 51200, 9, 0.25, 5120)), 0.50) == []
+    # A fit 3x slower is a failure even in the noisy band.
+    fails = diff_scale(sbase, scale((16, 3200, 3, 0.012, 4096),
+                                    (256, 51200, 9, 0.18, 5120)), 0.50)
+    assert len(fails) == 1 and "scale_fit_s" in fails[0] and "N=16" in fails[0]
+    # One event more is a failure: work counts are deterministic.
+    fails = diff_scale(sbase, scale((16, 3201, 3, 0.004, 4096),
+                                    (256, 51200, 9, 0.18, 5120)), 0.50)
+    assert len(fails) == 1 and "events" in fails[0] and "exactly" in fails[0]
+    # Dropping and adding an N both fail, keyed by ranks not row order.
+    fails = diff_scale(sbase, scale((256, 51200, 9, 0.18, 5120),
+                                    (1024, 819200, 12, 2.3, 8192)), 0.50)
+    assert sorted(fails) == ["N=1024 appeared in the series",
+                             "N=16 vanished from the series"]
+
     print("bench_report.py self-test passed")
 
 
@@ -338,6 +432,11 @@ def main():
         "drift) instead of running a binary",
     )
     parser.add_argument(
+        "--scale-diff", nargs=2, metavar=("OLD", "NEW"),
+        help="compare two bench_scale series documents by rank count "
+        "instead of running a binary",
+    )
+    parser.add_argument(
         "--self-test", action="store_true",
         help="run the built-in checks of the pure helpers and exit",
     )
@@ -367,9 +466,22 @@ def main():
         print(f"fidelity: ranking unchanged ({' > '.join(models)}; most "
               f"accurate first), per-model accuracy within bounds")
         return
+    if args.scale_diff:
+        threshold = 0.50 if args.threshold is None else args.threshold
+        old_path, new_path = args.scale_diff
+        new_doc = load_scale(new_path)
+        failures = diff_scale(load_scale(old_path), new_doc, threshold)
+        for failure in failures:
+            print(f"scale: FAIL {failure}")
+        if failures:
+            sys.exit(1)
+        ns = [str(row["ranks"]) for row in new_doc.get("series", [])]
+        print(f"scale: series match at N = {', '.join(ns)} (work counts "
+              f"exact, timings within {threshold:.0%})")
+        return
     if not args.bench:
         parser.error("bench binary name required (or --self-test / "
-                     "--fidelity-diff)")
+                     "--fidelity-diff / --scale-diff)")
     if args.threshold is None:
         args.threshold = 0.10
 

@@ -24,6 +24,22 @@ while [[ $# -gt 0 ]]; do
   shift
 done
 
+# Fail fast with a named message when the build tooling is absent —
+# a missing generator otherwise surfaces as an opaque CMake backtrace
+# halfway through the run.
+if ! command -v cmake >/dev/null 2>&1; then
+  echo "tools/check.sh: cmake not found in PATH (need CMake >= 3.20)" >&2
+  exit 2
+fi
+if ! command -v ninja >/dev/null 2>&1 && ! command -v make >/dev/null 2>&1; then
+  echo "tools/check.sh: no CMake generator found in PATH (need ninja or make)" >&2
+  exit 2
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "tools/check.sh: python3 not found in PATH (needed for tools/bench_report.py)" >&2
+  exit 2
+fi
+
 # Compiler cache, when available (CI restores it across runs).
 LAUNCHER=""
 if command -v ccache >/dev/null 2>&1; then
