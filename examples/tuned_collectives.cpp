@@ -1,11 +1,13 @@
 // The full model-driven tuning workflow (the paper's software tool [13]):
 // estimate the LMO model and the empirical gather band once, build a
-// Tuner, and let it pick an algorithm, mapping, and split plan for every
-// collective invocation. Each decision is executed and scored against the
-// naive default (linear algorithm, default mapping, no splitting).
+// Tuner, and let it pick an (algorithm, segment, mapping) plan from the
+// collective zoo for every invocation. Each decision is executed through
+// coll::run_decision — the exact schedule the tuner priced — and scored
+// against the naive default (linear algorithm, default mapping, no
+// segmentation).
 #include <iostream>
 
-#include "coll/collectives.hpp"
+#include "coll/zoo.hpp"
 #include "core/tuner.hpp"
 #include "estimate/empirical_estimator.hpp"
 #include "estimate/experimenter.hpp"
@@ -36,82 +38,51 @@ int main() {
 
   struct Case {
     core::CollectiveKind kind;
-    const char* name;
     Bytes m;
   };
   const Case cases[] = {
-      {core::CollectiveKind::kScatter, "scatter", 512},
-      {core::CollectiveKind::kScatter, "scatter", 150 * 1024},
-      {core::CollectiveKind::kGather, "gather", 24 * 1024},
-      {core::CollectiveKind::kBcast, "bcast", 16 * 1024},
-      {core::CollectiveKind::kReduce, "reduce", 2 * 1024},
+      {core::CollectiveKind::kScatter, 512},
+      {core::CollectiveKind::kScatter, 150 * 1024},
+      {core::CollectiveKind::kGather, 24 * 1024},
+      {core::CollectiveKind::kBcast, 16 * 1024},
+      {core::CollectiveKind::kBcast, 256 * 1024},
+      {core::CollectiveKind::kReduce, 2 * 1024},
   };
 
   Table t({"collective", "M", "tuner plan", "default [ms]", "tuned [ms]",
            "gain"});
   for (const Case& cs : cases) {
     const auto d = tuner.decide(cs.kind, 0, cs.m);
-    const auto mapping = d.mapping;
-    auto tuned_body = [cs, d, mapping](vmpi::Comm& c) -> vmpi::Task {
-      switch (cs.kind) {
-        case core::CollectiveKind::kScatter:
-          // NB: `co_await (cond ? taskA : taskB)` is avoided throughout —
-          // GCC 12 destroys the materialized Task temporary too early.
-          if (d.algorithm == core::ScatterAlgorithm::kLinear)
-            co_await coll::linear_scatter(c, 0, cs.m);
-          else
-            co_await coll::binomial_scatter(c, 0, cs.m, mapping);
-          break;
-        case core::CollectiveKind::kGather:
-          if (d.split_chunk > 0)
-            co_await coll::split_gather(c, 0, cs.m, d.split_chunk);
-          else if (d.algorithm == core::ScatterAlgorithm::kLinear)
-            co_await coll::linear_gather(c, 0, cs.m);
-          else
-            co_await coll::binomial_gather(c, 0, cs.m, mapping);
-          break;
-        case core::CollectiveKind::kBcast:
-          if (d.algorithm == core::ScatterAlgorithm::kLinear)
-            co_await coll::linear_bcast(c, 0, cs.m);
-          else
-            co_await coll::binomial_bcast(c, 0, cs.m);
-          break;
-        case core::CollectiveKind::kReduce:
-          if (d.algorithm == core::ScatterAlgorithm::kLinear)
-            co_await coll::linear_reduce(c, 0, cs.m);
-          else
-            co_await coll::binomial_reduce(c, 0, cs.m);
-          break;
-      }
+    auto tuned_body = [d](vmpi::Comm& c) -> vmpi::Task {
+      // NB: `co_await (cond ? taskA : taskB)` is avoided throughout —
+      // GCC 12 destroys the materialized Task temporary too early.
+      co_await coll::run_decision(c, d);
     };
-    auto default_body = [cs](vmpi::Comm& c) -> vmpi::Task {
-      switch (cs.kind) {
-        case core::CollectiveKind::kScatter:
-          co_await coll::linear_scatter(c, 0, cs.m);
-          break;
-        case core::CollectiveKind::kGather:
-          co_await coll::linear_gather(c, 0, cs.m);
-          break;
-        case core::CollectiveKind::kBcast:
-          co_await coll::linear_bcast(c, 0, cs.m);
-          break;
-        case core::CollectiveKind::kReduce:
-          co_await coll::linear_reduce(c, 0, cs.m);
-          break;
-      }
+    core::TunedDecision naive;
+    naive.kind = cs.kind;
+    naive.algorithm = core::AlgorithmId::kLinear;
+    naive.message = cs.m;
+    auto default_body = [naive](vmpi::Comm& c) -> vmpi::Task {
+      co_await coll::run_decision(c, naive);
     };
     const double base = observe(default_body);
     const double tuned = observe(tuned_body);
-    t.add_row({cs.name, format_bytes(cs.m), d.describe(),
-               format_fixed(base * 1e3, 3), format_fixed(tuned * 1e3, 3),
+    t.add_row({core::collective_name(cs.kind), format_bytes(cs.m),
+               d.describe(), format_fixed(base * 1e3, 3),
+               format_fixed(tuned * 1e3, 3),
                format_fixed(base / tuned, 2) + "x"});
   }
   t.print(std::cout);
 
-  const Bytes cross =
-      tuner.crossover(core::CollectiveKind::kScatter, 0, 8, 256 * 1024);
-  std::cout << "\nscatter linear/binomial crossover: "
-            << (cross > 0 ? format_bytes(cross) : std::string("none"))
-            << "\n";
+  // Where the chosen algorithm flips across the size sweep — the grid scan
+  // reports every switch point, not just the first.
+  for (const auto kind :
+       {core::CollectiveKind::kScatter, core::CollectiveKind::kBcast}) {
+    const auto flips = tuner.crossovers(kind, 0, 8, 256 * 1024);
+    std::cout << "\n" << core::collective_name(kind) << " crossovers:";
+    if (flips.empty()) std::cout << " none";
+    for (const Bytes f : flips) std::cout << " " << format_bytes(f);
+  }
+  std::cout << "\n";
   return 0;
 }

@@ -20,6 +20,16 @@
 
 namespace lmo::coll {
 
+/// Inverse of a virtual-to-physical `mapping`: inverse[physical] =
+/// virtual. Validates that the mapping is a permutation of 0..n-1 (no
+/// duplicate or out-of-range entries) while building — a malformed
+/// mapping would silently wedge a collective in mismatched sends.
+/// Returns empty for an empty mapping (the MPI (v + root) mod n default).
+/// Collectives build this once per invocation, replacing the per-rank
+/// linear search that made mapped collectives O(n^2) at scale.
+[[nodiscard]] std::vector<int> inverse_mapping(const std::vector<int>& mapping,
+                                               int n);
+
 /// Flat-tree scatter: the root sends one block to every other rank in rank
 /// order (the paper's "linear scatter").
 vmpi::Task linear_scatter(vmpi::Comm& c, int root, Bytes block);
@@ -73,7 +83,11 @@ vmpi::Task binomial_bcast(vmpi::Comm& c, int root, Bytes bytes,
 vmpi::Task linear_reduce(vmpi::Comm& c, int root, Bytes bytes);
 
 /// Binomial-tree reduce (reverse broadcast with a combine at each parent).
-vmpi::Task binomial_reduce(vmpi::Comm& c, int root, Bytes bytes);
+/// `mapping` assigns physical ranks to virtual tree nodes — the same
+/// parameter core::binomial_reduce_time prices, so a tuner's
+/// mapping-optimized reduce decision is executable.
+vmpi::Task binomial_reduce(vmpi::Comm& c, int root, Bytes bytes,
+                           std::vector<int> mapping = {});
 
 /// Ring allgather: n-1 steps, each rank forwards the next block around the
 /// ring (isend to the right, recv from the left).

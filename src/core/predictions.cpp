@@ -1,6 +1,9 @@
 #include "core/predictions.hpp"
 
 #include <algorithm>
+#include <map>
+#include <queue>
+#include <utility>
 
 #include "trees/binomial.hpp"
 #include "trees/mapping.hpp"
@@ -184,6 +187,306 @@ double binomial_reduce_time(const LmoParams& p, int root, Bytes m,
   LMO_CHECK(root >= 0 && root < p.size());
   return lmo_subtree_gather(p, mapping, root, p.size(), m, 0,
                             bcast_arc_bytes, /*combine=*/true);
+}
+
+namespace {
+/// The fabric charges at least one minimal Ethernet frame per message on
+/// the wire; segment grids that go tiny would otherwise look free.
+constexpr double kMinFrameBytes = 64.0;
+
+/// Replays Fabric::transfer's resource chain for one message priced from
+/// the fitted parameters: the sender's egress port, every *contended*
+/// shared segment on the path (memory bus, oversubscribed uplink — only
+/// when a topology is supplied), then the receiver's ingress port. Flat
+/// clusters carry no contended segments, so the shared-cursor loop is a
+/// no-op there and the evaluators price exactly what they did before.
+class WireState {
+ public:
+  WireState(int n, const sim::Topology* topo)
+      : egress_(std::size_t(n), 0.0),
+        ingress_(std::size_t(n), 0.0),
+        topo_(topo && !topo->empty() && topo->any_contended() ? topo
+                                                              : nullptr) {}
+
+  /// Schedule one src -> dst message whose send CPU finishes at `ready`;
+  /// returns the arrival time at dst (ingress grant + wire occupancy).
+  double send(const LmoParams& p, int src, int dst, double bytes,
+              double ready) {
+    const double wire = std::max(bytes, kMinFrameBytes) * p.inv_beta(src, dst);
+    const double eg = std::max(ready, egress_[std::size_t(src)]);
+    egress_[std::size_t(src)] = eg + wire;
+    double avail = eg;
+    if (topo_)
+      topo_->for_each_contended_segment(src, dst, [&](int l, int g) {
+        double& cursor = shared_[{l, g}];
+        avail = std::max(avail, cursor);
+        cursor = avail + wire;
+      });
+    const double in =
+        std::max(avail + p.L(src, dst), ingress_[std::size_t(dst)]);
+    ingress_[std::size_t(dst)] = in + wire;
+    return in + wire;
+  }
+
+ private:
+  std::vector<double> egress_, ingress_;
+  std::map<std::pair<int, int>, double> shared_;  // (level, group) cursor
+  const sim::Topology* topo_;
+};
+
+/// Segment `total` into a pipelined series of chunks of at most `segment`
+/// bytes (one full-size chunk when segment is 0 or >= total).
+std::vector<double> chunk_sizes(Bytes total, Bytes segment) {
+  if (total <= 0 || segment <= 0 || segment >= total)
+    return {double(total > 0 ? total : 0)};
+  std::vector<double> chunks;
+  Bytes remaining = total;
+  while (remaining > 0) {
+    const Bytes piece = std::min(remaining, segment);
+    chunks.push_back(double(piece));
+    remaining -= piece;
+  }
+  return chunks;
+}
+
+/// One step of a rank's replayed coroutine: a blocking receive or an
+/// eager send, with the message's arrival slot and byte count.
+struct SchedOp {
+  bool recv;
+  int peer;          // physical rank on the other side
+  std::size_t edge;  // arrival slot, unique per message
+  double bytes;
+  bool extra;        // reduce: a second processing term per received block
+};
+
+/// Event-driven replay of a schedule: each rank executes its op list on a
+/// private clock; blocking receives consume already-known arrivals
+/// immediately (they reserve nothing), while sends are granted their wire
+/// resources in global post-time order with ties broken by rank — exactly
+/// the order the fabric's Timelines see them, which is what keeps chunked
+/// pipelines from looking serialized on shared segments.
+double run_schedule(const LmoParams& p,
+                    const std::vector<std::vector<SchedOp>>& ops,
+                    std::size_t edges, const sim::Topology* topo) {
+  const int n = int(ops.size());
+  WireState wires(n, topo);
+  std::vector<double> arrival(edges, 0.0);
+  std::vector<char> known(edges, 0);
+  std::vector<double> clock(std::size_t(n), 0.0);
+  std::vector<std::size_t> next(std::size_t(n), 0);
+  std::vector<char> queued(std::size_t(n), 0);
+  using Item = std::pair<double, int>;  // (post time, rank)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> sends;
+  // Run rank `r` forward: consume satisfied receives, park on the first
+  // unsatisfied one, enqueue when the next op is a send.
+  auto advance = [&](int r) {
+    const auto& list = ops[std::size_t(r)];
+    double& t = clock[std::size_t(r)];
+    std::size_t& i = next[std::size_t(r)];
+    while (i < list.size()) {
+      const SchedOp& op = list[i];
+      if (!op.recv) {
+        if (!queued[std::size_t(r)]) {
+          sends.push({t, r});
+          queued[std::size_t(r)] = 1;
+        }
+        return;
+      }
+      if (!known[op.edge]) return;  // parked until the matching send
+      const double proc = p.C[std::size_t(r)] + op.bytes * p.t[std::size_t(r)];
+      t = std::max(t, arrival[op.edge]) + proc;
+      if (op.extra) t += proc;
+      ++i;
+    }
+  };
+  for (int r = 0; r < n; ++r) advance(r);
+  while (!sends.empty()) {
+    const int r = sends.top().second;
+    sends.pop();
+    queued[std::size_t(r)] = 0;
+    const SchedOp& op = ops[std::size_t(r)][next[std::size_t(r)]];
+    double& t = clock[std::size_t(r)];
+    t += p.C[std::size_t(r)] + op.bytes * p.t[std::size_t(r)];  // send CPU
+    arrival[op.edge] = wires.send(p, r, op.peer, op.bytes, t);
+    known[op.edge] = 1;
+    ++next[std::size_t(r)];
+    advance(r);
+    advance(op.peer);
+  }
+  double completion = 0.0;
+  for (const double t : clock) completion = std::max(completion, t);
+  return completion;
+}
+
+/// Root-to-leaves op lists (bcast/scatter): per chunk, a blocking receive
+/// from the parent then one eager send per child in tree_children order.
+/// `scatter` scales arc bytes by the receiving subtree's block count.
+/// Arrival slot for the message into virtual rank v at chunk s: v*S + s.
+std::vector<std::vector<SchedOp>> tree_down_ops(
+    trees::TreeKind kind, int root, const std::vector<int>& mapping, int n,
+    const std::vector<double>& chunks, bool scatter) {
+  std::vector<std::vector<SchedOp>> ops{std::size_t(n)};
+  const std::size_t S = chunks.size();
+  for (int v = 0; v < n; ++v) {
+    const int pv = trees::map_rank(mapping, v, root, n);
+    const auto kids = trees::tree_children(kind, v, n);
+    auto& list = ops[std::size_t(pv)];
+    for (std::size_t s = 0; s < S; ++s) {
+      if (v != 0) {
+        const double b =
+            (scatter ? double(trees::tree_subtree_size(kind, v, n)) : 1.0) *
+            chunks[s];
+        const int parent = trees::tree_parent(kind, v);
+        list.push_back({true, trees::map_rank(mapping, parent, root, n),
+                        std::size_t(v) * S + s, b, false});
+      }
+      for (const int child : kids) {
+        const double b =
+            (scatter ? double(trees::tree_subtree_size(kind, child, n))
+                     : 1.0) *
+            chunks[s];
+        list.push_back({false, trees::map_rank(mapping, child, root, n),
+                        std::size_t(child) * S + s, b, false});
+      }
+    }
+  }
+  return ops;
+}
+
+/// Leaves-to-root mirror (gather/reduce): per chunk, a blocking receive
+/// per child in tree_recv_order (`combine` adds one serialized combine per
+/// received block) then one eager send up. Arrival slot for the message
+/// out of virtual rank v at chunk s: v*S + s.
+std::vector<std::vector<SchedOp>> tree_up_ops(
+    trees::TreeKind kind, int root, const std::vector<int>& mapping, int n,
+    const std::vector<double>& chunks, bool gather, bool combine) {
+  std::vector<std::vector<SchedOp>> ops{std::size_t(n)};
+  const std::size_t S = chunks.size();
+  for (int v = 0; v < n; ++v) {
+    const int pv = trees::map_rank(mapping, v, root, n);
+    const auto order = trees::tree_recv_order(kind, v, n);
+    auto& list = ops[std::size_t(pv)];
+    for (std::size_t s = 0; s < S; ++s) {
+      for (const int child : order) {
+        const double b =
+            (gather ? double(trees::tree_subtree_size(kind, child, n)) : 1.0) *
+            chunks[s];
+        list.push_back({true, trees::map_rank(mapping, child, root, n),
+                        std::size_t(child) * S + s, b, combine});
+      }
+      if (v != 0) {
+        const double b =
+            (gather ? double(trees::tree_subtree_size(kind, v, n)) : 1.0) *
+            chunks[s];
+        const int parent = trees::tree_parent(kind, v);
+        list.push_back({false, trees::map_rank(mapping, parent, root, n),
+                        std::size_t(v) * S + s, b, false});
+      }
+    }
+  }
+  return ops;
+}
+
+double eval_tree_down(const LmoParams& p, trees::TreeKind kind, int root,
+                      const std::vector<int>& mapping, Bytes unit,
+                      Bytes segment, bool scatter, const sim::Topology* topo) {
+  const int n = p.size();
+  const auto chunks = chunk_sizes(unit, segment);
+  return run_schedule(p, tree_down_ops(kind, root, mapping, n, chunks, scatter),
+                      std::size_t(n) * chunks.size(), topo);
+}
+
+double eval_tree_up(const LmoParams& p, trees::TreeKind kind, int root,
+                    const std::vector<int>& mapping, Bytes unit, Bytes segment,
+                    bool gather, bool combine, const sim::Topology* topo) {
+  const int n = p.size();
+  const auto chunks = chunk_sizes(unit, segment);
+  return run_schedule(
+      p, tree_up_ops(kind, root, mapping, n, chunks, gather, combine),
+      std::size_t(n) * chunks.size(), topo);
+}
+
+/// Append coll::ring_allgather's op sequence: per step, every rank posts
+/// an eager send right then blocks on the receive from the left (the
+/// trailing wait costs nothing extra — the send clock already carries the
+/// CPU charge). Arrival slot for rank i's step-s send: base + i*(n-1) + s.
+void append_ring_ops(std::vector<std::vector<SchedOp>>& ops, int n, double b,
+                     std::size_t base) {
+  for (int i = 0; i < n; ++i) {
+    const int right = (i + 1) % n;
+    const int left = (i - 1 + n) % n;
+    for (int s = 0; s < n - 1; ++s) {
+      ops[std::size_t(i)].push_back(
+          {false, right, base + std::size_t(i) * std::size_t(n - 1) +
+                             std::size_t(s),
+           b, false});
+      ops[std::size_t(i)].push_back(
+          {true, left, base + std::size_t(left) * std::size_t(n - 1) +
+                           std::size_t(s),
+           b, false});
+    }
+  }
+}
+}  // namespace
+
+double tree_bcast_time(const LmoParams& p, trees::TreeKind kind, int root,
+                       Bytes m, const std::vector<int>& mapping, Bytes segment,
+                       const sim::Topology* topology) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  LMO_CHECK(m >= 0);
+  return eval_tree_down(p, kind, root, mapping, m, segment, /*scatter=*/false,
+                        topology);
+}
+
+double tree_scatter_time(const LmoParams& p, trees::TreeKind kind, int root,
+                         Bytes m, const std::vector<int>& mapping,
+                         Bytes segment, const sim::Topology* topology) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  LMO_CHECK(m >= 0);
+  return eval_tree_down(p, kind, root, mapping, m, segment, /*scatter=*/true,
+                        topology);
+}
+
+double tree_gather_time(const LmoParams& p, trees::TreeKind kind, int root,
+                        Bytes m, const std::vector<int>& mapping, Bytes segment,
+                        const sim::Topology* topology) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  LMO_CHECK(m >= 0);
+  return eval_tree_up(p, kind, root, mapping, m, segment, /*gather=*/true,
+                      /*combine=*/false, topology);
+}
+
+double tree_reduce_time(const LmoParams& p, trees::TreeKind kind, int root,
+                        Bytes m, const std::vector<int>& mapping, Bytes segment,
+                        const sim::Topology* topology) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  LMO_CHECK(m >= 0);
+  return eval_tree_up(p, kind, root, mapping, m, segment, /*gather=*/false,
+                      /*combine=*/true, topology);
+}
+
+double scatter_allgather_bcast_time(const LmoParams& p, int root, Bytes m,
+                                    const sim::Topology* topology) {
+  p.validate();
+  LMO_CHECK(root >= 0 && root < p.size());
+  LMO_CHECK(m >= 0);
+  const int n = p.size();
+  if (n == 1) return 0.0;
+  const Bytes block = (m + n - 1) / n;
+  // One schedule covering both phases: each rank enters the ring as soon
+  // as its own scatter part lands (no global barrier between phases),
+  // which is exactly how coll::scatter_allgather_bcast executes.
+  const std::vector<double> chunks = {double(block)};
+  auto ops = tree_down_ops(trees::TreeKind::kBinomial, root, {}, n, chunks,
+                           /*scatter=*/true);
+  const std::size_t scatter_edges = std::size_t(n);
+  append_ring_ops(ops, n, double(block), scatter_edges);
+  return run_schedule(p, ops, scatter_edges + std::size_t(n) * std::size_t(n - 1),
+                      topology);
 }
 
 double ring_allgather_time(const LmoParams& p, Bytes m) {

@@ -10,6 +10,7 @@
 
 #include "core/empirical.hpp"
 #include "core/lmo_model.hpp"
+#include "trees/shapes.hpp"
 #include "util/bytes.hpp"
 
 namespace lmo::core {
@@ -83,6 +84,61 @@ struct GatherPrediction {
 [[nodiscard]] double binomial_reduce_time(
     const LmoParams& p, int root, Bytes m,
     const std::vector<int>& mapping = {});
+
+// --- The zoo: generic tree shapes with segmented pipelining. ---
+//
+// Each function prices the exact schedule coll::tree_* executes, from the
+// same fitted LMO parameters the closed forms use: per-node CPU terms
+// (C_i + b t_i per message, serialized on the rank's coroutine), per-node
+// egress/ingress wire occupancy (b/beta_ij, serialized per port), and
+// L_ij on every arc. `segment` > 0 chunks the message (bcast/reduce) or
+// the per-rank block (scatter/gather) into a pipelined series — chunk s+1
+// flows down the upper tree while chunk s drains below, which is how a
+// segmented chain becomes the classic pipelined broadcast. The evaluator
+// walks virtual ranks in topological order, so it is O(n * segments).
+// Every (kind, mapping, segment) triple priced here is executable by
+// coll::run_decision with the same arguments — the tuner never prices a
+// schedule the simulator cannot run.
+//
+// `topology` (optional) adds hierarchical contention: every transfer also
+// occupies the contended shared segments on its path (memory bus,
+// oversubscribed uplink), serialized exactly like sim::Fabric does. Flat
+// topologies and nullptr price identically to the port-only model.
+
+/// Tree broadcast (every arc carries the full message/segment).
+[[nodiscard]] double tree_bcast_time(const LmoParams& p, trees::TreeKind kind,
+                                     int root, Bytes m,
+                                     const std::vector<int>& mapping = {},
+                                     Bytes segment = 0,
+                                     const sim::Topology* topology = nullptr);
+
+/// Tree scatter (arc into v carries tree_subtree_size(v) blocks).
+[[nodiscard]] double tree_scatter_time(
+    const LmoParams& p, trees::TreeKind kind, int root, Bytes m,
+    const std::vector<int>& mapping = {}, Bytes segment = 0,
+    const sim::Topology* topology = nullptr);
+
+/// Tree gather (mirror of tree_scatter: subtree data travels up).
+[[nodiscard]] double tree_gather_time(const LmoParams& p, trees::TreeKind kind,
+                                      int root, Bytes m,
+                                      const std::vector<int>& mapping = {},
+                                      Bytes segment = 0,
+                                      const sim::Topology* topology = nullptr);
+
+/// Tree reduce (every arc carries m; one combine per received block).
+[[nodiscard]] double tree_reduce_time(const LmoParams& p, trees::TreeKind kind,
+                                      int root, Bytes m,
+                                      const std::vector<int>& mapping = {},
+                                      Bytes segment = 0,
+                                      const sim::Topology* topology = nullptr);
+
+/// Composite broadcast: binomial scatter of ceil(m/n) blocks followed by
+/// a ring allgather of the same block size (van-de-Geijn style). Both
+/// phases are priced by schedule replay (the ring pipelines across steps,
+/// unlike the ring_allgather_time bound).
+[[nodiscard]] double scatter_allgather_bcast_time(
+    const LmoParams& p, int root, Bytes m,
+    const sim::Topology* topology = nullptr);
 
 /// Ring allgather: n-1 synchronized steps, each bounded by the slowest
 /// neighbour link (approximation: steps do not pipeline).

@@ -5,15 +5,56 @@
 #include "trees/mapping.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
+#include "util/sweep.hpp"
 
 namespace lmo::core {
 
+const char* collective_name(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kScatter:
+      return "scatter";
+    case CollectiveKind::kGather:
+      return "gather";
+    case CollectiveKind::kBcast:
+      return "bcast";
+    case CollectiveKind::kReduce:
+      return "reduce";
+  }
+  return "?";
+}
+
+const char* algorithm_name(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kLinear:
+      return "linear";
+    case AlgorithmId::kBinomial:
+      return "binomial";
+    case AlgorithmId::kChain:
+      return "chain";
+    case AlgorithmId::kBinaryTree:
+      return "binary-tree";
+    case AlgorithmId::kScatterAllgather:
+      return "scatter-allgather";
+  }
+  return "?";
+}
+
+const std::vector<AlgorithmId>& all_algorithms() {
+  static const std::vector<AlgorithmId> kAll = {
+      AlgorithmId::kLinear, AlgorithmId::kBinomial, AlgorithmId::kChain,
+      AlgorithmId::kBinaryTree, AlgorithmId::kScatterAllgather};
+  return kAll;
+}
+
 std::string TunedDecision::describe() const {
-  std::string out =
-      algorithm == ScatterAlgorithm::kLinear ? "linear" : "binomial";
+  std::string out = algorithm_name(algorithm);
   if (!mapping.empty()) out += "+mapping";
-  if (split_chunk > 0)
-    out += " split@" + format_bytes(split_chunk);
+  if (segment > 0) {
+    // A segmented linear gather IS the Fig. 7 split plan; keep its name.
+    const bool is_split = kind == CollectiveKind::kGather &&
+                          algorithm == AlgorithmId::kLinear;
+    out += (is_split ? " split@" : " seg@") + format_bytes(segment);
+  }
   return out;
 }
 
@@ -21,98 +62,199 @@ Tuner::Tuner(LmoParams params, GatherEmpirical gather_empirical,
              TunerOptions options)
     : params_(std::move(params)),
       gather_empirical_(gather_empirical),
-      options_(options) {
+      options_(std::move(options)) {
   params_.validate();
 }
 
-double Tuner::predict_linear(CollectiveKind kind, int root, Bytes m) const {
+namespace {
+trees::TreeKind shape_of(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kLinear:
+      return trees::TreeKind::kFlat;
+    case AlgorithmId::kBinomial:
+      return trees::TreeKind::kBinomial;
+    case AlgorithmId::kChain:
+      return trees::TreeKind::kChain;
+    case AlgorithmId::kBinaryTree:
+      return trees::TreeKind::kBinary;
+    case AlgorithmId::kScatterAllgather:
+      break;
+  }
+  LMO_CHECK_MSG(false, "algorithm has no tree shape");
+  return trees::TreeKind::kFlat;
+}
+}  // namespace
+
+double Tuner::predict(CollectiveKind kind, AlgorithmId id, int root, Bytes m,
+                      const std::vector<int>& mapping, Bytes segment) const {
+  const sim::Topology* topo = options_.topology;
+  const bool contended =
+      topo && !topo->empty() && topo->constrains_concurrency();
+  if (id == AlgorithmId::kScatterAllgather) {
+    LMO_CHECK_MSG(kind == CollectiveKind::kBcast,
+                  "scatter+allgather is a broadcast algorithm");
+    return scatter_allgather_bcast_time(params_, root, m, topo);
+  }
+  // The empirical gather band rides on top of whichever base the topology
+  // calls for: the closed form on flat clusters, the schedule evaluator's
+  // contention-aware base otherwise. The large regime's serialized-sum
+  // branch always keeps the closed form — that behavior is a protocol
+  // switch, not a wire effect.
+  if (segment <= 0 && id == AlgorithmId::kLinear &&
+      kind == CollectiveKind::kGather) {
+    const GatherPrediction g =
+        linear_gather_time(params_, gather_empirical_, root, m);
+    if (!contended || g.regime == GatherRegime::kLarge) return g.expected();
+    return tree_gather_time(params_, trees::TreeKind::kFlat, root, m, mapping,
+                            0, topo) +
+           g.expected_escalation;
+  }
+  // Unsegmented linear and binomial keep the paper's closed forms on flat
+  // clusters; contended topologies route through the schedule evaluator,
+  // which the closed forms cannot price (cross-transfer contention).
+  if (!contended && segment <= 0 && id == AlgorithmId::kLinear) {
+    switch (kind) {
+      case CollectiveKind::kScatter:
+        return linear_scatter_time(params_, root, m);
+      case CollectiveKind::kGather:
+        break;  // handled above
+      case CollectiveKind::kBcast:
+        return linear_bcast_time(params_, root, m);
+      case CollectiveKind::kReduce:
+        return linear_reduce_time(params_, root, m);
+    }
+  }
+  if (!contended && segment <= 0 && id == AlgorithmId::kBinomial) {
+    switch (kind) {
+      case CollectiveKind::kScatter:
+        return binomial_scatter_time(params_, root, m, mapping);
+      case CollectiveKind::kGather:
+        return binomial_gather_time(params_, root, m, mapping);
+      case CollectiveKind::kBcast:
+        return binomial_bcast_time(params_, root, m, mapping);
+      case CollectiveKind::kReduce:
+        return binomial_reduce_time(params_, root, m, mapping);
+    }
+  }
+  // Everything else goes through the schedule evaluator, which prices the
+  // exact chunked schedule coll::tree_* executes.
+  const trees::TreeKind shape = shape_of(id);
   switch (kind) {
     case CollectiveKind::kScatter:
-      return linear_scatter_time(params_, root, m);
+      return tree_scatter_time(params_, shape, root, m, mapping, segment,
+                               topo);
     case CollectiveKind::kGather:
-      return linear_gather_time(params_, gather_empirical_, root, m)
-          .expected();
+      return tree_gather_time(params_, shape, root, m, mapping, segment, topo);
     case CollectiveKind::kBcast:
-      return linear_bcast_time(params_, root, m);
+      return tree_bcast_time(params_, shape, root, m, mapping, segment, topo);
     case CollectiveKind::kReduce:
-      return linear_reduce_time(params_, root, m);
+      return tree_reduce_time(params_, shape, root, m, mapping, segment, topo);
   }
   LMO_CHECK_MSG(false, "unknown collective kind");
   return 0.0;
 }
 
-double Tuner::predict_binomial(CollectiveKind kind, int root, Bytes m,
-                               const std::vector<int>& mapping) const {
-  switch (kind) {
-    case CollectiveKind::kScatter:
-      return binomial_scatter_time(params_, root, m, mapping);
-    case CollectiveKind::kGather:
-      return binomial_gather_time(params_, root, m, mapping);
-    case CollectiveKind::kBcast:
-      return binomial_bcast_time(params_, root, m, mapping);
-    case CollectiveKind::kReduce:
-      return binomial_reduce_time(params_, root, m, mapping);
-  }
-  LMO_CHECK_MSG(false, "unknown collective kind");
-  return 0.0;
-}
-
-TunedDecision Tuner::decide(CollectiveKind kind, int root, Bytes m) const {
+std::vector<TunedDecision> Tuner::candidates(CollectiveKind kind, int root,
+                                             Bytes m) const {
   LMO_CHECK(root >= 0 && root < params_.size());
   LMO_CHECK(m >= 0);
-  TunedDecision best;
-  best.kind = kind;
-  best.algorithm = ScatterAlgorithm::kLinear;
-  best.predicted_seconds = predict_linear(kind, root, m);
+  std::vector<TunedDecision> out;
+  auto add = [&](AlgorithmId id, std::vector<int> mapping, Bytes segment) {
+    for (const TunedDecision& d : out)
+      if (d.algorithm == id && d.segment == segment &&
+          d.mapping == mapping)
+        return;  // deduplicate (e.g. split chunk == a grid segment)
+    TunedDecision d;
+    d.kind = kind;
+    d.algorithm = id;
+    d.root = root;
+    d.message = m;
+    d.mapping = std::move(mapping);
+    d.segment = segment;
+    d.predicted_seconds = predict(kind, id, root, m, d.mapping, segment);
+    out.push_back(std::move(d));
+  };
 
-  // Split-gather candidate (Fig. 7).
+  // The paper's native pair first: ties go to the simplest algorithm.
+  add(AlgorithmId::kLinear, {}, 0);
+  add(AlgorithmId::kBinomial, {}, 0);
+
+  // Fig. 7 split plan: a segmented linear gather chunked at the empirical
+  // band edge m1 (the split_gather series).
   if (kind == CollectiveKind::kGather && options_.split_gathers) {
     const auto plan =
         plan_optimized_gather(params_, gather_empirical_, root, m);
-    if (plan.split && plan.predicted_split < best.predicted_seconds) {
-      best.split_chunk = plan.chunk;
-      best.predicted_seconds = plan.predicted_split;
-    }
+    if (plan.split) add(AlgorithmId::kLinear, {}, plan.chunk);
   }
 
-  // Binomial candidate, default mapping.
-  const double binom = predict_binomial(kind, root, m, {});
-  if (binom < best.predicted_seconds) {
-    best.algorithm = ScatterAlgorithm::kBinomial;
-    best.mapping.clear();
-    best.split_chunk = 0;
-    best.predicted_seconds = binom;
-  }
-
-  // Binomial candidate with an optimized mapping.
+  // Binomial with an LMO-optimized processor-to-tree mapping.
   if (options_.optimize_mappings) {
     const auto result = trees::optimize_mapping(
         params_.size(), root, [&](const std::vector<int>& mapping) {
-          return predict_binomial(kind, root, m, mapping);
+          return predict(kind, AlgorithmId::kBinomial, root, m, mapping, 0);
         });
-    if (result.cost < best.predicted_seconds) {
-      best.algorithm = ScatterAlgorithm::kBinomial;
-      best.mapping = result.mapping;
-      best.split_chunk = 0;
-      best.predicted_seconds = result.cost;
-    }
+    add(AlgorithmId::kBinomial, result.mapping, 0);
   }
-  return best;
+
+  // The tree zoo with segmented pipelining.
+  if (options_.tree_zoo) {
+    for (const AlgorithmId id :
+         {AlgorithmId::kChain, AlgorithmId::kBinaryTree}) {
+      add(id, {}, 0);
+      for (const Bytes seg : options_.segment_candidates)
+        if (seg > 0 && seg < m) add(id, {}, seg);
+    }
+    for (const Bytes seg : options_.segment_candidates) {
+      if (seg > 0 && seg < m) {
+        add(AlgorithmId::kLinear, {}, seg);
+        add(AlgorithmId::kBinomial, {}, seg);
+      }
+    }
+    if (kind == CollectiveKind::kBcast)
+      add(AlgorithmId::kScatterAllgather, {}, 0);
+  }
+  return out;
+}
+
+TunedDecision Tuner::decide(CollectiveKind kind, int root, Bytes m) const {
+  const std::vector<TunedDecision> all = candidates(kind, root, m);
+  LMO_CHECK(!all.empty());
+  const TunedDecision* best = &all.front();
+  for (const TunedDecision& d : all)
+    if (d.predicted_seconds < best->predicted_seconds) best = &d;
+  return *best;
+}
+
+std::vector<Bytes> Tuner::crossovers(CollectiveKind kind, int root, Bytes lo,
+                                     Bytes hi) const {
+  LMO_CHECK(lo >= 0 && hi > lo);
+  // Only the algorithm choice defines a crossover; segment/mapping changes
+  // within one algorithm do not count.
+  auto algo_at = [&](Bytes m) { return decide(kind, root, m).algorithm; };
+  // Endpoint comparison alone misses switch-and-switch-back intervals, so
+  // scan a geometric grid first, then bisect every flipped interval.
+  const std::vector<Bytes> grid = geometric_sizes(lo, hi, 33);
+  std::vector<Bytes> flips;
+  AlgorithmId prev = algo_at(grid.front());
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    if (grid[i] <= grid[i - 1]) continue;
+    const AlgorithmId next = algo_at(grid[i]);
+    if (next == prev) continue;
+    Bytes a = grid[i - 1], b = grid[i];
+    while (b - a > 1) {
+      const Bytes mid = a + (b - a) / 2;
+      (algo_at(mid) == prev ? a : b) = mid;
+    }
+    flips.push_back(b);
+    prev = next;
+  }
+  return flips;
 }
 
 Bytes Tuner::crossover(CollectiveKind kind, int root, Bytes lo,
                        Bytes hi) const {
-  LMO_CHECK(lo >= 0 && hi > lo);
-  // Only the algorithm choice matters for the crossover.
-  auto algo_at = [&](Bytes m) { return decide(kind, root, m).algorithm; };
-  const auto at_lo = algo_at(lo);
-  if (algo_at(hi) == at_lo) return 0;
-  Bytes a = lo, b = hi;
-  while (b - a > 1) {
-    const Bytes mid = a + (b - a) / 2;
-    (algo_at(mid) == at_lo ? a : b) = mid;
-  }
-  return b;
+  const std::vector<Bytes> flips = crossovers(kind, root, lo, hi);
+  return flips.empty() ? 0 : flips.front();
 }
 
 }  // namespace lmo::core

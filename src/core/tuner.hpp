@@ -1,11 +1,14 @@
 // Model-driven collective tuning — the end-to-end application of the LMO
 // model (the paper's software tool [13] and the HeteroMPI optimization
 // [10]): given the estimated point-to-point parameters and the empirical
-// gather band, decide per operation and message size which algorithm to
-// run, with which processor-to-tree mapping, and whether to split.
+// gather band, decide per operation and message size which algorithm of
+// the zoo to run, with which segment size and processor-to-tree mapping.
 //
 // decide() is pure (model-only); the caller executes the decision through
-// coll:: on a vmpi::World — see examples/tuned_collectives.
+// coll::run_decision on a vmpi::SimSession — every candidate the tuner
+// prices is executable with exactly the parameters it priced (algorithm,
+// segment, mapping), which is what lets bench_ext_tuner replay decisions
+// against simulated ground truth and report regret.
 #pragma once
 
 #include <string>
@@ -21,13 +24,36 @@ namespace lmo::core {
 
 enum class CollectiveKind { kScatter, kGather, kBcast, kReduce };
 
+[[nodiscard]] const char* collective_name(CollectiveKind kind);
+
+/// The collective algorithm zoo. kLinear is the flat tree (the paper's
+/// native algorithms); the tree shapes follow Barchet-Estefanel & Mounié's
+/// intra-cluster zoo; kScatterAllgather is the composite broadcast
+/// (binomial scatter of m/n blocks + ring allgather).
+enum class AlgorithmId {
+  kLinear,
+  kBinomial,
+  kChain,
+  kBinaryTree,
+  kScatterAllgather,  ///< bcast only
+};
+
+[[nodiscard]] const char* algorithm_name(AlgorithmId id);
+
+/// All AlgorithmId values, for exhaustive sweeps and tests.
+[[nodiscard]] const std::vector<AlgorithmId>& all_algorithms();
+
 struct TunedDecision {
   CollectiveKind kind = CollectiveKind::kScatter;
-  ScatterAlgorithm algorithm = ScatterAlgorithm::kLinear;
-  /// Non-empty: use this processor-to-virtual-rank mapping (binomial only).
+  AlgorithmId algorithm = AlgorithmId::kLinear;
+  int root = 0;
+  Bytes message = 0;
+  /// Non-empty: use this processor-to-virtual-rank mapping (tree shapes).
   std::vector<int> mapping;
-  /// > 0: split into a series of this chunk size (gather only).
-  Bytes split_chunk = 0;
+  /// > 0: chunk the message/block into segments of at most this size —
+  /// a pipelined series of the base algorithm (generalizes split_gather:
+  /// kLinear gather with a segment IS the Fig. 7 split plan).
+  Bytes segment = 0;
   double predicted_seconds = 0.0;
 
   [[nodiscard]] std::string describe() const;
@@ -38,6 +64,19 @@ struct TunerOptions {
   bool optimize_mappings = true;
   /// Consider splitting medium gathers (needs empirical parameters).
   bool split_gathers = true;
+  /// Consider the chain/binary/composite zoo and segmented pipelining on
+  /// top of the paper's linear/binomial pair.
+  bool tree_zoo = true;
+  /// Segment sizes the (algorithm, segment) search tries for pipelined
+  /// tree collectives; only candidates < the message size apply. The
+  /// validation harness replays exactly this grid.
+  std::vector<Bytes> segment_candidates = {2 * 1024, 8 * 1024, 32 * 1024};
+  /// Optional hierarchical topology (not owned; must outlive the Tuner).
+  /// When it constrains concurrency, predictions price contended shared
+  /// segments (memory bus, oversubscribed uplink) and every algorithm
+  /// routes through the schedule evaluators — the closed forms are blind
+  /// to cross-transfer contention.
+  const sim::Topology* topology = nullptr;
 };
 
 class Tuner {
@@ -46,21 +85,35 @@ class Tuner {
         TunerOptions options = {});
 
   [[nodiscard]] const LmoParams& params() const { return params_; }
+  [[nodiscard]] const TunerOptions& options() const { return options_; }
+
+  /// Every (algorithm, segment, mapping) candidate the tuner prices for
+  /// one collective invocation, each with its predicted cost — the search
+  /// space decide() minimizes over and the validation harness replays.
+  [[nodiscard]] std::vector<TunedDecision> candidates(CollectiveKind kind,
+                                                      int root,
+                                                      Bytes m) const;
 
   /// Choose the best plan for one collective invocation.
   [[nodiscard]] TunedDecision decide(CollectiveKind kind, int root,
                                      Bytes m) const;
 
-  /// The message size (within [lo, hi]) where the decision for `kind`
-  /// flips between algorithms, found by bisection; 0 if it never flips.
+  /// All message sizes in (lo, hi] where the decided algorithm flips,
+  /// in increasing order: a geometric grid scan locates every switch
+  /// interval (algorithm selection is not monotone — a switch-and-switch-
+  /// back between lo and hi is real, not "no crossover"), then bisection
+  /// pins each boundary to the byte.
+  [[nodiscard]] std::vector<Bytes> crossovers(CollectiveKind kind, int root,
+                                              Bytes lo, Bytes hi) const;
+
+  /// The first crossover in (lo, hi], or 0 if the decision never flips.
   [[nodiscard]] Bytes crossover(CollectiveKind kind, int root, Bytes lo,
                                 Bytes hi) const;
 
  private:
-  [[nodiscard]] double predict_linear(CollectiveKind kind, int root,
-                                      Bytes m) const;
-  [[nodiscard]] double predict_binomial(CollectiveKind kind, int root, Bytes m,
-                                        const std::vector<int>& mapping) const;
+  [[nodiscard]] double predict(CollectiveKind kind, AlgorithmId id, int root,
+                               Bytes m, const std::vector<int>& mapping,
+                               Bytes segment) const;
 
   LmoParams params_;
   GatherEmpirical gather_empirical_;

@@ -7,6 +7,7 @@
 
 #include "trees/binomial.hpp"
 #include "trees/mapping.hpp"
+#include "trees/shapes.hpp"
 #include "util/error.hpp"
 
 namespace lmo::trees {
@@ -81,6 +82,87 @@ TEST(Binomial, Rounds) {
   EXPECT_EQ(binomial_rounds(3), 2);
   EXPECT_EQ(binomial_rounds(16), 4);
   EXPECT_EQ(binomial_rounds(17), 5);
+}
+
+TEST(Binomial, SingleNodeTree) {
+  // n=1 edge case: no arcs, the root's subtree is itself.
+  EXPECT_TRUE(binomial_arcs(1).empty());
+  EXPECT_TRUE(binomial_children(0, 1).empty());
+  EXPECT_EQ(binomial_subtree_blocks(0, 1), 1);
+}
+
+TEST(Binomial, NonPowerOfTwoArcsCoverEveryone) {
+  // Clamped trees: every virtual rank 1..n-1 still receives over exactly
+  // one arc and subtree blocks account for the clamp.
+  for (int n : {3, 5, 6, 7, 11, 12}) {
+    const auto arcs = binomial_arcs(n);
+    std::set<int> children;
+    int total_blocks = 0;
+    for (const auto& a : arcs) {
+      EXPECT_GT(a.blocks, 0) << "n=" << n;
+      EXPECT_EQ(a.blocks, binomial_subtree_blocks(a.child, n)) << "n=" << n;
+      EXPECT_TRUE(children.insert(a.child).second) << "n=" << n;
+      if (a.parent == 0) total_blocks += a.blocks;
+    }
+    EXPECT_EQ(int(children.size()), n - 1) << "n=" << n;
+    EXPECT_EQ(total_blocks, n - 1) << "n=" << n;
+  }
+}
+
+TEST(Binomial, RootOffsetIsAMappingConcern) {
+  // Virtual trees always have the root at virtual rank 0; a root != 0
+  // enters via the default (v + root) mod n mapping, which must stay a
+  // bijection that fixes the root.
+  const int n = 6;
+  for (int root : {1, 3, 5}) {
+    const auto m = default_mapping(n, root);
+    EXPECT_EQ(m[0], root);
+    std::set<int> seen(m.begin(), m.end());
+    EXPECT_EQ(int(seen.size()), n);
+    for (int v = 0; v < n; ++v)
+      EXPECT_EQ(map_rank({}, v, root, n), m[std::size_t(v)]);
+  }
+}
+
+TEST(TreeShapes, ConsistentAcrossKinds) {
+  // Shared invariants of every zoo shape: parent/child agreement, the
+  // topological-order property, subtree sizes summing to n, and recv
+  // order being a permutation of the send order.
+  const auto kinds = {TreeKind::kFlat, TreeKind::kChain, TreeKind::kBinary,
+                      TreeKind::kBinomial};
+  for (const TreeKind kind : kinds)
+    for (int n : {1, 2, 3, 7, 8, 13, 16}) {
+      int covered = 1;  // the root
+      for (int v = 0; v < n; ++v) {
+        const auto kids = tree_children(kind, v, n);
+        covered += int(kids.size());
+        int kid_blocks = 1;
+        for (const int child : kids) {
+          EXPECT_GT(child, v) << tree_kind_name(kind);  // topological order
+          EXPECT_LT(child, n);
+          EXPECT_EQ(tree_parent(kind, child), v) << tree_kind_name(kind);
+          kid_blocks += tree_subtree_size(kind, child, n);
+        }
+        EXPECT_EQ(tree_subtree_size(kind, v, n), kid_blocks)
+            << tree_kind_name(kind) << " v=" << v << " n=" << n;
+        auto recv = tree_recv_order(kind, v, n);
+        std::sort(recv.begin(), recv.end());
+        auto sent = kids;
+        std::sort(sent.begin(), sent.end());
+        EXPECT_EQ(recv, sent);
+      }
+      EXPECT_EQ(covered, n) << tree_kind_name(kind);  // everyone has a parent
+      EXPECT_EQ(tree_subtree_size(kind, 0, n), n);
+      if (n == 1) EXPECT_EQ(tree_depth(kind, n), 0);
+    }
+}
+
+TEST(TreeShapes, KnownDepths) {
+  EXPECT_EQ(tree_depth(TreeKind::kFlat, 16), 1);
+  EXPECT_EQ(tree_depth(TreeKind::kChain, 16), 15);
+  EXPECT_EQ(tree_depth(TreeKind::kBinary, 16), 4);
+  EXPECT_EQ(tree_depth(TreeKind::kBinomial, 16), 4);
+  EXPECT_EQ(tree_depth(TreeKind::kBinomial, 17), 5);
 }
 
 TEST(MappingTest, DefaultIsRootRotation) {

@@ -1,10 +1,13 @@
 // Tests for the model-driven collective tuner.
 #include <gtest/gtest.h>
 
-#include "coll/collectives.hpp"
+#include <algorithm>
+
+#include "coll/zoo.hpp"
 #include "core/tuner.hpp"
 #include "simnet/cluster.hpp"
 #include "util/error.hpp"
+#include "util/sweep.hpp"
 #include "vmpi/world.hpp"
 
 namespace lmo::core {
@@ -48,43 +51,78 @@ Tuner make_tuner() {
 TEST(TunerTest, ScatterLargeIsLinear) {
   const auto t = make_tuner();
   const auto d = t.decide(CollectiveKind::kScatter, 0, 150 * 1024);
-  EXPECT_EQ(d.algorithm, ScatterAlgorithm::kLinear);
-  EXPECT_EQ(d.split_chunk, 0);
+  EXPECT_EQ(d.algorithm, AlgorithmId::kLinear);
   EXPECT_GT(d.predicted_seconds, 0.0);
 }
 
-TEST(TunerTest, ScatterTinyIsBinomial) {
+TEST(TunerTest, ScatterTinyAvoidsFlatTree) {
+  // At tiny sizes per-message fixed costs dominate and the root's n-1
+  // serialized sends lose to any log-depth tree.
   const auto t = make_tuner();
   const auto d = t.decide(CollectiveKind::kScatter, 0, 16);
-  EXPECT_EQ(d.algorithm, ScatterAlgorithm::kBinomial);
+  EXPECT_NE(d.algorithm, AlgorithmId::kLinear);
 }
 
-TEST(TunerTest, MediumGatherSplits) {
+TEST(TunerTest, MediumGatherStaysOutOfTheBand) {
+  // Fig. 7: inside the escalation band the native linear gather pays the
+  // expected escalation, so the tuner picks a plan that avoids it — a
+  // segmented series or a different tree.
   const auto t = make_tuner();
   const auto d = t.decide(CollectiveKind::kGather, 0, 32 * 1024);
-  EXPECT_EQ(d.algorithm, ScatterAlgorithm::kLinear);
-  EXPECT_EQ(d.split_chunk, 4 * 1024);
-  // The split plan must beat the expected (escalation-weighted) native.
-  const auto no_split = Tuner(t.params(), paper_band(),
-                              TunerOptions{true, false})
-                            .decide(CollectiveKind::kGather, 0, 32 * 1024);
-  EXPECT_LT(d.predicted_seconds, no_split.predicted_seconds);
+  const bool segmented_or_tree =
+      d.segment > 0 || d.algorithm != AlgorithmId::kLinear;
+  EXPECT_TRUE(segmented_or_tree) << d.describe();
+  // And it must beat the expected (escalation-weighted) native gather.
+  const double native =
+      linear_gather_time(t.params(), paper_band(), 0, 32 * 1024).expected();
+  EXPECT_LT(d.predicted_seconds, native);
 }
 
-TEST(TunerTest, SmallAndLargeGathersDoNotSplit) {
+TEST(TunerTest, SplitPlanIsAmongGatherCandidates) {
+  // The Fig. 7 split plan (linear gather segmented at the band edge m1)
+  // is always offered for in-band sizes.
   const auto t = make_tuner();
-  EXPECT_EQ(t.decide(CollectiveKind::kGather, 0, 1024).split_chunk, 0);
-  EXPECT_EQ(t.decide(CollectiveKind::kGather, 0, 256 * 1024).split_chunk, 0);
+  const auto all = t.candidates(CollectiveKind::kGather, 0, 32 * 1024);
+  const bool has_split =
+      std::any_of(all.begin(), all.end(), [](const TunedDecision& d) {
+        return d.algorithm == AlgorithmId::kLinear && d.segment == 4 * 1024;
+      });
+  EXPECT_TRUE(has_split);
 }
 
-TEST(TunerTest, BcastPrefersBinomialBroadly) {
-  // Broadcast re-sends the same m on every arc, so the tree's log depth
-  // wins across sizes (unlike scatter, no data amplification).
+TEST(TunerTest, BcastAvoidsFlatTree) {
+  // Broadcast re-sends the same m on every arc, so the root's (n-1)
+  // serialized sends always lose to a tree of some shape.
   const auto t = make_tuner();
   for (const Bytes m : {Bytes(64), Bytes(4096), Bytes(65536)})
-    EXPECT_EQ(t.decide(CollectiveKind::kBcast, 0, m).algorithm,
-              ScatterAlgorithm::kBinomial)
+    EXPECT_NE(t.decide(CollectiveKind::kBcast, 0, m).algorithm,
+              AlgorithmId::kLinear)
         << m;
+}
+
+TEST(TunerTest, CandidatesCoverTheZoo) {
+  const auto t = make_tuner();
+  const auto all = t.candidates(CollectiveKind::kBcast, 0, 64 * 1024);
+  auto has = [&](AlgorithmId id) {
+    return std::any_of(all.begin(), all.end(), [id](const TunedDecision& d) {
+      return d.algorithm == id;
+    });
+  };
+  for (const AlgorithmId id : all_algorithms()) EXPECT_TRUE(has(id));
+  // Segmented variants are offered when segments fit under the message.
+  EXPECT_TRUE(std::any_of(all.begin(), all.end(), [](const TunedDecision& d) {
+    return d.segment > 0;
+  }));
+  // Every candidate carries its own predicted cost and the invocation.
+  for (const auto& d : all) {
+    EXPECT_GT(d.predicted_seconds, 0.0);
+    EXPECT_EQ(d.message, 64 * 1024);
+    EXPECT_EQ(d.kind, CollectiveKind::kBcast);
+  }
+  // decide() is the argmin of candidates().
+  const auto best = t.decide(CollectiveKind::kBcast, 0, 64 * 1024);
+  for (const auto& d : all)
+    EXPECT_GE(d.predicted_seconds, best.predicted_seconds);
 }
 
 TEST(TunerTest, MappingOnlyWhenItHelps) {
@@ -100,57 +138,127 @@ TEST(TunerTest, MappingOnlyWhenItHelps) {
   }
 }
 
-TEST(TunerTest, CrossoverBisection) {
+TEST(TunerTest, TreeZooOffRestoresThePaperPair) {
+  TunerOptions opts;
+  opts.tree_zoo = false;
+  const Tuner t(from_ground_truth(sim::make_paper_cluster()), paper_band(),
+                opts);
+  for (const auto& d : t.candidates(CollectiveKind::kBcast, 0, 64 * 1024)) {
+    const bool paper_algo = d.algorithm == AlgorithmId::kLinear ||
+                            d.algorithm == AlgorithmId::kBinomial;
+    EXPECT_TRUE(paper_algo);
+    EXPECT_EQ(d.segment, 0);
+  }
+}
+
+TEST(TunerTest, CrossoversAreGenuineBoundaries) {
   const auto t = make_tuner();
-  const Bytes cross = t.crossover(CollectiveKind::kScatter, 0, 8, 256 * 1024);
-  ASSERT_GT(cross, 0);
-  EXPECT_EQ(t.decide(CollectiveKind::kScatter, 0, cross - 1).algorithm,
-            ScatterAlgorithm::kBinomial);
-  EXPECT_EQ(t.decide(CollectiveKind::kScatter, 0, cross).algorithm,
-            ScatterAlgorithm::kLinear);
+  for (const auto kind : {CollectiveKind::kScatter, CollectiveKind::kBcast,
+                          CollectiveKind::kReduce}) {
+    const auto flips = t.crossovers(kind, 0, 8, 1024 * 1024);
+    Bytes prev = 0;
+    for (const Bytes f : flips) {
+      EXPECT_GT(f, prev);  // strictly increasing
+      prev = f;
+      EXPECT_NE(t.decide(kind, 0, f - 1).algorithm,
+                t.decide(kind, 0, f).algorithm)
+          << collective_name(kind) << " flip at " << f;
+    }
+  }
+}
+
+TEST(TunerTest, CrossoversFindEveryGridFlip) {
+  // The bugfix: endpoint-only comparison misses switch-and-switch-back.
+  // Every algorithm change between adjacent grid points must be covered
+  // by a reported switch point inside that interval.
+  const auto t = make_tuner();
+  const Bytes lo = 8, hi = 1024 * 1024;
+  for (const auto kind :
+       {CollectiveKind::kScatter, CollectiveKind::kBcast}) {
+    const auto flips = t.crossovers(kind, 0, lo, hi);
+    const auto grid = geometric_sizes(lo, hi, 33);
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+      if (grid[i] <= grid[i - 1]) continue;
+      if (t.decide(kind, 0, grid[i - 1]).algorithm ==
+          t.decide(kind, 0, grid[i]).algorithm)
+        continue;
+      const bool covered =
+          std::any_of(flips.begin(), flips.end(), [&](Bytes f) {
+            return f > grid[i - 1] && f <= grid[i];
+          });
+      EXPECT_TRUE(covered) << collective_name(kind) << " interval ("
+                           << grid[i - 1] << ", " << grid[i] << "]";
+    }
+  }
+}
+
+TEST(TunerTest, CrossoverIsFirstOfCrossovers) {
+  const auto t = make_tuner();
+  const auto flips = t.crossovers(CollectiveKind::kScatter, 0, 8, 256 * 1024);
+  const Bytes first = t.crossover(CollectiveKind::kScatter, 0, 8, 256 * 1024);
+  if (flips.empty()) {
+    EXPECT_EQ(first, 0);
+  } else {
+    EXPECT_EQ(first, flips.front());
+  }
 }
 
 TEST(TunerTest, CrossoverZeroWhenNoFlip) {
   const auto t = make_tuner();
-  EXPECT_EQ(t.crossover(CollectiveKind::kScatter, 0, 100 * 1024, 200 * 1024),
+  EXPECT_EQ(t.crossover(CollectiveKind::kScatter, 0, 150 * 1024,
+                        160 * 1024),
             0);
 }
 
-TEST(TunerTest, DescribeMentionsPlan) {
-  const auto t = make_tuner();
-  const auto split = t.decide(CollectiveKind::kGather, 0, 32 * 1024);
-  EXPECT_NE(split.describe().find("split"), std::string::npos);
-  const auto lin = t.decide(CollectiveKind::kScatter, 0, 150 * 1024);
-  EXPECT_EQ(lin.describe(), "linear");
+TEST(TunerTest, DescribeCoversEveryAlgorithm) {
+  for (const AlgorithmId id : all_algorithms()) {
+    TunedDecision d;
+    d.kind = CollectiveKind::kBcast;
+    d.algorithm = id;
+    EXPECT_EQ(d.describe(), algorithm_name(id));
+    EXPECT_FALSE(d.describe().empty());
+  }
+  // Mapping and segment annotations.
+  TunedDecision seg;
+  seg.kind = CollectiveKind::kBcast;
+  seg.algorithm = AlgorithmId::kChain;
+  seg.segment = 8 * 1024;
+  EXPECT_NE(seg.describe().find("seg@"), std::string::npos);
+  TunedDecision split;
+  split.kind = CollectiveKind::kGather;
+  split.algorithm = AlgorithmId::kLinear;
+  split.segment = 4 * 1024;
+  EXPECT_NE(split.describe().find("split@"), std::string::npos);
+  TunedDecision mapped;
+  mapped.algorithm = AlgorithmId::kBinomial;
+  mapped.mapping = {0, 2, 1};
+  EXPECT_NE(mapped.describe().find("+mapping"), std::string::npos);
 }
 
 TEST(TunerTest, DecisionsBeatWorstCaseInSimulator) {
-  // End to end: for each kind and size, executing the tuner's decision is
-  // never slower than the worse of the two plain algorithms.
+  // End to end: for each size, executing the tuner's decision is never
+  // slower than the worse of the two plain paper algorithms.
   auto cfg = sim::make_paper_cluster();
   World w(cfg);
   const auto t = make_tuner();
   for (const Bytes m : {Bytes(1024), Bytes(32) * 1024}) {
     const auto d = t.decide(CollectiveKind::kScatter, 0, m);
-    auto run = [&](auto body) {
+    auto run = [&](core::TunedDecision dec) {
       double total = 0;
       for (int r = 0; r < 4; ++r)
-        total += w.run(coll::spmd(16, body)).seconds();
+        total += w.run(coll::spmd(16, [dec](Comm& c) -> Task {
+                   co_await coll::run_decision(c, dec);
+                 })).seconds();
       return total / 4;
     };
-    const double lin = run([m](Comm& c) {
-      return coll::linear_scatter(c, 0, m);
-    });
-    const double bin = run([m](Comm& c) {
-      return coll::binomial_scatter(c, 0, m);
-    });
-    const auto mapping = d.mapping;
-    const double tuned = run([m, d, mapping](Comm& c) {
-      return d.algorithm == ScatterAlgorithm::kLinear
-                 ? coll::linear_scatter(c, 0, m)
-                 : coll::binomial_scatter(c, 0, m, mapping);
-    });
-    EXPECT_LE(tuned, std::max(lin, bin) * 1.05) << "m=" << m;
+    TunedDecision lin = d;
+    lin.algorithm = AlgorithmId::kLinear;
+    lin.segment = 0;
+    lin.mapping.clear();
+    TunedDecision bin = lin;
+    bin.algorithm = AlgorithmId::kBinomial;
+    const double worst = std::max(run(lin), run(bin));
+    EXPECT_LE(run(d), worst * 1.05) << "m=" << m;
   }
 }
 

@@ -1,0 +1,250 @@
+// Tests for the collective algorithm zoo: every zoo member has a
+// prediction/simulation pair, and the pair agrees — the tuner never
+// prices a schedule the simulator would run differently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coll/zoo.hpp"
+#include "core/predictions.hpp"
+#include "core/tuner.hpp"
+#include "simnet/cluster.hpp"
+#include "util/error.hpp"
+#include "util/sweep.hpp"
+#include "vmpi/world.hpp"
+
+namespace lmo {
+namespace {
+
+using coll::run_decision;
+using coll::spmd;
+using core::AlgorithmId;
+using core::CollectiveKind;
+using core::LmoParams;
+using trees::TreeKind;
+using vmpi::Comm;
+using vmpi::Task;
+using vmpi::World;
+
+LmoParams from_ground_truth(const sim::ClusterConfig& cfg) {
+  const auto gt = sim::ground_truth(cfg);
+  const int n = cfg.size();
+  LmoParams p;
+  p.C = gt.C;
+  p.t = gt.t;
+  p.L = models::PairTable(n);
+  p.inv_beta = models::PairTable(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      p.L(i, j) = gt.L(i, j);
+      p.inv_beta(i, j) = gt.inv_beta(i, j);
+    }
+  return p;
+}
+
+/// The paper's heterogeneous cluster with noise and TCP quirks off:
+/// deterministic timings the LMO ground truth describes exactly.
+sim::ClusterConfig quiet_paper_cluster() {
+  auto cfg = sim::make_paper_cluster();
+  cfg.noise_rel = 0.0;
+  cfg.quirks.enabled = false;
+  return cfg;
+}
+
+double simulate(World& w, const core::TunedDecision& d) {
+  return w.run(spmd(w.size(), [d](Comm& c) -> Task {
+            co_await run_decision(c, d);
+          }))
+      .seconds();
+}
+
+core::TunedDecision make_decision(CollectiveKind kind, AlgorithmId id,
+                                  Bytes m, Bytes segment = 0,
+                                  std::vector<int> mapping = {}) {
+  core::TunedDecision d;
+  d.kind = kind;
+  d.algorithm = id;
+  d.root = 0;
+  d.message = m;
+  d.segment = segment;
+  d.mapping = std::move(mapping);
+  return d;
+}
+
+double predict(const LmoParams& p, const core::TunedDecision& d) {
+  switch (d.algorithm) {
+    case AlgorithmId::kScatterAllgather:
+      return core::scatter_allgather_bcast_time(p, d.root, d.message);
+    default:
+      break;
+  }
+  TreeKind shape = TreeKind::kFlat;
+  if (d.algorithm == AlgorithmId::kBinomial) shape = TreeKind::kBinomial;
+  if (d.algorithm == AlgorithmId::kChain) shape = TreeKind::kChain;
+  if (d.algorithm == AlgorithmId::kBinaryTree) shape = TreeKind::kBinary;
+  switch (d.kind) {
+    case CollectiveKind::kScatter:
+      return core::tree_scatter_time(p, shape, d.root, d.message, d.mapping,
+                                     d.segment);
+    case CollectiveKind::kGather:
+      return core::tree_gather_time(p, shape, d.root, d.message, d.mapping,
+                                    d.segment);
+    case CollectiveKind::kBcast:
+      return core::tree_bcast_time(p, shape, d.root, d.message, d.mapping,
+                                   d.segment);
+    case CollectiveKind::kReduce:
+      return core::tree_reduce_time(p, shape, d.root, d.message, d.mapping,
+                                    d.segment);
+  }
+  return 0.0;
+}
+
+TEST(ZooParity, EveryTreeAlgorithmMatchesItsPredictor) {
+  const auto cfg = quiet_paper_cluster();
+  const auto p = from_ground_truth(cfg);
+  World w(cfg);
+  const std::vector<AlgorithmId> shapes = {
+      AlgorithmId::kLinear, AlgorithmId::kChain, AlgorithmId::kBinaryTree,
+      AlgorithmId::kBinomial};
+  const std::vector<CollectiveKind> kinds = {
+      CollectiveKind::kScatter, CollectiveKind::kGather,
+      CollectiveKind::kBcast, CollectiveKind::kReduce};
+  for (const auto kind : kinds)
+    for (const auto id : shapes)
+      for (const Bytes segment : {Bytes(0), Bytes(1024)}) {
+        const auto d = make_decision(kind, id, 10 * 1024, segment);
+        const double predicted = predict(p, d);
+        const double simulated = simulate(w, d);
+        EXPECT_NEAR(predicted, simulated, simulated * 0.02)
+            << core::collective_name(kind) << "/" << d.describe();
+      }
+}
+
+TEST(ZooParity, MappedTreesMatchTheirPredictor) {
+  const auto cfg = quiet_paper_cluster();
+  const auto p = from_ground_truth(cfg);
+  const int n = cfg.size();
+  World w(cfg);
+  // A non-trivial permutation with the root fixed at virtual position 0.
+  std::vector<int> mapping(static_cast<std::size_t>(n), 0);
+  mapping[0] = 0;
+  for (int v = 1; v < n; ++v) mapping[std::size_t(v)] = n - v;
+  for (const auto id : {AlgorithmId::kBinomial, AlgorithmId::kChain}) {
+    const auto d =
+        make_decision(CollectiveKind::kBcast, id, 8 * 1024, 0, mapping);
+    const double predicted = predict(p, d);
+    const double simulated = simulate(w, d);
+    EXPECT_NEAR(predicted, simulated, simulated * 0.02) << d.describe();
+  }
+}
+
+TEST(ZooParity, ScatterAllgatherBcastMatchesItsPredictor) {
+  const auto cfg = quiet_paper_cluster();
+  const auto p = from_ground_truth(cfg);
+  World w(cfg);
+  const auto d = make_decision(CollectiveKind::kBcast,
+                               AlgorithmId::kScatterAllgather, 64 * 1024);
+  const double predicted = predict(p, d);
+  const double simulated = simulate(w, d);
+  // The composite's ring phase uses the closed non-pipelined step bound,
+  // so allow a looser band than the schedule evaluator's.
+  EXPECT_NEAR(predicted, simulated, simulated * 0.15) << d.describe();
+}
+
+TEST(ZooParity, BinomialReduceHonorsMappingLikeItsPredictor) {
+  // The satellite bugfix: coll::binomial_reduce takes the same mapping
+  // core::binomial_reduce_time prices.
+  const auto cfg = quiet_paper_cluster();
+  const auto p = from_ground_truth(cfg);
+  const int n = cfg.size();
+  World w(cfg);
+  std::vector<int> mapping(static_cast<std::size_t>(n), 0);
+  mapping[0] = 0;
+  for (int v = 1; v < n; ++v) mapping[std::size_t(v)] = n - v;
+  const Bytes m = 16 * 1024;
+  auto simulate_reduce = [&](std::vector<int> map) {
+    return w.run(spmd(n, [m, map](Comm& c) -> Task {
+              co_await coll::binomial_reduce(c, 0, m, map);
+            }))
+        .seconds();
+  };
+  const double sim_default = simulate_reduce({});
+  const double sim_mapped = simulate_reduce(mapping);
+  // The mapping must actually steer the schedule on this heterogeneous
+  // cluster, and each variant must match its prediction.
+  EXPECT_NE(sim_default, sim_mapped);
+  EXPECT_NEAR(core::binomial_reduce_time(p, 0, m), sim_default,
+              sim_default * 0.02);
+  EXPECT_NEAR(core::binomial_reduce_time(p, 0, m, mapping), sim_mapped,
+              sim_mapped * 0.02);
+}
+
+TEST(InverseMapping, ValidatesPermutations) {
+  EXPECT_TRUE(coll::inverse_mapping({}, 4).empty());
+  const auto inv = coll::inverse_mapping({0, 3, 1, 2}, 4);
+  ASSERT_EQ(inv.size(), 4u);
+  EXPECT_EQ(inv[0], 0);
+  EXPECT_EQ(inv[3], 1);
+  EXPECT_EQ(inv[1], 2);
+  EXPECT_EQ(inv[2], 3);
+  EXPECT_THROW((void)coll::inverse_mapping({0, 1, 1, 2}, 4), Error);
+  EXPECT_THROW((void)coll::inverse_mapping({0, 1, 2, 4}, 4), Error);
+  EXPECT_THROW((void)coll::inverse_mapping({0, 1, 2, -1}, 4), Error);
+  EXPECT_THROW((void)coll::inverse_mapping({0, 1, 2}, 4), Error);
+}
+
+/// The acceptance bar: across the Fig. 6 message-size sweep, executing
+/// the tuner's chosen (algorithm, segment) is within 10% of the best
+/// simulated candidate.
+void expect_low_regret(sim::ClusterConfig cfg,
+                       const std::vector<CollectiveKind>& kinds,
+                       const std::vector<Bytes>& sizes) {
+  cfg.noise_rel = 0.0;
+  cfg.quirks.enabled = false;
+  const auto p = from_ground_truth(cfg);
+  core::TunerOptions opts;
+  opts.topology = &cfg.topology;  // price shared-segment contention
+  const core::Tuner tuner(p, core::GatherEmpirical{}, opts);
+  World w(cfg);
+  for (const auto kind : kinds)
+    for (const Bytes m : sizes) {
+      const auto all = tuner.candidates(kind, 0, m);
+      ASSERT_FALSE(all.empty());
+      double best_sim = 0.0;
+      double chosen_sim = 0.0;
+      const core::TunedDecision* chosen = &all.front();
+      for (const auto& d : all)
+        if (d.predicted_seconds < chosen->predicted_seconds) chosen = &d;
+      for (const auto& d : all) {
+        const double s = simulate(w, d);
+        if (best_sim == 0.0 || s < best_sim) best_sim = s;
+        if (&d == chosen) chosen_sim = s;
+      }
+      EXPECT_LE(chosen_sim, best_sim * 1.10)
+          << core::collective_name(kind) << " m=" << m << " chose "
+          << chosen->describe();
+    }
+}
+
+TEST(TunerRegret, Flat16RankCluster) {
+  expect_low_regret(quiet_paper_cluster(),
+                    {CollectiveKind::kScatter, CollectiveKind::kGather,
+                     CollectiveKind::kBcast, CollectiveKind::kReduce},
+                    geometric_sizes(1024, 256 * 1024, 5));
+}
+
+TEST(TunerRegret, Hierarchical16RankCluster) {
+  expect_low_regret(sim::make_multicore_cluster(1, 4, 4),
+                    {CollectiveKind::kScatter, CollectiveKind::kBcast},
+                    geometric_sizes(1024, 256 * 1024, 4));
+}
+
+TEST(TunerRegret, Hierarchical64RankCluster) {
+  expect_low_regret(sim::make_multicore_cluster(4, 4, 4),
+                    {CollectiveKind::kBcast},
+                    {Bytes(4096), Bytes(128) * 1024});
+}
+
+}  // namespace
+}  // namespace lmo

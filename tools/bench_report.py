@@ -9,6 +9,7 @@ point.
         -- --benchmark_filter=BM_EngineEvents
     tools/bench_report.py --fidelity-diff baseline.json new.json
     tools/bench_report.py --scale-diff old_scale.json new_scale.json
+    tools/bench_report.py --tuner-gate tuner_report.json
     tools/bench_report.py --self-test
 
 Two kinds of binaries are understood:
@@ -43,6 +44,13 @@ model's MRE may drift from the old document by more than
 max(0.02, threshold * old MRE); --threshold defaults to 0.25 in this mode.
 Exit 1 on any violation — the accuracy ordering (paper Table 2) is a
 continuously verified invariant, not a one-off result.
+
+--tuner-gate REPORT checks the "tuner_validation" section of a
+bench_ext_tuner run report: every sweep case's regret (how much slower
+the tuner's chosen plan ran than the best simulated candidate) must be
+at most --threshold (default 0.10 in this mode — the acceptance bar),
+and the sweep must actually contain cases. Exit 1 on any violation;
+the offending (cluster, op, size, chosen plan) rows are printed.
 
 --scale-diff OLD NEW compares two lmo.bench_scale/1 documents (written by
 bench/bench_scale) series-row by series-row, keyed on the rank count N.
@@ -252,6 +260,44 @@ def diff_scale(old, new, threshold):
     return failures
 
 
+def load_tuner(path):
+    """The tuner_validation section of a bench_ext_tuner run report."""
+    with open(path) as f:
+        doc = json.load(f)
+    section = doc.get("tuner_validation") if isinstance(doc, dict) else None
+    if not isinstance(section, dict):
+        sys.exit(f"error: {path} carries no tuner_validation section "
+                 f"(run bench_ext_tuner with --report)")
+    return section
+
+
+def check_tuner(section, threshold):
+    """Violations of the tuner acceptance bar, as printable strings.
+
+    Every case of every cluster sweep must have regret <= threshold (the
+    chosen plan at most that much slower than the best simulated
+    candidate), and the sweep must be non-empty — an empty sweep passing
+    silently would gate nothing.
+    """
+    failures = []
+    cases = 0
+    for cluster, rows in sorted(section.items()):
+        if not isinstance(rows, list):
+            continue  # scalar summary keys (cases, max_regret, ...)
+        for row in rows:
+            cases += 1
+            regret = float(row.get("regret", math.inf))
+            if not (regret <= threshold):
+                failures.append(
+                    f"{cluster} {row.get('op', '?')} "
+                    f"M={row.get('message', 0):g}: chose "
+                    f"{row.get('chosen', '?')!r}, regret {regret:+.1%} "
+                    f"exceeds {threshold:.0%}")
+    if cases == 0:
+        failures.append("no sweep cases in the tuner_validation section")
+    return failures, cases
+
+
 def run_binary(binary, extra, gbench):
     """Run the bench binary, return its flattened metric dict."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
@@ -392,6 +438,36 @@ def self_test():
     assert sorted(fails) == ["N=1024 appeared in the series",
                              "N=16 vanished from the series"]
 
+    # check_tuner: all cases within the bar passes, one case over fails
+    # with its (cluster, op, size, plan) row, an empty section fails, and
+    # a missing/NaN regret can never sneak past the comparison.
+    def tuner(**clusters):
+        return {
+            "cases": float(sum(len(v) for v in clusters.values())),
+            "max_regret": 0.0,
+            **{
+                name: [
+                    {"op": op, "message": m, "chosen": plan, "regret": r}
+                    for op, m, plan, r in rows
+                ]
+                for name, rows in clusters.items()
+            },
+        }
+
+    ok = tuner(flat=[("bcast", 1024, "binomial", 0.0),
+                     ("scatter", 65536, "linear seg@8 KB", 0.08)])
+    fails, cases = check_tuner(ok, 0.10)
+    assert fails == [] and cases == 2
+    bad = tuner(flat=[("bcast", 1024, "binomial", 0.0)],
+                multicore=[("bcast", 65536, "chain seg@2 KB", 0.31)])
+    fails, cases = check_tuner(bad, 0.10)
+    assert len(fails) == 1 and cases == 2
+    assert "multicore" in fails[0] and "chain seg@2 KB" in fails[0]
+    fails, cases = check_tuner(tuner(), 0.10)
+    assert cases == 0 and any("no sweep cases" in f for f in fails)
+    fails, _ = check_tuner(tuner(flat=[("bcast", 1024, "x", nan)]), 0.10)
+    assert len(fails) == 1  # NaN regret fails the bar, never passes it
+
     print("bench_report.py self-test passed")
 
 
@@ -437,6 +513,12 @@ def main():
         "instead of running a binary",
     )
     parser.add_argument(
+        "--tuner-gate", metavar="REPORT",
+        help="check every case of a bench_ext_tuner run report's "
+        "tuner_validation section against the regret bar instead of "
+        "running a binary",
+    )
+    parser.add_argument(
         "--self-test", action="store_true",
         help="run the built-in checks of the pure helpers and exit",
     )
@@ -479,9 +561,19 @@ def main():
         print(f"scale: series match at N = {', '.join(ns)} (work counts "
               f"exact, timings within {threshold:.0%})")
         return
+    if args.tuner_gate:
+        threshold = 0.10 if args.threshold is None else args.threshold
+        failures, cases = check_tuner(load_tuner(args.tuner_gate), threshold)
+        for failure in failures:
+            print(f"tuner: FAIL {failure}")
+        if failures:
+            sys.exit(1)
+        print(f"tuner: all {cases} sweep cases within {threshold:.0%} "
+              f"regret of the best simulated candidate")
+        return
     if not args.bench:
         parser.error("bench binary name required (or --self-test / "
-                     "--fidelity-diff / --scale-diff)")
+                     "--fidelity-diff / --scale-diff / --tuner-gate)")
     if args.threshold is None:
         args.threshold = 0.10
 
