@@ -31,7 +31,7 @@ double parameter_error(const core::LmoParams& p, const sim::GroundTruth& gt) {
 }
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(argc, argv);
 
   Table t({"noise", "avg (eq. 12) error", "first-triplet error", "gain"});
@@ -58,4 +58,8 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, cli, "Ablation — redundancy averaging (eq. 12) under noise");
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

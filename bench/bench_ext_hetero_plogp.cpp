@@ -10,7 +10,7 @@
 
 using namespace lmo;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(argc, argv);
   bench::BenchEnv env(std::uint64_t(cli.get_int("seed", 1)));
   const int reps = int(cli.get_int("reps", 6));
@@ -51,4 +51,8 @@ int main(int argc, char** argv) {
                format_percent(bench::mean_relative_error(obs, v_lmo))});
   bench::emit(err, cli, "Extension — hetero vs homo PLogP errors");
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

@@ -16,7 +16,7 @@
 
 using namespace lmo;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli =
       bench::parse_bench_cli(argc, argv, {"switches", "nodes", "cores"});
   const int switches = int(cli.get_int("switches", 2));
@@ -84,4 +84,8 @@ int main(int argc, char** argv) {
   std::cout << "\n(subtrees stay inside nodes and switches; the flat cyclic"
                "\nplacement crosses the oversubscribed uplink instead)\n";
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

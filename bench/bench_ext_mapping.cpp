@@ -12,7 +12,7 @@
 
 using namespace lmo;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(argc, argv);
   bench::BenchEnv env(std::uint64_t(cli.get_int("seed", 1)));
   const int reps = int(cli.get_int("reps", 6));
@@ -52,4 +52,8 @@ int main(int argc, char** argv) {
     std::cout << " " << plan.mapping[std::size_t(v)];
   std::cout << "\n(the Celeron, physical 12, should sit at a light leaf)\n";
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

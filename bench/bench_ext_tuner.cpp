@@ -94,7 +94,7 @@ void sweep_cluster(bench::BenchEnv& env, const std::string& label,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(
       argc, argv,
       {"points", "switches", "nodes", "cores", "max-regret", "noisy"});
@@ -165,4 +165,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   return rc;
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

@@ -7,7 +7,7 @@
 
 using namespace lmo;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(argc, argv);
   const int n = int(cli.get_int("points", 16));
 
@@ -23,4 +23,8 @@ int main(int argc, char** argv) {
                   " processors (arc labels = blocks over the link)");
   std::cout << "rounds: " << trees::binomial_rounds(n) << "\n";
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

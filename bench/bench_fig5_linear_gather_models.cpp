@@ -11,7 +11,7 @@
 
 using namespace lmo;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(argc, argv);
   bench::BenchEnv env(std::uint64_t(cli.get_int("seed", 1)));
   const int reps = int(cli.get_int("reps", 10));
@@ -121,4 +121,8 @@ int main(int argc, char** argv) {
             << (emp.linear_prob_at_m2 <= emp.linear_prob_at_m1 ? "yes" : "NO")
             << ")\n";
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

@@ -11,7 +11,7 @@
 
 using namespace lmo;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(argc, argv);
   bench::BenchEnv env(std::uint64_t(cli.get_int("seed", 1)));
   const int reps = int(cli.get_int("reps", 24));
@@ -67,4 +67,8 @@ int main(int argc, char** argv) {
   std::cout << "\nbest in-band mean speedup: " << format_fixed(best_speedup, 2)
             << "x (paper reports ~10x at the escalation peak)\n";
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

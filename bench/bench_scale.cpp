@@ -45,7 +45,7 @@ struct Shape {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(argc, argv, {"max-ranks", "out"});
   const int max_ranks = int(cli.get_int("max-ranks", 4096));
   const std::string out = cli.get("out", "BENCH_scale.json");
@@ -124,4 +124,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nscale series: " << out << "\n";
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

@@ -11,7 +11,7 @@
 
 using namespace lmo;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(argc, argv);
   const auto seed = std::uint64_t(cli.get_int("seed", 1));
 
@@ -125,4 +125,8 @@ int main(int argc, char** argv) {
                               alpha_ser)
             << " apart)\n";
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

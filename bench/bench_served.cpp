@@ -1,0 +1,225 @@
+// bench_served — throughput of the estimation-service hot paths, and the
+// proof that MeasurementStore readers are no longer serialized.
+//
+// One serve::Service is stood up on the Table-I cluster (full estimation
+// campaign), then three paths are timed:
+//
+//  * service_qps — (i, j, M) query triples per second through the full
+//    request path: JSON parse -> BatchPredictor -> JSON response, exactly
+//    what one lmo_served client experiences;
+//  * kernel_qps — the raw structure-of-arrays batch-predict kernel,
+//    the ceiling the request path amortizes toward as batches grow;
+//  * the reader benchmark — N threads reading the warm store through the
+//    pre-fix path (one coarse mutex around every map lookup — what
+//    measurement_store.hpp shipped before) versus the published immutable
+//    snapshot. multi_reader_scaling = snapshot qps / coarse-lock qps at
+//    equal thread count: > 1 means readers stopped serializing. (On a
+//    multi-core host the snapshot side additionally scales with threads;
+//    scaling_vs_single records that, gate-free, since CI cores vary.)
+//
+// Before timing anything, the bench asserts bit-identity of the served
+// "lmo" predictions against scalar LmoParams::pt2pt — throughput of wrong
+// answers is not a result.
+//
+// Writes the lmo.bench_served/1 document to --out for the
+// `bench_report.py --served-diff` CI gate, and gates its own run with
+// --min-qps (service_qps, default 10000) and --min-scaling
+// (multi_reader_scaling, default 1.0, strict; 0 disables either).
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/batch_predict.hpp"
+#include "serve/service.hpp"
+#include "util/error.hpp"
+
+using namespace lmo;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Run `body(thread_index)` on `threads` threads, released together;
+/// returns the wall seconds from release to the last finisher.
+double timed_threads(int threads, const std::function<void(int)>& body) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(std::size_t(threads));
+  for (int t = 0; t < threads; ++t)
+    pool.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      body(t);
+    });
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : pool) th.join();
+  return seconds_since(t0);
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  const Cli cli = bench::parse_bench_cli(
+      argc, argv, {"batch", "batches", "threads", "reader-iters", "min-qps",
+                   "min-scaling", "out"});
+  const std::uint64_t seed = std::uint64_t(cli.get_int("seed", 1));
+  const int batch = int(cli.get_int("batch", 2048));
+  const int batches = int(cli.get_int("batches", 16));
+  const int threads = int(cli.get_int("threads", 4));
+  const long reader_iters = cli.get_int("reader-iters", 200000);
+  const double min_qps = cli.get_double("min-qps", 10000.0);
+  const double min_scaling = cli.get_double("min-scaling", 1.0);
+  const std::string out = cli.get("out", "BENCH_served.json");
+  LMO_CHECK_MSG(batch > 0 && batches > 0 && threads > 0 && reader_iters > 0,
+                "--batch, --batches, --threads, and --reader-iters must all "
+                "be positive");
+
+  std::cout << "standing up the service (full estimation campaign)...\n";
+  serve::ServiceOptions sopts;
+  sopts.measure = bench::bench_measure_options();
+  serve::Service service(sim::make_paper_cluster(seed), sopts);
+  const int n = service.size();
+
+  // One batch of (i, j, M) triples cycling over pairs and sizes, both as
+  // a parsed query vector (kernel path) and as a request line (service
+  // path).
+  std::vector<core::BatchQuery> queries;
+  std::string request = R"({"op":"predict","models":["lmo"],"queries":[)";
+  for (int k = 0; k < batch; ++k) {
+    core::BatchQuery q;
+    q.i = k % n;
+    q.j = (k % n + 1 + (k / n) % (n - 1)) % n;
+    q.m = Bytes(1) << (6 + k % 13);  // 64 B .. 256 KB
+    queries.push_back(q);
+    if (k > 0) request += ',';
+    request += '[' + std::to_string(q.i) + ',' + std::to_string(q.j) + ',' +
+               std::to_string(q.m) + ']';
+  }
+  request += "]}";
+
+  // Correctness before speed: the served batch must equal the scalar
+  // model bit for bit.
+  const core::BatchPredictor kernel(service.params());
+  std::vector<double> served;
+  kernel.predict("lmo", queries, served);
+  for (std::size_t k = 0; k < queries.size(); ++k)
+    LMO_CHECK_MSG(
+        served[k] == service.params().pt2pt(queries[k].i, queries[k].j,
+                                            queries[k].m),
+        "served prediction diverged from scalar pt2pt at query " +
+            std::to_string(k));
+
+  // --- service path: full JSON request -> response round trips.
+  double service_s = 0.0;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int b = 0; b < batches; ++b) {
+      const serve::Response r = service.handle_line(request);
+      LMO_CHECK_MSG(r.body.find("\"ok\":true") != std::string::npos,
+                    "predict request failed: " + r.body.substr(0, 200));
+    }
+    service_s = seconds_since(t0);
+  }
+  const double service_qps = double(batch) * batches / service_s;
+
+  // --- raw kernel.
+  double kernel_s = 0.0;
+  {
+    const int reps = batches * 8;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) kernel.predict("lmo", queries, served);
+    kernel_s = seconds_since(t0) / (8.0 * batches);
+  }
+  const double kernel_qps = double(batch) / kernel_s;
+
+  // --- reader serialization: the same warm-store lookups, N threads,
+  // through the pre-fix coarse lock vs the published snapshot.
+  const auto snap = service.store().snapshot();
+  LMO_CHECK_MSG(snap->size() > 0, "campaign left an empty store");
+  const std::vector<estimate::ExperimentKey>& keys = snap->keys;
+  std::mutex coarse;  // the old MeasurementStore::mu_, reconstructed
+  const estimate::MeasurementStore& store = service.store();
+  auto read_coarse = [&](int) {
+    for (long q = 0; q < reader_iters; ++q) {
+      std::lock_guard<std::mutex> lk(coarse);
+      (void)store.lookup(keys[std::size_t(q) % keys.size()]);
+    }
+  };
+  auto read_snapshot = [&](int) {
+    const auto view = store.snapshot();  // grabbed once, then lock-free
+    volatile double sink = 0.0;
+    for (long q = 0; q < reader_iters; ++q)
+      sink = *view->find(keys[std::size_t(q) % keys.size()]);
+    (void)sink;
+  };
+  const double total = double(reader_iters) * threads;
+  const double coarse_qps = total / timed_threads(threads, read_coarse);
+  const double snapshot_qps = total / timed_threads(threads, read_snapshot);
+  const double snapshot_1t_qps =
+      double(reader_iters) / timed_threads(1, read_snapshot);
+  const double scaling = snapshot_qps / coarse_qps;
+
+  Table table({"path", "threads", "queries/s"});
+  table.add_row({"service (JSON round trip)", "1",
+                 format_fixed(service_qps, 0)});
+  table.add_row({"kernel (SoA batch)", "1", format_fixed(kernel_qps, 0)});
+  table.add_row({"store reads, coarse lock", std::to_string(threads),
+                 format_fixed(coarse_qps, 0)});
+  table.add_row({"store reads, snapshot", std::to_string(threads),
+                 format_fixed(snapshot_qps, 0)});
+  bench::emit(table, cli, "Serving-path throughput");
+  std::cout << "multi-reader scaling (snapshot vs coarse lock, " << threads
+            << " threads): " << format_fixed(scaling, 2) << "x\n";
+
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "lmo.bench_served/1";
+  doc["cluster_size"] = n;
+  doc["store_entries"] = snap->size();
+  doc["queries_per_batch"] = batch;
+  doc["batches"] = batches;
+  doc["threads"] = threads;
+  doc["reader_iters"] = reader_iters;
+  obs::Json models = obs::Json::array();
+  for (const std::string& m : core::BatchPredictor::model_names())
+    models.push_back(m);
+  doc["models"] = std::move(models);
+  doc["service_qps"] = service_qps;
+  doc["kernel_qps"] = kernel_qps;
+  doc["reader_qps_coarse_lock"] = coarse_qps;
+  doc["reader_qps_snapshot"] = snapshot_qps;
+  doc["multi_reader_scaling"] = scaling;
+  doc["scaling_vs_single"] = snapshot_qps / snapshot_1t_qps;
+  {
+    std::ofstream f(out);
+    LMO_CHECK_MSG(f.good(), "cannot write " + out);
+    doc.dump(f, 2);
+    f << "\n";
+  }
+  std::cout << "served benchmark: " << out << "\n";
+
+  const int rc = bench::finish_run();
+  if (min_qps > 0.0 && service_qps < min_qps) {
+    std::cout << "FAIL: service_qps " << format_fixed(service_qps, 0)
+              << " below --min-qps " << format_fixed(min_qps, 0) << "\n";
+    return 1;
+  }
+  if (min_scaling > 0.0 && !(scaling > min_scaling)) {
+    std::cout << "FAIL: multi_reader_scaling " << format_fixed(scaling, 3)
+              << " not above --min-scaling " << format_fixed(min_scaling, 3)
+              << "\n";
+    return 1;
+  }
+  return rc;
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
+}

@@ -8,7 +8,7 @@
 
 using namespace lmo;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const Cli cli = bench::parse_bench_cli(argc, argv);
   bench::BenchEnv env(std::uint64_t(cli.get_int("seed", 1)));
 
@@ -36,4 +36,8 @@ int main(int argc, char** argv) {
   quirks.add_row({"measurement noise", format_fixed(env.cfg.noise_rel * 100, 1) + "%"});
   bench::emit(quirks, cli, "TCP-layer quirks (paper Sections III/V)");
   return bench::finish_run();
+}
+
+int main(int argc, char** argv) {
+  return lmo::bench::guarded_main([&] { return run(argc, argv); });
 }

@@ -264,4 +264,13 @@ void save_measurements(const Cli& cli,
             << "\n";
 }
 
+int guarded_main(const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace lmo::bench

@@ -94,6 +94,15 @@ void record_residual(const std::string& model, const std::string& op, Bytes m,
 /// failed (model ranking changed or per-model accuracy drifted).
 [[nodiscard]] int finish_run();
 
+/// Wrap a bench main body in the CLI error contract every binary in the
+/// repo follows: an uncaught lmo::Error becomes "error: <message>" on
+/// stderr and exit code 1 — never an unexplained SIGABRT. Usage:
+///   int run(int argc, char** argv) { ... }
+///   int main(int argc, char** argv) {
+///     return lmo::bench::guarded_main([&] { return run(argc, argv); });
+///   }
+[[nodiscard]] int guarded_main(const std::function<int()>& body);
+
 /// Standard bench CLI: --seed N --reps N --csv --json --jobs N
 /// --report out.json --trace out.trace.json
 /// --measurements-load in.json --measurements-save out.json

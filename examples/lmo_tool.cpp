@@ -57,14 +57,6 @@ int usage() {
   return 2;
 }
 
-core::CollectiveKind parse_op(const std::string& op) {
-  if (op == "scatter") return core::CollectiveKind::kScatter;
-  if (op == "gather") return core::CollectiveKind::kGather;
-  if (op == "bcast") return core::CollectiveKind::kBcast;
-  if (op == "reduce") return core::CollectiveKind::kReduce;
-  throw Error("unknown --op '" + op + "'");
-}
-
 int cmd_make_cluster(const Cli& cli) {
   const std::string out = cli.get("out", "cluster.cfg");
   const auto seed = std::uint64_t(cli.get_int("seed", 1));
@@ -313,7 +305,7 @@ int cmd_merge(const Cli& cli) {
 
 int cmd_predict(const Cli& cli) {
   const auto loaded = core::load_params(cli.get("model", "model.cfg"));
-  const auto kind = parse_op(cli.get("op", "scatter"));
+  const auto kind = core::parse_collective(cli.get("op", "scatter"));
   const Bytes m = cli.get_bytes("size", 65536);
   const int root = int(cli.get_int("root", 0));
   double prediction = 0.0;
@@ -341,7 +333,7 @@ int cmd_predict(const Cli& cli) {
 
 int cmd_tune(const Cli& cli) {
   const auto loaded = core::load_params(cli.get("model", "model.cfg"));
-  const auto kind = parse_op(cli.get("op", "scatter"));
+  const auto kind = core::parse_collective(cli.get("op", "scatter"));
   const Bytes m = cli.get_bytes("size", 65536);
   const int root = int(cli.get_int("root", 0));
   const core::Tuner tuner(loaded.params, loaded.empirical);

@@ -23,6 +23,15 @@ const char* collective_name(CollectiveKind kind) {
   return "?";
 }
 
+CollectiveKind parse_collective(const std::string& name) {
+  for (const CollectiveKind kind :
+       {CollectiveKind::kScatter, CollectiveKind::kGather,
+        CollectiveKind::kBcast, CollectiveKind::kReduce})
+    if (name == collective_name(kind)) return kind;
+  throw Error("unknown collective '" + name +
+              "' (expected scatter, gather, bcast, or reduce)");
+}
+
 const char* algorithm_name(AlgorithmId id) {
   switch (id) {
     case AlgorithmId::kLinear:
@@ -37,6 +46,14 @@ const char* algorithm_name(AlgorithmId id) {
       return "scatter-allgather";
   }
   return "?";
+}
+
+AlgorithmId parse_algorithm(const std::string& name) {
+  for (const AlgorithmId id : all_algorithms())
+    if (name == algorithm_name(id)) return id;
+  throw Error("unknown algorithm '" + name +
+              "' (expected linear, binomial, chain, binary-tree, or "
+              "scatter-allgather)");
 }
 
 const std::vector<AlgorithmId>& all_algorithms() {
@@ -56,6 +73,21 @@ std::string TunedDecision::describe() const {
     out += (is_split ? " split@" : " seg@") + format_bytes(segment);
   }
   return out;
+}
+
+obs::Json TunedDecision::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["op"] = collective_name(kind);
+  j["algorithm"] = algorithm_name(algorithm);
+  j["root"] = root;
+  j["message"] = double(message);
+  j["segment"] = double(segment);
+  obs::Json map = obs::Json::array();
+  for (const int rank : mapping) map.push_back(rank);
+  j["mapping"] = std::move(map);
+  j["describe"] = describe();
+  j["predicted_seconds"] = predicted_seconds;
+  return j;
 }
 
 Tuner::Tuner(LmoParams params, GatherEmpirical gather_empirical,
@@ -255,6 +287,11 @@ Bytes Tuner::crossover(CollectiveKind kind, int root, Bytes lo,
                        Bytes hi) const {
   const std::vector<Bytes> flips = crossovers(kind, root, lo, hi);
   return flips.empty() ? 0 : flips.front();
+}
+
+double Tuner::price(const TunedDecision& d) const {
+  return predict(d.kind, d.algorithm, d.root, d.message, d.mapping,
+                 d.segment);
 }
 
 }  // namespace lmo::core

@@ -18,6 +18,7 @@
 #include "core/lmo_model.hpp"
 #include "core/optimize.hpp"
 #include "core/predictions.hpp"
+#include "obs/json.hpp"
 #include "util/bytes.hpp"
 
 namespace lmo::core {
@@ -25,6 +26,8 @@ namespace lmo::core {
 enum class CollectiveKind { kScatter, kGather, kBcast, kReduce };
 
 [[nodiscard]] const char* collective_name(CollectiveKind kind);
+/// Inverse of collective_name; throws lmo::Error naming the valid ops.
+[[nodiscard]] CollectiveKind parse_collective(const std::string& name);
 
 /// The collective algorithm zoo. kLinear is the flat tree (the paper's
 /// native algorithms); the tree shapes follow Barchet-Estefanel & Mounié's
@@ -39,6 +42,8 @@ enum class AlgorithmId {
 };
 
 [[nodiscard]] const char* algorithm_name(AlgorithmId id);
+/// Inverse of algorithm_name; throws lmo::Error naming the valid names.
+[[nodiscard]] AlgorithmId parse_algorithm(const std::string& name);
 
 /// All AlgorithmId values, for exhaustive sweeps and tests.
 [[nodiscard]] const std::vector<AlgorithmId>& all_algorithms();
@@ -57,6 +62,10 @@ struct TunedDecision {
   double predicted_seconds = 0.0;
 
   [[nodiscard]] std::string describe() const;
+  /// Wire form for the serving protocol and run reports: {"op",
+  /// "algorithm", "root", "message", "segment", "mapping", "describe",
+  /// "predicted_seconds"}.
+  [[nodiscard]] obs::Json to_json() const;
 };
 
 struct TunerOptions {
@@ -109,6 +118,11 @@ class Tuner {
   /// The first crossover in (lo, hi], or 0 if the decision never flips.
   [[nodiscard]] Bytes crossover(CollectiveKind kind, int root, Bytes lo,
                                 Bytes hi) const;
+
+  /// Price an externally supplied decision (e.g. one parsed off the wire)
+  /// with this tuner's model — the same evaluator candidates() uses, so a
+  /// replayed decision re-prices to the bit.
+  [[nodiscard]] double price(const TunedDecision& d) const;
 
  private:
   [[nodiscard]] double predict(CollectiveKind kind, AlgorithmId id, int root,

@@ -1,5 +1,6 @@
 #include "estimate/measurement_store.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -10,12 +11,36 @@
 
 namespace lmo::estimate {
 
+namespace {
+
+/// Binary search in a sorted key band; returns the paired value or
+/// nullopt.
+std::optional<double> band_find(const std::vector<ExperimentKey>& keys,
+                                const std::vector<double>& values,
+                                const ExperimentKey& key) {
+  const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || key < *it) return std::nullopt;
+  return values[std::size_t(it - keys.begin())];
+}
+
+}  // namespace
+
+std::optional<double> StoreSnapshot::find(const ExperimentKey& key) const {
+  return band_find(keys, values, key);
+}
+
+std::optional<double> StoreSnapshot::find_suspect(
+    const ExperimentKey& key) const {
+  return band_find(suspect_keys, suspect_values, key);
+}
+
 MeasurementStore::MeasurementStore(MeasurementStore&& other) noexcept {
-  std::lock_guard<std::mutex> lk(other.mu_);
+  std::unique_lock lk(other.mu_);
   values_ = std::move(other.values_);
   suspects_ = std::move(other.suspects_);
   hits_.store(other.hits_.load());
   misses_.store(other.misses_.load());
+  version_.store(other.version_.load());
   cluster_size_ = other.cluster_size_;
   cluster_seed_ = other.cluster_seed_;
 }
@@ -23,20 +48,28 @@ MeasurementStore::MeasurementStore(MeasurementStore&& other) noexcept {
 MeasurementStore& MeasurementStore::operator=(
     MeasurementStore&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lk(mu_, other.mu_);
-  values_ = std::move(other.values_);
-  suspects_ = std::move(other.suspects_);
-  hits_.store(other.hits_.load());
-  misses_.store(other.misses_.load());
-  cluster_size_ = other.cluster_size_;
-  cluster_seed_ = other.cluster_seed_;
+  {
+    std::scoped_lock lk(mu_, other.mu_);
+    values_ = std::move(other.values_);
+    suspects_ = std::move(other.suspects_);
+    hits_.store(other.hits_.load());
+    misses_.store(other.misses_.load());
+    // Strictly above both stores' versions, so any cached snapshot (ours
+    // or one built from the source) reads as stale.
+    version_.store(std::max(version_.load(), other.version_.load()) + 1);
+    cluster_size_ = other.cluster_size_;
+    cluster_seed_ = other.cluster_seed_;
+  }
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  snap_.reset();
   return *this;
 }
 
 void MeasurementStore::insert(const ExperimentKey& key, double seconds) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock lk(mu_);
   suspects_.erase(key);  // a clean measurement supersedes the suspect one
   values_.emplace(key, seconds);  // first write wins
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 void MeasurementStore::quarantine(const ExperimentKey& key,
@@ -44,15 +77,16 @@ void MeasurementStore::quarantine(const ExperimentKey& key,
   LMO_CHECK_MSG(std::isfinite(suspect_seconds),
                 "quarantined suspect value must be finite: " +
                     key.describe());
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock lk(mu_);
   if (values_.count(key) != 0) return;  // a clean value is authoritative
   suspects_[key] = suspect_seconds;  // latest suspicion wins
+  version_.fetch_add(1, std::memory_order_release);
   obs::Registry::global().counter("store.quarantined").inc();
 }
 
 std::optional<double> MeasurementStore::lookup(
     const ExperimentKey& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock lk(mu_);
   const auto it = values_.find(key);
   if (it == values_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -63,12 +97,12 @@ std::optional<double> MeasurementStore::lookup(
 }
 
 bool MeasurementStore::contains(const ExperimentKey& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock lk(mu_);
   return values_.count(key) != 0;
 }
 
 double MeasurementStore::at(const ExperimentKey& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock lk(mu_);
   const auto it = values_.find(key);
   if (it != values_.end()) return it->second;
   const auto sit = suspects_.find(key);
@@ -78,18 +112,53 @@ double MeasurementStore::at(const ExperimentKey& key) const {
 }
 
 bool MeasurementStore::is_quarantined(const ExperimentKey& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock lk(mu_);
   return suspects_.count(key) != 0;
 }
 
 std::size_t MeasurementStore::quarantined_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock lk(mu_);
   return suspects_.size();
 }
 
 std::size_t MeasurementStore::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock lk(mu_);
   return values_.size();
+}
+
+std::shared_ptr<const StoreSnapshot> MeasurementStore::snapshot() const {
+  const std::uint64_t want = version_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    if (snap_ && snap_->version == want) return snap_;
+  }
+  auto fresh = std::make_shared<StoreSnapshot>();
+  {
+    // A shared lock suffices — building a snapshot is a read, concurrent
+    // with lookups. Writers are excluded, so the maps and the version we
+    // record are one consistent cut.
+    std::shared_lock lk(mu_);
+    fresh->version = version_.load(std::memory_order_acquire);
+    fresh->keys.reserve(values_.size());
+    fresh->values.reserve(values_.size());
+    for (const auto& [key, value] : values_) {  // map order: sorted
+      fresh->keys.push_back(key);
+      fresh->values.push_back(value);
+    }
+    fresh->suspect_keys.reserve(suspects_.size());
+    fresh->suspect_values.reserve(suspects_.size());
+    for (const auto& [key, value] : suspects_) {
+      fresh->suspect_keys.push_back(key);
+      fresh->suspect_values.push_back(value);
+    }
+    fresh->cluster_size = cluster_size_;
+    fresh->cluster_seed = cluster_seed_;
+  }
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  // Concurrent builders may race; versions are monotone, so only ever
+  // replace the cache with a newer cut.
+  if (!snap_ || snap_->version < fresh->version) snap_ = fresh;
+  return fresh;
 }
 
 void MeasurementStore::merge_from(const MeasurementStore& other) {
@@ -120,16 +189,18 @@ void MeasurementStore::merge_from(const MeasurementStore& other) {
   }
   for (const auto& [key, value] : other.suspects_)
     if (values_.count(key) == 0) suspects_.emplace(key, value);
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 void MeasurementStore::set_cluster(int size, std::uint64_t seed) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock lk(mu_);
   cluster_size_ = size;
   cluster_seed_ = seed;
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 obs::Json MeasurementStore::to_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock lk(mu_);
   obs::Json j = obs::Json::object();
   j["schema"] = kMeasurementsSchema;
   if (cluster_size_ > 0) {

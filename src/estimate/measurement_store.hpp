@@ -7,17 +7,22 @@
 // so a store saved with --measurements-save can be reloaded later and
 // re-fit offline with bit-identical model parameters.
 //
-// Thread-safe: sessions never touch the store, but plan execution and the
-// caching wrapper may be called from instrumented host threads; a mutex
-// guards the map and the hit/miss tallies are atomics.
+// Thread-safe, and readers no longer serialize: the maps are guarded by a
+// std::shared_mutex (shared for every read path, exclusive for writers),
+// the hit/miss tallies are atomics, and high-QPS consumers can take an
+// immutable published StoreSnapshot — a sorted structure-of-arrays view
+// rebuilt lazily when the store's version counter moves — and read it
+// lock-free for as long as they hold the shared_ptr.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +33,28 @@
 namespace lmo::estimate {
 
 inline constexpr const char* kMeasurementsSchema = "lmo.measurements/1";
+
+/// Immutable point-in-time view of a MeasurementStore: keys sorted
+/// ascending with values in lockstep (structure of arrays), clean and
+/// quarantined entries in separate bands. A snapshot never changes after
+/// publication — holders read it without any synchronization, and a store
+/// mutation simply makes the next snapshot() call publish a fresh one.
+struct StoreSnapshot {
+  std::vector<ExperimentKey> keys;           ///< sorted ascending
+  std::vector<double> values;                ///< values[i] belongs to keys[i]
+  std::vector<ExperimentKey> suspect_keys;   ///< sorted, disjoint from keys
+  std::vector<double> suspect_values;
+  int cluster_size = 0;
+  std::uint64_t cluster_seed = 0;
+  std::uint64_t version = 0;  ///< store version this view was built from
+
+  /// Binary-search lookup of a clean value. Uncounted.
+  [[nodiscard]] std::optional<double> find(const ExperimentKey& key) const;
+  /// Binary-search lookup of a quarantined suspect value. Uncounted.
+  [[nodiscard]] std::optional<double> find_suspect(
+      const ExperimentKey& key) const;
+  [[nodiscard]] std::size_t size() const { return keys.size(); }
+};
 
 class MeasurementStore {
  public:
@@ -91,16 +118,39 @@ class MeasurementStore {
   /// input; every entry value must be finite.
   [[nodiscard]] static MeasurementStore load(const std::string& path);
 
+  /// Monotone mutation counter: bumped by insert/quarantine/merge_from/
+  /// set_cluster and by move assignment. Equal versions imply identical
+  /// contents within one store's lifetime.
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Published immutable view. Served from a cache while the store is
+  /// unchanged, rebuilt (under a shared read lock — concurrent with other
+  /// readers) after any mutation. The returned snapshot is safe to read
+  /// from any number of threads with no locking and stays valid after the
+  /// store mutates or dies.
+  [[nodiscard]] std::shared_ptr<const StoreSnapshot> snapshot() const;
+
  private:
-  mutable std::mutex mu_;
+  /// Readers (lookup/contains/at/size/to_json/...) take shared ownership;
+  /// writers (insert/quarantine/merge_from/...) take exclusive.
+  mutable std::shared_mutex mu_;
   std::map<ExperimentKey, double> values_;
   /// Poisoned keys and their best-effort suspect values (disjoint from
   /// values_).
   std::map<ExperimentKey, double> suspects_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> version_{0};
   int cluster_size_ = 0;
   std::uint64_t cluster_seed_ = 0;
+
+  /// Snapshot cache: snap_ is the view built at snap_version_. Guarded by
+  /// its own mutex so snapshot() can be called from reader threads without
+  /// blocking on (or being blocked by) map readers.
+  mutable std::mutex snap_mu_;
+  mutable std::shared_ptr<const StoreSnapshot> snap_;
 };
 
 /// Experimenter adapter over a MeasurementStore: measured primitives are

@@ -9,10 +9,13 @@
 //    offline to bit-identical parameters.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "estimate/suite.hpp"
 #include "simnet/cluster.hpp"
@@ -397,6 +400,124 @@ TEST(SuiteTest, WarmStoreMeasuresNothingAndFitsBitIdentical) {
   EXPECT_EQ(warm.world_runs, 0u);
   EXPECT_EQ(warm.cached, std::size_t(cold.measured));
   expect_same_suite_fits(cold, warm);
+}
+
+// ---------------------------------------------------- snapshot + races --
+
+TEST(StoreSnapshotTest, ViewMatchesStoreAndSurvivesMutation) {
+  MeasurementStore store;
+  store.set_cluster(8, 42);
+  const auto k1 = ExperimentKey::roundtrip(0, 1, 1024, 1024);
+  const auto k2 = ExperimentKey::roundtrip(2, 3, 4096, 4096);
+  const auto bad = ExperimentKey::roundtrip(4, 5, 64, 64);
+  store.insert(k1, 1.5e-4);
+  store.insert(k2, 3.25e-4);
+  store.quarantine(bad, 9.0e-4);
+
+  const auto snap = store.snapshot();
+  EXPECT_EQ(snap->size(), 2u);
+  EXPECT_EQ(snap->cluster_size, 8);
+  EXPECT_EQ(snap->cluster_seed, 42u);
+  EXPECT_EQ(snap->find(k1), std::optional<double>(1.5e-4));
+  EXPECT_EQ(snap->find(k2), std::optional<double>(3.25e-4));
+  EXPECT_FALSE(snap->find(bad).has_value());  // quarantined: clean miss
+  EXPECT_EQ(snap->find_suspect(bad), std::optional<double>(9.0e-4));
+  EXPECT_TRUE(std::is_sorted(snap->keys.begin(), snap->keys.end()));
+
+  // Mutating the store does not touch the published view...
+  store.insert(bad, 2.0e-4);
+  EXPECT_EQ(snap->size(), 2u);
+  EXPECT_FALSE(snap->find(bad).has_value());
+  // ...but the next snapshot() sees the new state (quarantine lifted).
+  const auto fresh = store.snapshot();
+  EXPECT_EQ(fresh->find(bad), std::optional<double>(2.0e-4));
+  EXPECT_FALSE(fresh->find_suspect(bad).has_value());
+  EXPECT_GT(fresh->version, snap->version);
+}
+
+TEST(StoreSnapshotTest, UnchangedStoreReturnsTheCachedView) {
+  MeasurementStore store;
+  store.insert(ExperimentKey::roundtrip(0, 1, 256, 256), 1.0e-4);
+  const auto a = store.snapshot();
+  const auto b = store.snapshot();
+  EXPECT_EQ(a.get(), b.get());  // same published object, not a copy
+  store.insert(ExperimentKey::roundtrip(0, 2, 256, 256), 2.0e-4);
+  EXPECT_NE(store.snapshot().get(), a.get());
+}
+
+TEST(StoreSnapshotTest, VersionTracksEveryMutation) {
+  MeasurementStore store;
+  const std::uint64_t v0 = store.version();
+  const auto key = ExperimentKey::roundtrip(0, 1, 512, 512);
+  store.insert(key, 1.0e-4);
+  const std::uint64_t v1 = store.version();
+  EXPECT_GT(v1, v0);
+  store.insert(key, 9.0e-4);  // first-write-wins no-op still counts a call
+  store.quarantine(key, 5.0e-4);  // rejected (clean value): no bump
+  EXPECT_EQ(store.quarantined_count(), 0u);
+  store.set_cluster(4, 7);
+  EXPECT_GT(store.version(), v1);
+}
+
+// The headline fix: concurrent readers on a store under active mutation.
+// Before the shared_mutex/snapshot rework every reader serialized on one
+// coarse mutex; now N threads hammer lookup/contains/at/snapshot while a
+// writer inserts and quarantines, and TSan (the CI ThreadSanitizer job
+// runs every *Parallel* suite) must see no race — with sane results
+// throughout: a clean value, once published, is immutable.
+TEST(StoreParallelTest, ReadersNeverBlockOrRaceWithWriters) {
+  MeasurementStore store;
+  store.set_cluster(16, 1);
+  constexpr int kKeys = 256;
+  auto key_at = [](int k) {
+    return ExperimentKey::roundtrip(k % 15, 15, Bytes(64 + k), Bytes(64));
+  };
+  auto value_at = [](int k) { return 1.0e-4 + 1.0e-6 * k; };
+  for (int k = 0; k < kKeys / 4; ++k) store.insert(key_at(k), value_at(k));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  auto reader = [&] {
+    std::uint64_t last_version = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int k = 0; k < kKeys; ++k) {
+        const auto seen = store.lookup(key_at(k));
+        if (seen && *seen != value_at(k)) bad.fetch_add(1);
+        if (store.contains(key_at(k)) && !store.lookup(key_at(k))) {
+          bad.fetch_add(1);
+        }
+      }
+      const auto snap = store.snapshot();
+      if (snap->version < last_version) bad.fetch_add(1);
+      last_version = snap->version;
+      for (std::size_t i = 0; i < snap->size(); ++i) {
+        if (!snap->find(snap->keys[i])) bad.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) readers.emplace_back(reader);
+
+  // The writer interleaves inserts, duplicate inserts (first-write-wins
+  // no-ops), and quarantines of never-cleaned keys.
+  for (int k = 0; k < kKeys; ++k) {
+    store.insert(key_at(k), value_at(k));
+    store.insert(key_at(k), 99.0);  // must lose
+    store.quarantine(
+        ExperimentKey::send_overhead(k % 15, 15, Bytes(64 + k)), 5.0e-4);
+    if (k % 16 == 0) (void)store.snapshot();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(store.size(), std::size_t(kKeys));
+  EXPECT_EQ(store.quarantined_count(), std::size_t(kKeys));
+  const auto final_snap = store.snapshot();
+  EXPECT_EQ(final_snap->size(), std::size_t(kKeys));
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(store.at(key_at(k)), value_at(k));
+  }
 }
 
 }  // namespace

@@ -9,6 +9,7 @@ point.
         -- --benchmark_filter=BM_EngineEvents
     tools/bench_report.py --fidelity-diff baseline.json new.json
     tools/bench_report.py --scale-diff old_scale.json new_scale.json
+    tools/bench_report.py --served-diff old_served.json new_served.json
     tools/bench_report.py --tuner-gate tuner_report.json
     tools/bench_report.py --self-test
 
@@ -44,6 +45,16 @@ model's MRE may drift from the old document by more than
 max(0.02, threshold * old MRE); --threshold defaults to 0.25 in this mode.
 Exit 1 on any violation — the accuracy ordering (paper Table 2) is a
 continuously verified invariant, not a one-off result.
+
+--served-diff OLD NEW compares two lmo.bench_served/1 documents (written
+by bench/bench_served). The workload knobs (cluster size, store entries,
+batch shape, thread count) must match exactly — throughputs from different
+workloads are not comparable. Throughputs are host-noisy and only fail
+past --threshold (default 0.50 in this mode). Independent of the baseline,
+the new document must clear the serving acceptance bar: service_qps at
+least 10000 queries/s and multi_reader_scaling strictly above 1.0 (the
+snapshot read path must beat the coarse-lock path it replaced). Exit 1 on
+any violation.
 
 --tuner-gate REPORT checks the "tuner_validation" section of a
 bench_ext_tuner run report: every sweep case's regret (how much slower
@@ -260,6 +271,81 @@ def diff_scale(old, new, threshold):
     return failures
 
 
+# Workload knobs of a bench_served document: two runs are only comparable
+# when these match exactly.
+SERVED_EXACT = (
+    "cluster_size",
+    "store_entries",
+    "queries_per_batch",
+    "batches",
+    "threads",
+    "reader_iters",
+)
+
+# Host-noisy throughputs: compare with a generous threshold.
+SERVED_NOISY = (
+    "service_qps",
+    "kernel_qps",
+    "reader_qps_coarse_lock",
+    "reader_qps_snapshot",
+    "multi_reader_scaling",
+)
+
+# The serving acceptance bar, checked on the NEW document regardless of
+# the baseline: the service must sustain at least this many (i, j, M)
+# queries/s through the full JSON path, and the snapshot read path must
+# strictly beat the coarse-lock path it replaced.
+SERVED_MIN_QPS = 10000.0
+SERVED_MIN_SCALING = 1.0
+
+
+def load_served(path):
+    """A serving-throughput document written by bench/bench_served."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "lmo.bench_served/1":
+        sys.exit(f"error: {path} is not a bench_served document "
+                 f"(schema {doc.get('schema')!r})")
+    return doc
+
+
+def diff_served(old, new, threshold):
+    """Violations between two serving-throughput documents, as printable
+    strings.
+
+    Workload knobs (SERVED_EXACT) and the model list fail on any
+    difference; throughputs (SERVED_NOISY) fail past the relative
+    threshold. The new document must also clear the absolute acceptance
+    bar (SERVED_MIN_QPS, SERVED_MIN_SCALING) on its own — a baseline that
+    slipped below the bar must not grandfather new runs in.
+    """
+    failures = []
+    for key in SERVED_EXACT:
+        if key in old and key in new and old[key] != new[key]:
+            failures.append(f"{key}: {old[key]:g} -> {new[key]:g} "
+                            f"(workload knob must match exactly)")
+    if old.get("models") != new.get("models"):
+        failures.append(f"models: {old.get('models')} -> "
+                        f"{new.get('models')}")
+    for key in SERVED_NOISY:
+        if key not in old or key not in new:
+            continue
+        change = rel_change(float(old[key]), float(new[key]))
+        if change > threshold:
+            failures.append(f"{key}: {old[key]:g} -> {new[key]:g} "
+                            f"({change:+.0%})")
+    qps = float(new.get("service_qps", 0.0))
+    if not (qps >= SERVED_MIN_QPS):
+        failures.append(f"service_qps {qps:g} below the acceptance bar "
+                        f"{SERVED_MIN_QPS:g}")
+    scaling = float(new.get("multi_reader_scaling", 0.0))
+    if not (scaling > SERVED_MIN_SCALING):
+        failures.append(f"multi_reader_scaling {scaling:g} not above "
+                        f"{SERVED_MIN_SCALING:g} (snapshot reads must beat "
+                        f"the coarse lock)")
+    return failures
+
+
 def load_tuner(path):
     """The tuner_validation section of a bench_ext_tuner run report."""
     with open(path) as f:
@@ -438,6 +524,45 @@ def self_test():
     assert sorted(fails) == ["N=1024 appeared in the series",
                              "N=16 vanished from the series"]
 
+    # diff_served: identity passes, noisy drift inside the threshold
+    # passes, workload-knob drift fails, and the acceptance bar applies to
+    # the new document no matter what the baseline says.
+    def served(qps=850000.0, kernel=9.7e7, coarse=9.3e6, snap=1.39e7,
+               scaling=1.50, batch=2048, threads=4,
+               models=("lmo", "hockney", "original")):
+        return {"schema": "lmo.bench_served/1", "cluster_size": 16,
+                "store_entries": 3996, "queries_per_batch": batch,
+                "batches": 16, "threads": threads, "reader_iters": 200000,
+                "models": list(models), "service_qps": qps,
+                "kernel_qps": kernel, "reader_qps_coarse_lock": coarse,
+                "reader_qps_snapshot": snap, "multi_reader_scaling": scaling}
+
+    vbase = served()
+    assert diff_served(vbase, vbase, 0.50) == []
+    # 40% slower service path: inside the generous band, above the bar.
+    assert diff_served(vbase, served(qps=510000.0), 0.50) == []
+    # 3x slower: a failure even in the noisy band.
+    fails = diff_served(vbase, served(qps=280000.0), 0.50)
+    assert len(fails) == 1 and "service_qps" in fails[0]
+    # A different batch shape is not comparable.
+    fails = diff_served(vbase, served(batch=512), 0.50)
+    assert len(fails) == 1 and "queries_per_batch" in fails[0]
+    # A model vanishing from the served set fails.
+    fails = diff_served(vbase, served(models=("lmo", "hockney")), 0.50)
+    assert len(fails) == 1 and "models" in fails[0]
+    # Below the absolute bar fails even if the baseline matches: both
+    # documents at 8k qps drift 0% but still violate the floor.
+    slow = served(qps=8000.0)
+    fails = diff_served(slow, slow, 0.50)
+    assert len(fails) == 1 and "acceptance bar" in fails[0]
+    # Scaling at or below 1.0 means readers serialize again: fail. The
+    # threshold band cannot save it (1.50 -> 0.98 is within 50%), and a
+    # missing/NaN scaling can never sneak past the comparison.
+    fails = diff_served(vbase, served(scaling=0.98), 0.50)
+    assert len(fails) == 1 and "coarse lock" in fails[0]
+    fails = diff_served(vbase, served(scaling=nan), 0.50)
+    assert any("coarse lock" in f for f in fails)
+
     # check_tuner: all cases within the bar passes, one case over fails
     # with its (cluster, op, size, plan) row, an empty section fails, and
     # a missing/NaN regret can never sneak past the comparison.
@@ -513,6 +638,11 @@ def main():
         "instead of running a binary",
     )
     parser.add_argument(
+        "--served-diff", nargs=2, metavar=("OLD", "NEW"),
+        help="compare two bench_served throughput documents and enforce "
+        "the serving acceptance bar instead of running a binary",
+    )
+    parser.add_argument(
         "--tuner-gate", metavar="REPORT",
         help="check every case of a bench_ext_tuner run report's "
         "tuner_validation section against the regret bar instead of "
@@ -561,6 +691,21 @@ def main():
         print(f"scale: series match at N = {', '.join(ns)} (work counts "
               f"exact, timings within {threshold:.0%})")
         return
+    if args.served_diff:
+        threshold = 0.50 if args.threshold is None else args.threshold
+        old_path, new_path = args.served_diff
+        new_doc = load_served(new_path)
+        failures = diff_served(load_served(old_path), new_doc, threshold)
+        for failure in failures:
+            print(f"served: FAIL {failure}")
+        if failures:
+            sys.exit(1)
+        print(f"served: {new_doc['service_qps']:,.0f} queries/s through "
+              f"the service path (bar {SERVED_MIN_QPS:,.0f}), reader "
+              f"scaling {new_doc['multi_reader_scaling']:.2f}x over the "
+              f"coarse lock (bar > {SERVED_MIN_SCALING:g}); throughputs "
+              f"within {threshold:.0%} of baseline")
+        return
     if args.tuner_gate:
         threshold = 0.10 if args.threshold is None else args.threshold
         failures, cases = check_tuner(load_tuner(args.tuner_gate), threshold)
@@ -573,7 +718,8 @@ def main():
         return
     if not args.bench:
         parser.error("bench binary name required (or --self-test / "
-                     "--fidelity-diff / --scale-diff / --tuner-gate)")
+                     "--fidelity-diff / --scale-diff / --served-diff / "
+                     "--tuner-gate)")
     if args.threshold is None:
         args.threshold = 0.10
 
